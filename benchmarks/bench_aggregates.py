@@ -1,0 +1,86 @@
+"""E5 — equivalence of queries with grouping and aggregation.
+
+Single-block equivalence (reduces to conjunctive-query equivalence) and
+nested aggregation (strong simulation of the grouping tree), over
+growing bodies.
+"""
+
+import pytest
+
+from repro.cq.terms import Var, Atom
+from repro.aggregates import (
+    AggregateQuery,
+    NestedAggregateQuery,
+    aggregate_equivalent,
+    aggregate_contained,
+    nested_aggregate_equivalent,
+)
+
+from conftest import record
+
+
+def _chain_body(length):
+    return tuple(
+        Atom("e", (Var("X%d" % i), Var("X%d" % (i + 1)))) for i in range(length)
+    )
+
+
+@pytest.mark.parametrize("length", [2, 4, 8, 12])
+def test_single_block_scaling(benchmark, length):
+    q1 = AggregateQuery(_chain_body(length), (Var("X0"),), "f", Var("X1"))
+    # Redundant duplicated chain: equivalent.
+    doubled = _chain_body(length) + tuple(
+        Atom("e", (Var("Y%d" % i), Var("Y%d" % (i + 1)))) for i in range(length)
+    ) + (Atom("e", (Var("X0"), Var("Y0"))),)
+    q2 = AggregateQuery(doubled, (Var("X0"),), "f", Var("X1"))
+    verdict = benchmark(lambda: aggregate_equivalent(q1, q2))
+    record(benchmark, experiment="E5", chain=length, verdict=verdict)
+
+
+@pytest.mark.parametrize("length", [2, 4, 8])
+def test_containment_scaling(benchmark, length):
+    q1 = AggregateQuery(_chain_body(length), (Var("X0"),), "f", Var("X1"))
+    q2 = AggregateQuery(
+        _chain_body(length) + (Atom("mark", (Var("X0"),)),),
+        (Var("X0"),),
+        "f",
+        Var("X1"),
+    )
+    verdict = benchmark(lambda: aggregate_contained(q1, q2))
+    record(benchmark, experiment="E5", chain=length, verdict=verdict)
+    assert verdict
+
+
+@pytest.mark.parametrize("extra", [0, 1, 2])
+def test_nested_aggregation_scaling(benchmark, extra):
+    base = (Atom("r", (Var("D"), Var("E"), Var("V"))),)
+    padding = tuple(
+        Atom("r", (Var("D"), Var("E%d" % i), Var("V%d" % i)))
+        for i in range(extra)
+    )
+    q1 = NestedAggregateQuery(
+        base, [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")], Var("V")
+    )
+    q2 = NestedAggregateQuery(
+        base + padding,
+        [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")],
+        Var("V"),
+    )
+    verdict = benchmark(lambda: nested_aggregate_equivalent(q1, q2))
+    record(benchmark, experiment="E5", padding=extra, verdict=verdict)
+    assert verdict
+
+
+def test_nested_negative(benchmark):
+    base = (Atom("r", (Var("D"), Var("E"), Var("V"))),)
+    q1 = NestedAggregateQuery(
+        base, [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")], Var("V")
+    )
+    q2 = NestedAggregateQuery(
+        base + (Atom("s", (Var("E"),)),),
+        [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")],
+        Var("V"),
+    )
+    verdict = benchmark(lambda: nested_aggregate_equivalent(q1, q2))
+    record(benchmark, experiment="E5", verdict=verdict)
+    assert not verdict

@@ -1,0 +1,104 @@
+"""E1 — COQL containment (Theorem 4.1), end to end.
+
+Parse → typecheck → normalize → encode → truncation obligations →
+simulation, over growing query sizes, plus the verdict-vs-semantics
+sanity gate on a sample database.
+"""
+
+import pytest
+
+from repro.coql import contains, parse_coql, evaluate_coql
+from repro.objects import Database, dominated
+from repro.workloads import random_coql
+
+from conftest import record
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+
+def _query_with_generators(count):
+    gens = ", ".join("x%d in r" % i for i in range(count))
+    conds = " and ".join(
+        "x%d.b = x%d.a" % (i, i + 1) for i in range(count - 1)
+    )
+    text = (
+        "select [v: x0.a, inner: select [w: y.b] from y in s "
+        "where y.k = x0.a] from " + gens
+    )
+    if conds:
+        text += " where " + conds
+    return text
+
+
+@pytest.mark.parametrize("generators", [1, 2, 3, 4])
+def test_generator_scaling(benchmark, generators):
+    query = _query_with_generators(generators)
+    base = _query_with_generators(1)
+    verdict = benchmark(lambda: contains(base, query, SCHEMA))
+    record(benchmark, experiment="E1", generators=generators, verdict=verdict)
+    assert verdict  # extra generators only restrict the outer set
+
+
+@pytest.mark.parametrize("generators", [1, 2, 3])
+def test_self_containment_scaling(benchmark, generators):
+    query = _query_with_generators(generators)
+    verdict = benchmark(lambda: contains(query, query, SCHEMA))
+    record(benchmark, experiment="E1", generators=generators, verdict=verdict)
+    assert verdict
+
+
+def test_truncation_case(benchmark):
+    """The containment refutation that needs the truncated obligation."""
+    linked = (
+        "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a]"
+        " from x in r"
+    )
+    restricted = linked + ", z in s where z.k = x.a"
+    verdict = benchmark(lambda: contains(restricted, linked, SCHEMA))
+    record(benchmark, experiment="E1", verdict=verdict)
+    assert not verdict
+
+
+@pytest.mark.parametrize("pairs", [10, 20])
+def test_random_pair_throughput(benchmark, pairs):
+    """Decisions per batch of random COQL pairs (mixed verdicts)."""
+    from repro.errors import IncomparableQueriesError
+
+    batch = [
+        (random_coql(seed=s), random_coql(seed=s + 3000)) for s in range(pairs)
+    ]
+
+    def run():
+        positives = 0
+        for q1, q2 in batch:
+            try:
+                if contains(q2, q1, SCHEMA):
+                    positives += 1
+            except IncomparableQueriesError:
+                pass
+        return positives
+
+    positives = benchmark(run)
+    record(benchmark, experiment="E1", pairs=pairs, positives=positives)
+
+
+def test_verdict_semantic_gate(benchmark):
+    """Positive verdicts imply Hoare domination on a spot database."""
+    q1 = (
+        "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a]"
+        " from x in r"
+    )
+    q2 = "select [a: x.a, kids: select [b: y.b] from y in s] from x in r"
+    db = Database.from_dict(
+        {"r": [{"a": 1, "b": 0}], "s": [{"k": 1, "b": 5}, {"k": 2, "b": 6}]}
+    )
+
+    def run():
+        assert contains(q2, q1, SCHEMA)
+        return dominated(
+            evaluate_coql(parse_coql(q1), db), evaluate_coql(parse_coql(q2), db)
+        )
+
+    verdict = benchmark(run)
+    record(benchmark, experiment="E1", semantically_confirmed=verdict)
+    assert verdict

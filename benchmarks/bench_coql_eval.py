@@ -1,0 +1,73 @@
+"""E7 — the COQL substrate itself: evaluation of the worked examples.
+
+Interpreter throughput over growing databases, and the encoder path
+(grouping-query evaluation + value reconstruction) against it — both
+must produce identical nested answers, so this doubles as a correctness
+gate at benchmark scale.
+"""
+
+import random
+
+import pytest
+
+from repro.objects import Database
+from repro.coql import parse_coql, evaluate_coql
+from repro.coql.containment import prepare
+from repro.coql.encode import reconstruct_value
+from repro.grouping.semantics import node_groups
+
+from conftest import record
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+QUERY = (
+    "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a]"
+    " from x in r"
+)
+
+
+def _database(rows, seed=0):
+    rng = random.Random(seed)
+    return Database.from_dict(
+        {
+            "r": [
+                {"a": rng.randrange(rows), "b": rng.randrange(3)}
+                for __ in range(rows)
+            ],
+            "s": [
+                {"k": rng.randrange(rows), "b": rng.randrange(5)}
+                for __ in range(rows * 2)
+            ],
+        }
+    )
+
+
+@pytest.mark.parametrize("rows", [10, 30, 100])
+def test_interpreter_scaling(benchmark, rows):
+    expr = parse_coql(QUERY)
+    db = _database(rows)
+    answer = benchmark(lambda: evaluate_coql(expr, db))
+    record(benchmark, experiment="E7", rows=rows, elements=len(answer))
+
+
+@pytest.mark.parametrize("rows", [10, 30, 100])
+def test_encoder_path_scaling(benchmark, rows):
+    encoded = prepare(QUERY, SCHEMA)
+    db = _database(rows)
+    direct = evaluate_coql(parse_coql(QUERY), db)
+
+    def run():
+        groups = node_groups(encoded.query, db)
+        return reconstruct_value(encoded, groups)
+
+    rebuilt = benchmark(run)
+    record(benchmark, experiment="E7", rows=rows, agrees=rebuilt == direct)
+    assert rebuilt == direct
+
+
+@pytest.mark.parametrize("rows", [10, 30])
+def test_normalization_and_encoding(benchmark, rows):
+    """Front-end cost: parse + typecheck + normalize + encode."""
+    result = benchmark(lambda: prepare(QUERY, SCHEMA))
+    record(benchmark, experiment="E7",
+           nodes=len(result.query.nodes()))

@@ -1,0 +1,77 @@
+"""E9 — the classical baseline: Chandra–Merlin containment.
+
+The paper positions simulation as "more complex than containment of
+conjunctive queries"; this module measures the baseline so E3/E4 have a
+reference curve.  Also ablates the homomorphism-search atom ordering
+(most-constrained-first vs static), one of the design choices DESIGN.md
+calls out.
+"""
+
+import pytest
+
+from repro.cq import contains, minimize
+from repro.cq.homomorphism import find_homomorphism, ground_atoms_of_query
+from repro.workloads import chain_query, star_query, random_cq
+
+from conftest import record
+
+
+@pytest.mark.parametrize("length", [2, 4, 8, 16, 32])
+def test_chain_containment(benchmark, length):
+    """Containment of a 2k-chain in a k-chain: verdict False, search
+    explores the chain's foldings."""
+    short = chain_query(length)
+    long = chain_query(length * 2)
+    verdict = benchmark(lambda: contains(short, long))
+    record(benchmark, experiment="E9", length=length, verdict=verdict)
+
+
+@pytest.mark.parametrize("points", [2, 4, 8, 16])
+def test_star_containment(benchmark, points):
+    """Stars collapse homomorphically: verdict True, found quickly."""
+    small = star_query(points)
+    big = star_query(points * 2)
+    verdict = benchmark(lambda: contains(small, big))
+    record(benchmark, experiment="E9", points=points, verdict=verdict)
+    assert verdict
+
+
+@pytest.mark.parametrize("atoms", [3, 5, 7, 9])
+def test_random_containment(benchmark, atoms):
+    schema = {"r": 2, "s": 2, "t": 1}
+    pairs = [
+        (
+            random_cq(schema, atoms=atoms, variables=4, head_arity=1, seed=s),
+            random_cq(schema, atoms=atoms, variables=4, head_arity=1, seed=s + 100),
+        )
+        for s in range(10)
+    ]
+
+    def run():
+        return sum(1 for q1, q2 in pairs if contains(q2, q1))
+
+    positives = benchmark(run)
+    record(benchmark, experiment="E9", atoms=atoms, positives=positives)
+
+
+@pytest.mark.parametrize("ordering", ["adaptive", "static"])
+def test_ordering_ablation(benchmark, ordering):
+    """Most-constrained-first vs static order on a chain folding."""
+    short = chain_query(6)
+    long = chain_query(12)
+    target = ground_atoms_of_query(short)
+
+    def run():
+        return find_homomorphism(long.body, target, ordering=ordering)
+
+    result = benchmark(run)
+    record(benchmark, experiment="E9-ablation", ordering=ordering,
+           found=result is not None)
+
+
+@pytest.mark.parametrize("atoms", [4, 8])
+def test_minimization(benchmark, atoms):
+    query = random_cq({"e": 2}, atoms=atoms, variables=3, head_arity=1, seed=5)
+    minimized = benchmark(lambda: minimize(query))
+    record(benchmark, experiment="E9", atoms=atoms,
+           kept=len(minimized.body))

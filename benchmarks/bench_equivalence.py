@@ -1,0 +1,73 @@
+"""E2 — weak equivalence and the exponential emptiness component.
+
+A query with *s* set components none of which is provably non-empty has
+up to 2^s truncation obligations; an empty-set-free query has exactly
+one.  This module measures the blow-up and its disappearance — the
+paper's observation that "this exponential component disappears" for
+empty-set-free queries.
+"""
+
+import pytest
+
+from repro.coql import weakly_equivalent
+from repro.coql.containment import prepare, _obligation_patterns
+
+from conftest import record
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+
+def _query_with_children(count, linked):
+    """One outer generator with *count* nested components.
+
+    linked=False: components may be empty (grouped by x.a) →
+    2^count obligations.  linked=True: components grouped over r itself
+    (provably non-empty) → a single obligation.
+    """
+    children = []
+    for i in range(count):
+        if linked:
+            inner = (
+                "c%d: select [w: y%d.b] from y%d in r where y%d.a = x.a"
+                % (i, i, i, i)
+            )
+        else:
+            inner = (
+                "c%d: select [w: y%d.b] from y%d in s where y%d.k = x.a"
+                % (i, i, i, i)
+            )
+        children.append(inner)
+    return "select [v: x.a, %s] from x in r" % ", ".join(children)
+
+
+@pytest.mark.parametrize("components", [1, 2, 3, 4])
+@pytest.mark.parametrize("linked", [False, True])
+def test_emptiness_blowup(benchmark, components, linked):
+    query = _query_with_children(components, linked)
+    encoded = prepare(query, SCHEMA)
+    obligations = len(list(_obligation_patterns(encoded.query)))
+    verdict = benchmark(lambda: weakly_equivalent(query, query, SCHEMA))
+    record(
+        benchmark,
+        experiment="E2",
+        components=components,
+        empty_set_free=linked,
+        obligations=obligations,
+        verdict=verdict,
+    )
+    assert verdict
+    if linked:
+        assert obligations == 1
+    else:
+        assert obligations == 2 ** components
+
+
+@pytest.mark.parametrize("components", [2, 3])
+def test_negative_weak_equivalence(benchmark, components):
+    """Inequivalent pair (one component unlinked) — the decision must
+    walk obligations until one fails."""
+    q1 = _query_with_children(components, linked=False)
+    q2 = q1.replace("y0.k = x.a", "y0.k = y0.k")  # unlink one component
+    verdict = benchmark(lambda: weakly_equivalent(q1, q2, SCHEMA))
+    record(benchmark, experiment="E2", components=components, verdict=verdict)
+    assert not verdict

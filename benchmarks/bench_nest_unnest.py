@@ -1,0 +1,70 @@
+"""E6 — equivalence of nest/unnest sequences (the [24] question).
+
+Scaling over pipeline length; every instance is inside the
+atomic-attribute fragment, where the paper's answer applies
+(NP-complete via the empty-set-free equivalence test).
+"""
+
+import pytest
+
+from repro.objects.types import RecordType, ATOM
+from repro.algebra import Pipeline, pipelines_equivalent
+from repro.algebra.nest_unnest import pipeline_contained
+
+from conftest import record
+
+SCHEMA = {"r": RecordType({"a": ATOM, "b": ATOM, "c": ATOM})}
+
+
+def _roundtrips(count):
+    steps = []
+    for i in range(count):
+        attr = ("a", "b", "c")[i % 3]
+        steps.append(("nest", (attr,), "g%d" % i))
+        steps.append(("unnest", "g%d" % i))
+    return Pipeline("r", steps)
+
+
+@pytest.mark.parametrize("roundtrips", [1, 2, 3, 4])
+def test_roundtrip_scaling(benchmark, roundtrips):
+    pipeline = _roundtrips(roundtrips)
+    identity = Pipeline("r", [])
+    verdict = benchmark(
+        lambda: pipelines_equivalent(pipeline, identity, SCHEMA)
+    )
+    record(benchmark, experiment="E6", roundtrips=roundtrips, verdict=verdict)
+    assert verdict
+
+
+@pytest.mark.parametrize("roundtrips", [1, 2, 3])
+def test_nested_output_scaling(benchmark, roundtrips):
+    """Pipelines ending in a nest: nested output types."""
+    base = _roundtrips(roundtrips)
+    with_nest = Pipeline("r", list(base.steps) + [("nest", ("b",), "final")])
+    reference = Pipeline("r", [("nest", ("b",), "final")])
+    verdict = benchmark(
+        lambda: pipelines_equivalent(with_nest, reference, SCHEMA)
+    )
+    record(benchmark, experiment="E6", roundtrips=roundtrips, verdict=verdict)
+    assert verdict
+
+
+def test_renest_idempotence(benchmark):
+    once = Pipeline("r", [("nest", ("b", "c"), "g")])
+    thrice = Pipeline(
+        "r",
+        [("nest", ("b", "c"), "g"), ("unnest", "g"), ("nest", ("b", "c"), "g")],
+    )
+    verdict = benchmark(lambda: pipelines_equivalent(once, thrice, SCHEMA))
+    record(benchmark, experiment="E6", verdict=verdict)
+    assert verdict
+
+
+def test_pipeline_containment(benchmark):
+    identity = Pipeline("r", [])
+    roundtrip = _roundtrips(2)
+    verdict = benchmark(
+        lambda: pipeline_contained(identity, roundtrip, SCHEMA)
+    )
+    record(benchmark, experiment="E6", verdict=verdict)
+    assert verdict

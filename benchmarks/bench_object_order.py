@@ -1,0 +1,66 @@
+"""E7 (substrate) — the containment order on complex objects.
+
+Two implementations of the same preorder: the structural recursion
+(``dominated``) and graph simulation via iterated refinement
+(``value_simulated``, the [6, 5] view).  The benchmark charts both over
+growing nested values and asserts they agree — the coincidence the paper
+states, measured.
+"""
+
+import random
+
+import pytest
+
+from repro.objects import Record, CSet, dominated, value_simulated
+
+from conftest import record
+
+
+def _random_value(rng, depth):
+    if depth == 0 or rng.random() < 0.3:
+        return rng.randrange(4)
+    if rng.random() < 0.5:
+        return Record(
+            a=_random_value(rng, depth - 1), b=_random_value(rng, depth - 1)
+        )
+    return CSet([_random_value(rng, depth - 1) for __ in range(rng.randint(0, 3))])
+
+
+def _pair(seed, depth):
+    rng = random.Random(seed)
+    low = _random_value(rng, depth)
+    high = _random_value(rng, depth)
+    return low, high
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4, 5])
+def test_structural_order(benchmark, depth):
+    pairs = [_pair(seed, depth) for seed in range(50)]
+
+    def run():
+        return sum(1 for low, high in pairs if dominated(low, high))
+
+    positives = benchmark(run)
+    record(benchmark, experiment="E7", depth=depth, positives=positives)
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4, 5])
+def test_graph_simulation_order(benchmark, depth):
+    pairs = [_pair(seed, depth) for seed in range(50)]
+
+    def run():
+        return sum(1 for low, high in pairs if value_simulated(low, high))
+
+    positives = benchmark(run)
+    expected = sum(1 for low, high in pairs if dominated(low, high))
+    record(benchmark, experiment="E7", depth=depth, positives=positives)
+    assert positives == expected  # the coincidence theorem, at scale
+
+
+@pytest.mark.parametrize("width", [4, 16, 64])
+def test_wide_set_domination(benchmark, width):
+    low = CSet([Record(k=i, s=CSet([i])) for i in range(width)])
+    high = CSet([Record(k=i, s=CSet([i, i + 1])) for i in range(width)])
+    verdict = benchmark(lambda: dominated(low, high))
+    record(benchmark, experiment="E7", width=width, verdict=verdict)
+    assert verdict

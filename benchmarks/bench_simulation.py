@@ -1,0 +1,80 @@
+"""E3 — simulation of conjunctive queries with grouping (NP-complete).
+
+Measures:
+
+* scaling over nesting depth (the d+1 quantifier alternations);
+* scaling over body size at fixed depth;
+* the witness-copy ablation (k = 1 vs the completeness bound);
+* the exponential wall on 3-colorability reductions — the hardness side
+  of the theorem (simulation generalizes containment).
+"""
+
+import pytest
+
+from repro.grouping import is_simulated, simulation_certificate
+from repro.workloads import chain_grouping_query, random_grouping_query
+from repro.complexity import coloring_to_simulation, random_graph
+
+from conftest import record
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 4])
+def test_depth_scaling(benchmark, depth):
+    """Reflexive simulation of a depth-d chain grouping query."""
+    query = chain_grouping_query(depth)
+    other = query.rename_apart("_p")
+    verdict = benchmark(lambda: is_simulated(query, other))
+    record(benchmark, experiment="E3", depth=depth, verdict=verdict)
+    assert verdict
+
+
+@pytest.mark.parametrize("atoms", [1, 2, 3, 4])
+def test_body_size_scaling(benchmark, atoms):
+    schema = {"r": 2, "s": 2}
+    query = random_grouping_query(
+        schema, seed=atoms, depth=2, atoms_per_node=atoms
+    )
+    other = query.rename_apart("_p")
+    verdict = benchmark(lambda: is_simulated(query, other))
+    record(benchmark, experiment="E3", atoms_per_node=atoms, verdict=verdict)
+    assert verdict
+
+
+@pytest.mark.parametrize("witnesses", [1, 2, 4, None])
+def test_witness_ablation(benchmark, witnesses):
+    """Certificate search with few witness copies vs the completeness
+    bound (None).  Fewer witnesses: smaller target, may miss certificates
+    in general (not on this instance)."""
+    query = chain_grouping_query(2)
+    other = query.rename_apart("_p")
+    verdict = benchmark(
+        lambda: is_simulated(query, other, witnesses=witnesses)
+    )
+    record(
+        benchmark,
+        experiment="E3-ablation",
+        witnesses="bound" if witnesses is None else witnesses,
+        verdict=verdict,
+    )
+
+
+@pytest.mark.parametrize("nodes,edges", [(5, 7), (7, 11), (9, 15), (11, 19)])
+def test_coloring_hardness(benchmark, nodes, edges):
+    """3-colorability as simulation: the NP-hard core.  Verdicts vary
+    with the instance; times grow sharply with graph size on non-
+    colorable instances."""
+    graph = random_graph(nodes, edges, seed=nodes)
+    sub, sup = coloring_to_simulation(graph)
+    verdict = benchmark(lambda: is_simulated(sub, sup, witnesses=1))
+    record(benchmark, experiment="E3", nodes=nodes, edges=len(graph),
+           colorable=verdict)
+
+
+def test_certificate_construction(benchmark):
+    """End-to-end certificate object construction (not just the verdict)."""
+    query = chain_grouping_query(3)
+    other = query.rename_apart("_p")
+    certificate = benchmark(lambda: simulation_certificate(query, other))
+    record(benchmark, experiment="E3",
+           witnesses=certificate.witnesses if certificate else None)
+    assert certificate is not None

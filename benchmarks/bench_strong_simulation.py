@@ -1,0 +1,69 @@
+"""E4 — strong simulation (the equivalence-side condition, NP-complete).
+
+Strong simulation layers classical containment checks (the reverse
+directions) on top of every forward certificate candidate, so it is
+systematically more expensive than simulation on the same instances —
+the curves here quantify that gap.
+"""
+
+import pytest
+
+from repro.grouping import is_simulated, is_strongly_simulated
+from repro.workloads import chain_grouping_query, random_grouping_query
+
+from conftest import record
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_depth_scaling(benchmark, depth):
+    query = chain_grouping_query(depth)
+    other = query.rename_apart("_p")
+    verdict = benchmark(lambda: is_strongly_simulated(query, other))
+    record(benchmark, experiment="E4", depth=depth, verdict=verdict)
+    assert verdict
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_gap_to_plain_simulation(benchmark, depth):
+    """The same instance under plain simulation (reference curve)."""
+    query = chain_grouping_query(depth)
+    other = query.rename_apart("_p")
+    verdict = benchmark(lambda: is_simulated(query, other))
+    record(benchmark, experiment="E4-reference", depth=depth, verdict=verdict)
+
+
+@pytest.mark.parametrize("seed", [0, 3, 6])
+def test_random_instances(benchmark, seed):
+    schema = {"r": 2, "s": 2}
+    q1 = random_grouping_query(schema, seed=seed, depth=2)
+    q2 = random_grouping_query(schema, seed=seed + 5000, depth=2)
+    if q1.shape() != q2.shape():
+        q2 = q1.rename_apart("_p")
+    verdict = benchmark(lambda: is_strongly_simulated(q1, q2))
+    record(benchmark, experiment="E4", seed=seed, verdict=verdict)
+
+
+def test_negative_instance(benchmark):
+    """Groups included but not equal: every forward candidate must be
+    generated and refuted."""
+    from repro.grouping.build import node, grouping_query
+
+    linked = grouping_query(
+        node(
+            "",
+            ["r(Xa)"],
+            {"a": "Xa"},
+            children=[node("kids", ["s(Xa, Yb)"], {"b": "Yb"}, index=["Xa"])],
+        )
+    )
+    unlinked = grouping_query(
+        node(
+            "",
+            ["r(Xa)"],
+            {"a": "Xa"},
+            children=[node("kids", ["s(Z, Yb)"], {"b": "Yb"}, index=[])],
+        )
+    )
+    verdict = benchmark(lambda: is_strongly_simulated(linked, unlinked))
+    record(benchmark, experiment="E4", verdict=verdict)
+    assert not verdict

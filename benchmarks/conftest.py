@@ -1,0 +1,16 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module reproduces one experiment of EXPERIMENTS.md
+(E1–E9).  Benchmarks record their qualitative outcome (the verdict, the
+size of the instance, counts of obligations, …) in
+``benchmark.extra_info`` so the generated table doubles as the
+experiment's result table.
+"""
+
+import pytest
+
+
+def record(benchmark, **info):
+    """Attach experiment metadata to a benchmark entry."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

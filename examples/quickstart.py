@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: complex objects, COQL, and containment in five minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.objects import Database, dominated
+from repro.coql import (
+    parse_coql,
+    evaluate_coql,
+    contains,
+    weakly_equivalent,
+)
+
+# ----------------------------------------------------------------------
+# 1. A tiny database of people and their pets (flat input relations —
+#    the paper's setting; nested values appear in query *answers*).
+# ----------------------------------------------------------------------
+db = Database.from_dict(
+    {
+        "person": [
+            {"name": "ann", "city": "nyc"},
+            {"name": "bob", "city": "sfo"},
+            {"name": "cat", "city": "nyc"},
+        ],
+        "pet": [
+            {"owner": "ann", "species": "dog"},
+            {"owner": "ann", "species": "axolotl"},
+            {"owner": "bob", "species": "cat"},
+        ],
+    }
+)
+SCHEMA = {"person": ("name", "city"), "pet": ("owner", "species")}
+
+# ----------------------------------------------------------------------
+# 2. COQL: conjunctive queries whose answers are *nested* relations.
+# ----------------------------------------------------------------------
+owners = parse_coql(
+    "select [who: p.name,"
+    "        pets: select [kind: q.species] from q in pet where q.owner = p.name]"
+    " from p in person"
+)
+answer = evaluate_coql(owners, db)
+print("Nested answer:")
+for element in answer:
+    print("   ", element)
+
+# ----------------------------------------------------------------------
+# 3. Containment (Theorem 4.1): the Hoare order on answers, decided
+#    syntactically — no databases enumerated.
+# ----------------------------------------------------------------------
+all_pets = (
+    "select [who: p.name,"
+    "        pets: select [kind: q.species] from q in pet]"
+    " from p in person"
+)
+print()
+print("owners ⊑ all_pets :", contains(all_pets, owners, SCHEMA))
+print("all_pets ⊑ owners :", contains(owners, all_pets, SCHEMA))
+
+# The verdict is semantic truth on *every* database; spot-check this one:
+print(
+    "spot check (Hoare order on this db):",
+    dominated(answer, evaluate_coql(parse_coql(all_pets), db)),
+)
+
+# ----------------------------------------------------------------------
+# 4. Weak equivalence: containment both ways.  Reformulations with
+#    redundant generators are detected.
+# ----------------------------------------------------------------------
+redundant = (
+    "select [who: p.name,"
+    "        pets: select [kind: q.species] from q in pet where q.owner = p.name]"
+    " from p in person, extra in person"
+)
+print()
+print("redundant ≡w owners :", weakly_equivalent(redundant, owners, SCHEMA))

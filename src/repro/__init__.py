@@ -1,0 +1,46 @@
+"""repro — containment and equivalence for queries with complex objects.
+
+A production-quality reproduction of Alon Y. Levy and Dan Suciu,
+*Deciding Containment for Queries with Complex Objects* (PODS 1997).
+
+Public API highlights
+---------------------
+
+* ``repro.objects`` — complex-object values, types, the Hoare containment
+  order, nested databases, and the index encoding to flat relations.
+* ``repro.cq`` — classical conjunctive queries (Chandra–Merlin baseline).
+* ``repro.grouping`` — conjunctive queries with grouping; the paper's
+  simulation and strong-simulation decision procedures (NP-complete).
+* ``repro.coql`` — the COQL language: parsing, typing, evaluation,
+  normalization, and the containment / weak-equivalence / equivalence
+  deciders (Theorems 4.1 and 4.2).
+* ``repro.algebra`` — nested relational algebra (Thomas–Fischer style)
+  and the nest/unnest-sequence equivalence decider (the [24] problem).
+* ``repro.aggregates`` — queries with grouping and aggregation;
+  equivalence with uninterpreted aggregates (Section 7).
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ReproError,
+    ValueConstructionError,
+    SchemaError,
+    TypeCheckError,
+    ParseError,
+    EvaluationError,
+    UnsupportedQueryError,
+    IncomparableQueriesError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ValueConstructionError",
+    "SchemaError",
+    "TypeCheckError",
+    "ParseError",
+    "EvaluationError",
+    "UnsupportedQueryError",
+    "IncomparableQueriesError",
+]

@@ -1,0 +1,51 @@
+"""Queries with grouping and aggregation (paper, Section 7).
+
+Complex objects and aggregates are naturally related [33]: a group-by
+query is a nested query whose inner sets are consumed by an aggregate
+function.  With **uninterpreted** aggregate functions, two aggregate
+queries are equivalent iff their grouping structures produce identical
+groups — which the paper decides via strong simulation, giving:
+
+* equivalence of conjunctive queries with grouping and aggregation is
+  **NP-complete**;
+* containment/equivalence stays decidable under arbitrary *nesting* of
+  aggregation, as long as aggregated columns are not joined or selected
+  on.
+
+* :mod:`repro.aggregates.query` — single-level and nested aggregate
+  queries;
+* :mod:`repro.aggregates.semantics` — evaluation with concrete
+  (count/sum/min/max) and symbolic (uninterpreted) aggregates;
+* :mod:`repro.aggregates.equivalence` — the decision procedures.
+"""
+
+from repro.aggregates.query import AggregateQuery, NestedAggregateQuery
+from repro.aggregates.semantics import (
+    evaluate_aggregate,
+    evaluate_symbolic,
+    AGGREGATE_FUNCTIONS,
+)
+from repro.aggregates.rewrites import (
+    RewriteError,
+    verify_rewrite,
+    eliminate_redundant_atoms,
+)
+from repro.aggregates.equivalence import (
+    aggregate_equivalent,
+    nested_aggregate_equivalent,
+    aggregate_contained,
+)
+
+__all__ = [
+    "AggregateQuery",
+    "NestedAggregateQuery",
+    "evaluate_aggregate",
+    "evaluate_symbolic",
+    "AGGREGATE_FUNCTIONS",
+    "aggregate_equivalent",
+    "nested_aggregate_equivalent",
+    "aggregate_contained",
+    "RewriteError",
+    "verify_rewrite",
+    "eliminate_redundant_atoms",
+]

@@ -1,0 +1,98 @@
+"""Equivalence and containment of aggregate queries (Section 7).
+
+Single-block queries — theorem (reconstructed from the paper's Section 7
+sketch, validated in the tests against symbolic evaluation): for an
+uninterpreted aggregate f, ``γ_Ḡ,f(V)(Q) ≡ γ_Ḡ',f(V')(Q')`` iff the core
+conjunctive queries ``Q(Ḡ, V)`` and ``Q'(Ḡ', V')`` are equivalent:
+grouping columns are *output*, so groups must match per identical key
+and be equal as sets — i.e. the (key, value) row sets coincide.  Hence
+equivalence of conjunctive queries with grouping and aggregation is
+NP-complete (it inherits both bounds from conjunctive-query
+equivalence).
+
+Nested aggregation — inner aggregate values are uninterpreted, so they
+compare equal exactly when the underlying groups do; equivalence
+of the nested query is equality of the grouping-tree answers, decided by
+**strong simulation** both ways.
+"""
+
+from repro.errors import IncomparableQueriesError
+from repro.cq.terms import Var
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.containment import contains as cq_contains, equivalent as cq_equivalent
+from repro.grouping.strong import is_strongly_simulated
+
+__all__ = [
+    "aggregate_equivalent",
+    "aggregate_contained",
+    "nested_aggregate_equivalent",
+]
+
+
+def aggregate_equivalent(first, second):
+    """Equivalence of two single-block aggregate queries (NP-complete).
+
+    True iff the queries return the same ``(group key, f(group))`` rows
+    on every database, for every interpretation of the aggregate.
+    """
+    if first.func != second.func:
+        return False
+    if len(first.group_by) != len(second.group_by):
+        raise IncomparableQueriesError(
+            "different numbers of grouping columns: %d vs %d"
+            % (len(first.group_by), len(second.group_by))
+        )
+    return cq_equivalent(first.core_cq(), second.core_cq())
+
+
+def aggregate_contained(sup, sub):
+    """``sub ⊑ sup`` as result sets, for every interpretation of f.
+
+    Every output row ``(ḡ, f(G))`` of *sub* must appear in *sup* — i.e.
+    *sup* must produce key ḡ with the *same* group.  Decided by two
+    classical containment checks:
+
+    1. ``core(sub) ⊑ core(sup)`` — sub's keys appear in sup with
+       ``G_sub(ḡ) ⊆ G_sup(ḡ)``;
+    2. ``L ⊑ core(sub)`` where ``L(ḡ, v) := body_sup(ḡ, v) ∧
+       ∃ body_sub(ḡ, ·)`` — at sub's keys, sup's groups have nothing
+       extra.
+    """
+    if sup.func != sub.func:
+        return False
+    if len(sup.group_by) != len(sub.group_by):
+        raise IncomparableQueriesError(
+            "different numbers of grouping columns: %d vs %d"
+            % (len(sup.group_by), len(sub.group_by))
+        )
+    core_sub = sub.core_cq().rename_apart("_sub")
+    core_sup = sup.core_cq().rename_apart("_sup")
+    if not cq_contains(core_sup, core_sub):
+        return False
+    # Build L: sup's body plus sub's body with the group keys identified.
+    alignment = {}
+    for sub_term, sup_term in zip(core_sub.head[:-1], core_sup.head[:-1]):
+        if isinstance(sub_term, Var):
+            alignment[sub_term] = sup_term
+    aligned_sub_body = tuple(a.substitute(alignment) for a in core_sub.body)
+    paired = ConjunctiveQuery(
+        core_sup.head, core_sup.body + aligned_sub_body, "paired"
+    )
+    return cq_contains(core_sub.substitute(alignment), paired)
+
+
+def nested_aggregate_equivalent(first, second, witnesses=None):
+    """Equivalence of nested aggregate queries.
+
+    Requires matching aggregate functions level-by-level; the grouping
+    trees must then produce equal nested answers on every database —
+    strong simulation in both directions.
+    """
+    if first.funcs() != second.funcs():
+        return False
+    first_tree = first.to_grouping()
+    second_tree = second.to_grouping()
+    first_tree.require_same_shape(second_tree)
+    return is_strongly_simulated(
+        first_tree, second_tree, witnesses=witnesses
+    ) and is_strongly_simulated(second_tree, first_tree, witnesses=witnesses)

@@ -1,0 +1,179 @@
+"""Aggregate query classes.
+
+:class:`AggregateQuery` is the SQL-ish single block::
+
+    SELECT Ḡ, f(V) FROM body GROUP BY Ḡ
+
+over a conjunctive body with set semantics (the paper's formalism: the
+aggregate consumes the *set* of value tuples of the group).
+
+:class:`NestedAggregateQuery` chains blocks: each level groups the
+previous level's output further and aggregates a column; aggregated
+columns are only carried upward, never joined or selected on — the
+fragment the paper proves decidable.  Nested aggregate queries translate
+to grouping-query trees (``to_grouping``), on which equivalence is
+strong simulation both ways.
+"""
+
+from repro.errors import ReproError, UnsupportedQueryError
+from repro.cq.terms import Var, Const, Atom, is_var
+from repro.grouping.query import GroupingNode, GroupingQuery
+
+__all__ = ["AggregateQuery", "NestedAggregateQuery"]
+
+
+class AggregateQuery:
+    """``SELECT group_by, func(target) FROM body GROUP BY group_by``.
+
+    :param body: tuple of CQ atoms.
+    :param group_by: tuple of variables (the output grouping columns).
+    :param func: aggregate function name ("count", "sum", "min", "max",
+        or any uninterpreted name).
+    :param target: the aggregated variable (ignored for "count", which
+        counts distinct value tuples; still recorded for the encoding).
+    """
+
+    __slots__ = ("body", "group_by", "func", "target", "name")
+
+    def __init__(self, body, group_by, func, target, name="agg"):
+        body = tuple(body)
+        group_by = tuple(group_by)
+        for atom in body:
+            if not isinstance(atom, Atom):
+                raise ReproError("body must contain atoms")
+        body_vars = {v for atom in body for v in atom.variables()}
+        for var in tuple(group_by) + (target,):
+            if is_var(var) and var not in body_vars:
+                raise ReproError("unsafe aggregate query: %r not in body" % (var,))
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "group_by", group_by)
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AggregateQuery is immutable")
+
+    def grouping_query(self):
+        """The grouping-query view: group-by columns become values of the
+        root; the aggregated column becomes the single child node whose
+        index is the group-by tuple."""
+        child = GroupingNode(
+            "__group",
+            (),
+            {"t": self.target},
+            tuple(self.group_by),
+            (),
+        )
+        root = GroupingNode(
+            "",
+            self.body,
+            {("g%d" % i): g for i, g in enumerate(self.group_by)},
+            (),
+            (child,),
+        )
+        return GroupingQuery(root, self.name)
+
+    def core_cq(self):
+        """The plain conjunctive query ``q(Ḡ, target) :- body``.
+
+        Single-block aggregate equivalence with an uninterpreted function
+        reduces to classical equivalence of this query (see
+        ``aggregates.equivalence``).
+        """
+        from repro.cq.query import ConjunctiveQuery
+
+        return ConjunctiveQuery(
+            tuple(self.group_by) + (self.target,), self.body, self.name
+        )
+
+    def __repr__(self):
+        return "AggregateQuery(%s(%r) group by %r; %d atoms)" % (
+            self.func,
+            self.target,
+            self.group_by,
+            len(self.body),
+        )
+
+
+class NestedAggregateQuery:
+    """A chain of aggregation levels over one conjunctive body.
+
+    ``levels`` lists, outermost first, ``(group_by, func)`` pairs; the
+    innermost level aggregates the body column *target*, each outer
+    level aggregates the inner level's aggregate values — e.g.::
+
+        SELECT d, f(per_e) FROM
+          (SELECT d, e, g(v) AS per_e FROM body GROUP BY d, e)
+        GROUP BY d
+
+    is ``NestedAggregateQuery(body, [((d,), "f"), ((d, e), "g")], v)``.
+    Inner aggregate results are uninterpreted values: they are equal only
+    when the underlying groups are, which is exactly why they behave like
+    the paper's *indexes* and why equivalence reduces to strong
+    simulation of the grouping tree (``to_grouping``).
+
+    Restrictions (the paper's): each level refines the outer grouping,
+    and aggregated columns are only carried upward — never joined or
+    selected on (enforced by construction, since levels group by body
+    variables only).
+    """
+
+    __slots__ = ("body", "levels", "target", "name")
+
+    def __init__(self, body, levels, target, name="nagg"):
+        body = tuple(body)
+        levels = tuple((tuple(group_by), func) for group_by, func in levels)
+        if not levels:
+            raise ReproError("at least one aggregation level is required")
+        body_vars = {v for atom in body for v in atom.variables()}
+        previous = None
+        for group_by, __ in levels:
+            for var in group_by:
+                if var not in body_vars:
+                    raise ReproError(
+                        "unsafe nested aggregate: %r not in body" % (var,)
+                    )
+            if previous is not None and not set(previous) <= set(group_by):
+                raise UnsupportedQueryError(
+                    "inner levels must refine the outer grouping "
+                    "(outer %r vs inner %r)" % (previous, group_by)
+                )
+            previous = group_by
+        if is_var(target) and target not in body_vars:
+            raise ReproError("unsafe nested aggregate: %r not in body" % (target,))
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "levels", levels)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("NestedAggregateQuery is immutable")
+
+    def funcs(self):
+        """The aggregate function names, outermost first."""
+        return tuple(func for __, func in self.levels)
+
+    def to_grouping(self):
+        """The grouping-query tree: one node per aggregation level."""
+
+        def build(position):
+            group_by, __ = self.levels[position]
+            values = {("g%d" % i): g for i, g in enumerate(group_by)}
+            if position + 1 < len(self.levels):
+                children = (build(position + 1),)
+            else:
+                children = ()
+                values["t"] = self.target
+            label = "L%d" % position
+            return GroupingNode(label, (), values, tuple(group_by), children)
+
+        inner = build(0)
+        root = GroupingNode("", self.body, {}, (), (inner,))
+        return GroupingQuery(root, self.name)
+
+    def __repr__(self):
+        inner = "; ".join(
+            "%s by %r" % (func, group_by) for group_by, func in self.levels
+        )
+        return "NestedAggregateQuery(%s; target=%r)" % (inner, self.target)

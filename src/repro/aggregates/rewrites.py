@@ -1,0 +1,72 @@
+"""Verified rewrite rules for aggregate queries.
+
+Query optimizers apply group-by transformations ([17, 13, 29, 35, 28]);
+the paper contributes the missing *test*.  This module packages common
+transformations as functions that both **produce** the rewritten query
+and **verify** it with the decision procedure, refusing silently-unsound
+rewrites.
+"""
+
+from repro.errors import ReproError
+from repro.cq.terms import Var, Atom
+from repro.aggregates.query import AggregateQuery
+from repro.aggregates.equivalence import aggregate_equivalent
+
+__all__ = [
+    "RewriteError",
+    "eliminate_redundant_atoms",
+    "verify_rewrite",
+]
+
+
+class RewriteError(ReproError):
+    """A rewrite did not preserve equivalence."""
+
+
+def verify_rewrite(original, rewritten):
+    """Return *rewritten* if provably equivalent to *original*.
+
+    Raises :class:`RewriteError` otherwise — the optimizer's safety net.
+    """
+    if not aggregate_equivalent(original, rewritten):
+        raise RewriteError(
+            "rewrite does not preserve aggregate equivalence: %r vs %r"
+            % (original, rewritten)
+        )
+    return rewritten
+
+
+def eliminate_redundant_atoms(query):
+    """Drop body atoms that do not change the groups (verified).
+
+    Greedy: try removing each atom; keep the removal when the
+    equivalence test passes.  This is aggregate-aware minimization —
+    an atom that is redundant for the *core tuples* is redundant for the
+    groups too, but an atom that shrinks groups is kept even when a
+    plain-CQ minimizer over a projected head might drop it.
+    """
+    body = list(query.body)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(body)):
+            candidate_body = body[:index] + body[index + 1:]
+            if not candidate_body:
+                continue
+            try:
+                candidate = AggregateQuery(
+                    tuple(candidate_body),
+                    query.group_by,
+                    query.func,
+                    query.target,
+                    query.name,
+                )
+            except ReproError:
+                continue  # removal would unbind head variables
+            if aggregate_equivalent(query, candidate):
+                body = candidate_body
+                changed = True
+                break
+    return AggregateQuery(
+        tuple(body), query.group_by, query.func, query.target, query.name
+    )

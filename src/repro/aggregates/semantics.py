@@ -1,0 +1,69 @@
+"""Evaluation of aggregate queries.
+
+Two modes:
+
+* **concrete** — apply a real aggregate function (count / sum / min /
+  max) to each group's set of value tuples (set semantics, per the
+  paper's formalism);
+* **symbolic** — apply an *uninterpreted* function: the "aggregate
+  value" is the pair ``(func, the group as a frozen set)``, so two
+  symbolic values are equal iff the groups are.  Uninterpreted semantics
+  is what the equivalence theorem quantifies over ("equivalent for every
+  interpretation of f").
+"""
+
+from repro.errors import EvaluationError
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.evaluate import evaluate_bindings
+from repro.cq.terms import is_var
+
+__all__ = ["AGGREGATE_FUNCTIONS", "evaluate_aggregate", "evaluate_symbolic"]
+
+
+AGGREGATE_FUNCTIONS = {
+    "count": lambda values: len(values),
+    "sum": lambda values: sum(values),
+    "min": lambda values: min(values) if values else None,
+    "max": lambda values: max(values) if values else None,
+}
+
+
+def _groups(query, database):
+    """``{group-by tuple: frozenset of target values}``."""
+    carrier = ConjunctiveQuery((), query.body, query.name)
+    groups = {}
+    for binding in evaluate_bindings(carrier, database):
+        key = tuple(binding[g] for g in query.group_by)
+        value = binding[query.target] if is_var(query.target) else query.target.value
+        groups.setdefault(key, set()).add(value)
+    return {key: frozenset(values) for key, values in groups.items()}
+
+
+def evaluate_aggregate(query, database, func=None):
+    """Evaluate with a concrete aggregate function.
+
+    :returns: frozenset of ``group_by + (aggregate value,)`` tuples.
+    """
+    func_name = func or query.func
+    if func_name not in AGGREGATE_FUNCTIONS:
+        raise EvaluationError(
+            "unknown concrete aggregate %r (use evaluate_symbolic for "
+            "uninterpreted functions)" % func_name
+        )
+    implementation = AGGREGATE_FUNCTIONS[func_name]
+    return frozenset(
+        key + (implementation(sorted(values, key=repr)),)
+        for key, values in _groups(query, database).items()
+    )
+
+
+def evaluate_symbolic(query, database):
+    """Evaluate with the uninterpreted aggregate.
+
+    The aggregate value of a group is the pair ``(func, group)`` — the
+    freest possible interpretation.
+    """
+    return frozenset(
+        key + ((query.func, values),)
+        for key, values in _groups(query, database).items()
+    )

@@ -1,0 +1,62 @@
+"""Nested relational algebra (Thomas & Fischer [40] style).
+
+The paper proves COQL equivalent to the algebra fragment
+``{π, σ=, ×, outernest, unnest}`` (with ``nest`` replaced by
+``outernest``, Example A.1) and uses the correspondence to settle the
+Gyssens–Paredaens–Van Gucht question [24]: equivalence of ``nest;unnest``
+sequences whose nesting is governed by atomic attributes is NP-complete.
+
+* :mod:`repro.algebra.expr` — algebra expression trees with schema
+  inference;
+* :mod:`repro.algebra.ops` — the value-level operators;
+* :mod:`repro.algebra.to_coql` — the translation into COQL;
+* :mod:`repro.algebra.nest_unnest` — ``nest``/``unnest`` pipelines and
+  the equivalence decider answering [24].
+"""
+
+from repro.algebra.expr import (
+    BaseRel,
+    Project,
+    SelectEq,
+    Product,
+    RenameAttr,
+    Nest,
+    Unnest,
+    OuterNest,
+    evaluate_algebra,
+    infer_algebra_type,
+)
+from repro.algebra.ops import (
+    op_project,
+    op_select_eq,
+    op_product,
+    op_rename,
+    op_nest,
+    op_unnest,
+    op_outer_nest,
+)
+from repro.algebra.to_coql import algebra_to_coql
+from repro.algebra.nest_unnest import Pipeline, pipelines_equivalent
+
+__all__ = [
+    "BaseRel",
+    "Project",
+    "SelectEq",
+    "Product",
+    "RenameAttr",
+    "Nest",
+    "Unnest",
+    "OuterNest",
+    "evaluate_algebra",
+    "infer_algebra_type",
+    "op_project",
+    "op_select_eq",
+    "op_product",
+    "op_rename",
+    "op_nest",
+    "op_unnest",
+    "op_outer_nest",
+    "algebra_to_coql",
+    "Pipeline",
+    "pipelines_equivalent",
+]

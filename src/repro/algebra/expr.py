@@ -1,0 +1,262 @@
+"""Algebra expression trees, schema inference, and evaluation.
+
+Expressions are immutable; :func:`evaluate_algebra` interprets them over
+a :class:`repro.objects.database.Database`, and
+:func:`infer_algebra_type` computes the output row type from a schema
+(``{relation: RecordType}``), validating attribute bookkeeping.
+"""
+
+from repro.errors import SchemaError
+from repro.objects.types import RecordType, SetType, AtomType
+from repro.algebra import ops as _ops
+
+__all__ = [
+    "AlgebraExpr",
+    "BaseRel",
+    "Project",
+    "SelectEq",
+    "Product",
+    "RenameAttr",
+    "Nest",
+    "Unnest",
+    "OuterNest",
+    "evaluate_algebra",
+    "infer_algebra_type",
+]
+
+
+class AlgebraExpr:
+    __slots__ = ()
+
+    def __setattr__(self, name, value):
+        raise AttributeError("%s is immutable" % type(self).__name__)
+
+
+class BaseRel(AlgebraExpr):
+    """An input relation."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        object.__setattr__(self, "name", name)
+
+    def __repr__(self):
+        return self.name
+
+
+class Project(AlgebraExpr):
+    """π_attrs(e)."""
+
+    __slots__ = ("expr", "attrs")
+
+    def __init__(self, expr, attrs):
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "attrs", tuple(attrs))
+
+    def __repr__(self):
+        return "π[%s](%r)" % (",".join(self.attrs), self.expr)
+
+
+class SelectEq(AlgebraExpr):
+    """σ_{left = right}(e); sides are attribute names or ("const", v)."""
+
+    __slots__ = ("expr", "left", "right")
+
+    def __init__(self, expr, left, right):
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __repr__(self):
+        return "σ[%r=%r](%r)" % (self.left, self.right, self.expr)
+
+
+class Product(AlgebraExpr):
+    """e1 × e2 (disjoint attribute names)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __repr__(self):
+        return "(%r × %r)" % (self.left, self.right)
+
+
+class RenameAttr(AlgebraExpr):
+    """ρ_{old→new}(e)."""
+
+    __slots__ = ("expr", "mapping")
+
+    def __init__(self, expr, mapping):
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "mapping", tuple(sorted(dict(mapping).items())))
+
+    def __repr__(self):
+        inner = ",".join("%s→%s" % (o, n) for o, n in self.mapping)
+        return "ρ[%s](%r)" % (inner, self.expr)
+
+
+class Nest(AlgebraExpr):
+    """ν_{attrs→label}(e): group by the complement of *attrs*."""
+
+    __slots__ = ("expr", "attrs", "label")
+
+    def __init__(self, expr, attrs, label):
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "attrs", tuple(attrs))
+        object.__setattr__(self, "label", label)
+
+    def __repr__(self):
+        return "ν[%s→%s](%r)" % (",".join(self.attrs), self.label, self.expr)
+
+
+class Unnest(AlgebraExpr):
+    """μ_label(e)."""
+
+    __slots__ = ("expr", "label")
+
+    def __init__(self, expr, label):
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "label", label)
+
+    def __repr__(self):
+        return "μ[%s](%r)" % (self.label, self.expr)
+
+
+class OuterNest(AlgebraExpr):
+    """outernest(left, right; on → label) — see Example A.1."""
+
+    __slots__ = ("left", "right", "on", "label")
+
+    def __init__(self, left, right, on, label):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "on", tuple(tuple(pair) for pair in on))
+        object.__setattr__(self, "label", label)
+
+    def __repr__(self):
+        inner = ",".join("%s=%s" % (a, b) for a, b in self.on)
+        return "outernest[%s→%s](%r, %r)" % (inner, self.label, self.left, self.right)
+
+
+def evaluate_algebra(expr, database):
+    """Evaluate an algebra expression to a nested relation (CSet)."""
+    if isinstance(expr, BaseRel):
+        from repro.objects.values import CSet
+
+        return CSet(database[expr.name].rows)
+    if isinstance(expr, Project):
+        return _ops.op_project(evaluate_algebra(expr.expr, database), expr.attrs)
+    if isinstance(expr, SelectEq):
+        return _ops.op_select_eq(
+            evaluate_algebra(expr.expr, database), expr.left, expr.right
+        )
+    if isinstance(expr, Product):
+        return _ops.op_product(
+            evaluate_algebra(expr.left, database),
+            evaluate_algebra(expr.right, database),
+        )
+    if isinstance(expr, RenameAttr):
+        return _ops.op_rename(
+            evaluate_algebra(expr.expr, database), dict(expr.mapping)
+        )
+    if isinstance(expr, Nest):
+        return _ops.op_nest(
+            evaluate_algebra(expr.expr, database), expr.attrs, expr.label
+        )
+    if isinstance(expr, Unnest):
+        return _ops.op_unnest(evaluate_algebra(expr.expr, database), expr.label)
+    if isinstance(expr, OuterNest):
+        return _ops.op_outer_nest(
+            evaluate_algebra(expr.left, database),
+            evaluate_algebra(expr.right, database),
+            expr.on,
+            expr.label,
+        )
+    raise SchemaError("unknown algebra expression %r" % (expr,))
+
+
+def infer_algebra_type(expr, schema):
+    """Infer the output row type (a RecordType) under ``{rel: RecordType}``."""
+    if isinstance(expr, BaseRel):
+        if expr.name not in schema:
+            raise SchemaError("unknown relation %s" % expr.name)
+        return schema[expr.name]
+    if isinstance(expr, Project):
+        base = infer_algebra_type(expr.expr, schema)
+        missing = [a for a in expr.attrs if a not in base]
+        if missing:
+            raise SchemaError("project: unknown attributes %r" % missing)
+        return RecordType({a: base[a] for a in expr.attrs})
+    if isinstance(expr, SelectEq):
+        base = infer_algebra_type(expr.expr, schema)
+        for side in (expr.left, expr.right):
+            if isinstance(side, tuple):
+                continue
+            if side not in base:
+                raise SchemaError("select: unknown attribute %s" % side)
+            if not isinstance(base[side], AtomType):
+                raise SchemaError(
+                    "select compares atomic attributes only (%s)" % side
+                )
+        return base
+    if isinstance(expr, Product):
+        left = infer_algebra_type(expr.left, schema)
+        right = infer_algebra_type(expr.right, schema)
+        overlap = set(left.keys()) & set(right.keys())
+        if overlap:
+            raise SchemaError("product: shared attributes %r" % sorted(overlap))
+        fields = dict(left.items())
+        fields.update(right.items())
+        return RecordType(fields)
+    if isinstance(expr, RenameAttr):
+        base = infer_algebra_type(expr.expr, schema)
+        mapping = dict(expr.mapping)
+        fields = {}
+        for name, t in base.items():
+            fields[mapping.get(name, name)] = t
+        if len(fields) != len(base.keys()):
+            raise SchemaError("rename collapses attributes")
+        return RecordType(fields)
+    if isinstance(expr, Nest):
+        base = infer_algebra_type(expr.expr, schema)
+        missing = [a for a in expr.attrs if a not in base]
+        if missing:
+            raise SchemaError("nest: unknown attributes %r" % missing)
+        if expr.label in base:
+            raise SchemaError("nest: label %s already present" % expr.label)
+        nested = RecordType({a: base[a] for a in expr.attrs})
+        fields = {a: t for a, t in base.items() if a not in expr.attrs}
+        fields[expr.label] = SetType(nested)
+        return RecordType(fields)
+    if isinstance(expr, Unnest):
+        base = infer_algebra_type(expr.expr, schema)
+        if expr.label not in base:
+            raise SchemaError("unnest: unknown attribute %s" % expr.label)
+        inner = base[expr.label]
+        if not isinstance(inner, SetType) or not isinstance(
+            inner.element, RecordType
+        ):
+            raise SchemaError(
+                "unnest: %s is not a set of records" % expr.label
+            )
+        fields = {a: t for a, t in base.items() if a != expr.label}
+        overlap = set(fields) & set(inner.element.keys())
+        if overlap:
+            raise SchemaError("unnest: attribute collision %r" % sorted(overlap))
+        fields.update(inner.element.items())
+        return RecordType(fields)
+    if isinstance(expr, OuterNest):
+        left = infer_algebra_type(expr.left, schema)
+        right = infer_algebra_type(expr.right, schema)
+        for la, ra in expr.on:
+            if la not in left or ra not in right:
+                raise SchemaError("outernest: unknown join attributes")
+        if expr.label in left:
+            raise SchemaError("outernest: label %s already present" % expr.label)
+        fields = dict(left.items())
+        fields[expr.label] = SetType(right)
+        return RecordType(fields)
+    raise SchemaError("unknown algebra expression %r" % (expr,))

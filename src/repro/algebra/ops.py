@@ -1,0 +1,143 @@
+"""Value-level nested-relational-algebra operators.
+
+Each operator consumes and produces a :class:`CSet` of :class:`Record`
+(a nested relation).  These are the reference semantics the algebra
+evaluator and the COQL translation are tested against.
+"""
+
+from repro.errors import SchemaError
+from repro.objects.values import Record, CSet
+
+__all__ = [
+    "op_project",
+    "op_select_eq",
+    "op_product",
+    "op_rename",
+    "op_nest",
+    "op_unnest",
+    "op_outer_nest",
+]
+
+
+def op_project(rows, attrs):
+    """π — restrict every row to *attrs*."""
+    attrs = tuple(attrs)
+    return CSet([row.project(attrs) for row in rows])
+
+
+def op_select_eq(rows, left, right):
+    """σ — keep rows where *left* equals *right*.
+
+    Each side is an attribute name or ``("const", value)``.
+    """
+
+    def side(row, spec):
+        if isinstance(spec, tuple) and spec and spec[0] == "const":
+            return spec[1]
+        return row[spec]
+
+    return CSet([row for row in rows if side(row, left) == side(row, right)])
+
+
+def op_product(left_rows, right_rows):
+    """× — concatenate records; attribute names must be disjoint."""
+    out = []
+    for left in left_rows:
+        for right in right_rows:
+            overlap = set(left.keys()) & set(right.keys())
+            if overlap:
+                raise SchemaError(
+                    "product of relations with shared attributes %r"
+                    % sorted(overlap)
+                )
+            merged = dict(left.items())
+            merged.update(right.items())
+            out.append(Record(merged))
+    return CSet(out)
+
+
+def op_rename(rows, mapping):
+    """ρ — rename attributes via ``{old: new}``."""
+    out = []
+    for row in rows:
+        fields = {}
+        for name, value in row.items():
+            fields[mapping.get(name, name)] = value
+        if len(fields) != len(row):
+            raise SchemaError("rename %r collapses attributes" % (mapping,))
+        out.append(Record(fields))
+    return CSet(out)
+
+
+def op_nest(rows, attrs, label):
+    """ν — Thomas–Fischer nest: group by the attributes *not* in *attrs*
+    and collect the *attrs*-projections into a set-valued column *label*.
+
+    ``nest`` never produces empty sets: every group contains at least the
+    row it was built from.
+    """
+    attrs = tuple(attrs)
+    groups = {}
+    for row in rows:
+        if label in row:
+            raise SchemaError("nest label %s already present" % label)
+        key_attrs = tuple(a for a in row.keys() if a not in attrs)
+        key = row.project(key_attrs)
+        groups.setdefault(key, []).append(row.project(attrs))
+    out = []
+    for key, members in groups.items():
+        fields = dict(key.items())
+        fields[label] = CSet(members)
+        out.append(Record(fields))
+    return CSet(out)
+
+
+def op_unnest(rows, label):
+    """μ — unnest the set-valued column *label*.
+
+    Rows whose *label* component is the empty set disappear (the
+    classical source of non-invertibility of nest/unnest).
+    """
+    out = []
+    for row in rows:
+        inner = row[label]
+        if not isinstance(inner, CSet):
+            raise SchemaError("unnest: %s is not set-valued" % label)
+        rest = {k: v for k, v in row.items() if k != label}
+        for member in inner:
+            if not isinstance(member, Record):
+                raise SchemaError(
+                    "unnest: elements of %s must be records" % label
+                )
+            overlap = set(rest) & set(member.keys())
+            if overlap:
+                raise SchemaError(
+                    "unnest: attribute collision %r" % sorted(overlap)
+                )
+            fields = dict(rest)
+            fields.update(member.items())
+            out.append(Record(fields))
+    return CSet(out)
+
+
+def op_outer_nest(left_rows, right_rows, on, label):
+    """Outernest (reconstruction of the paper's Example A.1).
+
+    For every row *l* of the left relation, attach under *label* the set
+    of right rows matching the join conditions ``on = [(left attr,
+    right attr), …]`` — the set may be empty, which is exactly what
+    distinguishes outernest from nest and lets the algebra express COQL's
+    nested subqueries.
+    """
+    out = []
+    for left in left_rows:
+        members = []
+        for right in right_rows:
+            if all(left[la] == right[ra] for la, ra in on):
+                members.append(right)
+        if label in left:
+            raise SchemaError("outernest label %s already present" % label)
+        fields = dict(left.items())
+        fields[label] = CSet(members)
+        out.append(Record(fields))
+    return CSet(out)

@@ -1,0 +1,165 @@
+"""Translation from the nested relational algebra to COQL.
+
+Witnesses the paper's claim that COQL is equivalent to the
+``{π, σ=, ×, outernest, unnest}`` fragment (and hosts the ``nest``
+translation used for the nest/unnest-sequence decision procedure; note
+``nest`` itself requires the grouping attributes to be *atomic* — the
+paper's footnote-3 restriction — because COQL conditions compare atoms
+only).
+"""
+
+import itertools
+
+from repro.errors import SchemaError, UnsupportedQueryError
+from repro.objects.types import AtomType, SetType, RecordType
+from repro.coql.ast import (
+    Const as CoqlConst,
+    VarRef,
+    RelRef,
+    Proj,
+    RecordExpr,
+    Select,
+)
+from repro.algebra.expr import (
+    BaseRel,
+    Project,
+    SelectEq,
+    Product,
+    RenameAttr,
+    Nest,
+    Unnest,
+    OuterNest,
+    infer_algebra_type,
+)
+
+__all__ = ["algebra_to_coql"]
+
+
+def algebra_to_coql(expr, schema):
+    """Translate an algebra expression to an equivalent COQL expression.
+
+    :param schema: ``{relation: RecordType}``.
+    """
+    counter = itertools.count()
+
+    def fresh():
+        return "v%d" % next(counter)
+
+    def row_record(var, row_type):
+        return RecordExpr({a: Proj(VarRef(var), a) for a in row_type.keys()})
+
+    def side_expr(var, spec):
+        if isinstance(spec, tuple) and spec and spec[0] == "const":
+            return CoqlConst(spec[1])
+        return Proj(VarRef(var), spec)
+
+    def walk(node):
+        if isinstance(node, BaseRel):
+            return RelRef(node.name)
+        if isinstance(node, Project):
+            inner = walk(node.expr)
+            var = fresh()
+            return Select(
+                RecordExpr({a: Proj(VarRef(var), a) for a in node.attrs}),
+                ((var, inner),),
+            )
+        if isinstance(node, SelectEq):
+            inner = walk(node.expr)
+            row_type = infer_algebra_type(node.expr, schema)
+            var = fresh()
+            return Select(
+                row_record(var, row_type),
+                ((var, inner),),
+                ((side_expr(var, node.left), side_expr(var, node.right)),),
+            )
+        if isinstance(node, Product):
+            left, right = walk(node.left), walk(node.right)
+            lt = infer_algebra_type(node.left, schema)
+            rt = infer_algebra_type(node.right, schema)
+            lv, rv = fresh(), fresh()
+            fields = {a: Proj(VarRef(lv), a) for a in lt.keys()}
+            fields.update({a: Proj(VarRef(rv), a) for a in rt.keys()})
+            return Select(RecordExpr(fields), ((lv, left), (rv, right)))
+        if isinstance(node, RenameAttr):
+            inner = walk(node.expr)
+            row_type = infer_algebra_type(node.expr, schema)
+            mapping = dict(node.mapping)
+            var = fresh()
+            fields = {
+                mapping.get(a, a): Proj(VarRef(var), a) for a in row_type.keys()
+            }
+            return Select(RecordExpr(fields), ((var, inner),))
+        if isinstance(node, Nest):
+            inner = walk(node.expr)
+            row_type = infer_algebra_type(node.expr, schema)
+            group_attrs = tuple(
+                a for a in row_type.keys() if a not in node.attrs
+            )
+            for attr in group_attrs:
+                if not isinstance(row_type[attr], AtomType):
+                    raise UnsupportedQueryError(
+                        "nest governed by non-atomic attribute %s: outside "
+                        "the decidable fragment (paper, footnote 3)" % attr
+                    )
+            outer_var, inner_var = fresh(), fresh()
+            group = Select(
+                RecordExpr(
+                    {a: Proj(VarRef(inner_var), a) for a in node.attrs}
+                ),
+                ((inner_var, walk(node.expr)),),
+                tuple(
+                    (Proj(VarRef(inner_var), g), Proj(VarRef(outer_var), g))
+                    for g in group_attrs
+                ),
+            )
+            fields = {g: Proj(VarRef(outer_var), g) for g in group_attrs}
+            fields[node.label] = group
+            return Select(RecordExpr(fields), ((outer_var, inner),))
+        if isinstance(node, Unnest):
+            inner = walk(node.expr)
+            row_type = infer_algebra_type(node.expr, schema)
+            element = row_type[node.label]
+            if not isinstance(element, SetType) or not isinstance(
+                element.element, RecordType
+            ):
+                raise SchemaError(
+                    "unnest: %s is not a set of records" % node.label
+                )
+            outer_var, member_var = fresh(), fresh()
+            fields = {
+                a: Proj(VarRef(outer_var), a)
+                for a in row_type.keys()
+                if a != node.label
+            }
+            fields.update(
+                {
+                    a: Proj(VarRef(member_var), a)
+                    for a in element.element.keys()
+                }
+            )
+            return Select(
+                RecordExpr(fields),
+                (
+                    (outer_var, inner),
+                    (member_var, Proj(VarRef(outer_var), node.label)),
+                ),
+            )
+        if isinstance(node, OuterNest):
+            left = walk(node.left)
+            lt = infer_algebra_type(node.left, schema)
+            rt = infer_algebra_type(node.right, schema)
+            outer_var, inner_var = fresh(), fresh()
+            group = Select(
+                RecordExpr({a: Proj(VarRef(inner_var), a) for a in rt.keys()}),
+                ((inner_var, walk(node.right)),),
+                tuple(
+                    (Proj(VarRef(inner_var), rb), Proj(VarRef(outer_var), la))
+                    for la, rb in node.on
+                ),
+            )
+            fields = {a: Proj(VarRef(outer_var), a) for a in lt.keys()}
+            fields[node.label] = group
+            return Select(RecordExpr(fields), ((outer_var, left),))
+        raise SchemaError("unknown algebra expression %r" % (node,))
+
+    return walk(expr)

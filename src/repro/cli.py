@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro contain  --schema 'r:a,b;s:k,b' SUP SUB
+    python -m repro equiv    --schema 'r:a,b' Q1 Q2 [--weak]
+    python -m repro eval     --schema 'r:a,b' --data db.json QUERY
+    python -m repro minimize --schema 'r:a,b' QUERY
+    python -m repro cq-contain 'q(X) :- r(X,Y)' 'q(X) :- r(X,Y), s(Y)'
+
+Schemas are written ``name:attr,attr;name:attr`` (attributes atomic).
+Databases for ``eval`` are JSON files ``{"relation": [{"attr": value}]}``.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _parse_schema(text):
+    schema = {}
+    for entry in text.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, __, attrs = entry.partition(":")
+        schema[name.strip()] = tuple(
+            a.strip() for a in attrs.split(",") if a.strip()
+        )
+    if not schema:
+        raise ReproError("empty schema (expected 'name:attr,attr;...')")
+    return schema
+
+
+def _cmd_contain(args):
+    from repro.coql import contains
+
+    schema = _parse_schema(args.schema)
+    verdict = contains(args.sup, args.sub, schema)
+    print("contained" if verdict else "NOT contained")
+    return 0 if verdict else 1
+
+
+def _cmd_equiv(args):
+    from repro.coql import weakly_equivalent, equivalent
+
+    schema = _parse_schema(args.schema)
+    if args.weak:
+        verdict = weakly_equivalent(args.q1, args.q2, schema)
+        print("weakly equivalent" if verdict else "NOT weakly equivalent")
+    else:
+        verdict = equivalent(args.q1, args.q2, schema)
+        print("equivalent" if verdict else "NOT equivalent")
+    return 0 if verdict else 1
+
+
+def _cmd_eval(args):
+    from repro.objects import Database
+    from repro.coql import parse_coql, evaluate_coql
+
+    with open(args.data) as handle:
+        tables = json.load(handle)
+    db = Database.from_dict(tables)
+    answer = evaluate_coql(parse_coql(args.query), db)
+    for element in answer:
+        print(element)
+    return 0
+
+
+def _cmd_minimize(args):
+    from repro.coql import minimize_coql
+
+    schema = _parse_schema(args.schema)
+    print(repr(minimize_coql(args.query, schema)))
+    return 0
+
+
+def _cmd_cq_contain(args):
+    from repro.cq import parse_query, contains
+
+    sup = parse_query(args.sup)
+    sub = parse_query(args.sub)
+    verdict = contains(sup, sub)
+    print("contained" if verdict else "NOT contained")
+    return 0 if verdict else 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Containment and equivalence for complex-object queries "
+        "(Levy & Suciu, PODS 1997).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("contain", help="decide SUB ⊑ SUP for COQL queries")
+    p.add_argument("--schema", required=True)
+    p.add_argument("sup", help="the containing query")
+    p.add_argument("sub", help="the contained query")
+    p.set_defaults(func=_cmd_contain)
+
+    p = sub.add_parser("equiv", help="decide equivalence of COQL queries")
+    p.add_argument("--schema", required=True)
+    p.add_argument("--weak", action="store_true",
+                   help="decide weak equivalence (always decidable)")
+    p.add_argument("q1")
+    p.add_argument("q2")
+    p.set_defaults(func=_cmd_equiv)
+
+    p = sub.add_parser("eval", help="evaluate a COQL query over a JSON db")
+    p.add_argument("--schema", required=False, default="")
+    p.add_argument("--data", required=True)
+    p.add_argument("query")
+    p.set_defaults(func=_cmd_eval)
+
+    p = sub.add_parser("minimize", help="remove redundant COQL subgoals")
+    p.add_argument("--schema", required=True)
+    p.add_argument("query")
+    p.set_defaults(func=_cmd_minimize)
+
+    p = sub.add_parser("cq-contain",
+                       help="classical conjunctive-query containment")
+    p.add_argument("sup")
+    p.add_argument("sub")
+    p.set_defaults(func=_cmd_cq_contain)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""NP-completeness substrate (hardness side of the paper's theorems).
+
+The paper proves simulation, strong simulation, and aggregate
+equivalence NP-complete.  Membership is witnessed by the certificate
+procedures in ``repro.grouping``; hardness by reduction from classical
+NP-complete problems, which this package makes executable:
+
+* :mod:`repro.complexity.sat` — a small DPLL solver (the independent
+  oracle the reductions are validated against);
+* :mod:`repro.complexity.reductions` — 3-colorability and 3SAT encoded
+  as conjunctive-query containment / simulation instances.
+"""
+
+from repro.complexity.sat import solve_sat, random_3sat
+from repro.complexity.reductions import (
+    coloring_to_containment,
+    sat_to_containment,
+    coloring_to_simulation,
+    random_graph,
+    greedy_is_colorable,
+)
+
+__all__ = [
+    "solve_sat",
+    "random_3sat",
+    "coloring_to_containment",
+    "sat_to_containment",
+    "coloring_to_simulation",
+    "random_graph",
+    "greedy_is_colorable",
+]

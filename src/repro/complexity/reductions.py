@@ -1,0 +1,148 @@
+"""NP-hardness reductions, executable.
+
+* :func:`coloring_to_containment` — G is 3-colorable iff ``Q_K3 ⊑ Q_G``
+  (the classical Chandra–Merlin hardness argument: a containment mapping
+  from the G-query into the frozen triangle is exactly a 3-coloring).
+* :func:`sat_to_containment` — a CNF is satisfiable iff ``Q_facts ⊑
+  Q_clauses`` where ``Q_facts`` enumerates the satisfying triples of
+  each clause shape as constants.
+* :func:`coloring_to_simulation` — the same instance lifted to depth-2
+  grouping queries, demonstrating that simulation inherits the hardness
+  (it generalizes containment) while exercising the witness machinery.
+
+Since simulation restricted to depth 1 *is* containment, these give the
+hardness side of the paper's NP-completeness theorems in executable
+form; the benchmarks chart the exponential wall on them.
+"""
+
+import random
+
+from repro.cq.terms import Var, Const, Atom
+from repro.cq.query import ConjunctiveQuery
+from repro.grouping.query import GroupingNode, GroupingQuery
+
+__all__ = [
+    "coloring_to_containment",
+    "sat_to_containment",
+    "coloring_to_simulation",
+    "random_graph",
+    "greedy_is_colorable",
+]
+
+
+def random_graph(nodes, edges, seed=0):
+    """A random simple graph as a sorted tuple of (u, v) pairs."""
+    rng = random.Random(seed)
+    chosen = set()
+    attempts = 0
+    while len(chosen) < edges and attempts < edges * 20:
+        attempts += 1
+        u, v = rng.sample(range(nodes), 2)
+        chosen.add((min(u, v), max(u, v)))
+    return tuple(sorted(chosen))
+
+
+def coloring_to_containment(edges):
+    """Encode 3-colorability of *edges* as a containment instance.
+
+    Returns ``(sub, sup)`` such that the graph is 3-colorable iff
+    ``sub ⊑ sup`` (i.e. ``repro.cq.contains(sup, sub)``): *sub* is the
+    symmetric triangle (boolean query over constants), *sup* the query
+    with one edge atom per graph edge.
+    """
+    triangle = []
+    for i in range(3):
+        j = (i + 1) % 3
+        triangle.append(Atom("edge", (Const("c%d" % i), Const("c%d" % j))))
+        triangle.append(Atom("edge", (Const("c%d" % j), Const("c%d" % i))))
+    sub = ConjunctiveQuery((), triangle, "k3")
+    body = [
+        Atom("edge", (Var("N%d" % u), Var("N%d" % v))) for u, v in edges
+    ]
+    sup = ConjunctiveQuery((), body, "graph")
+    return sub, sup
+
+
+def sat_to_containment(clauses):
+    """Encode CNF satisfiability as a containment instance.
+
+    Returns ``(sub, sup)`` with: the formula is satisfiable iff
+    ``sub ⊑ sup``.  For each clause-sign shape *t*, *sub* enumerates the
+    satisfying boolean triples of *t* as constant atoms ``rt(...)``;
+    *sup* has one ``rt(Xi, Xj, Xk)`` atom per clause.  A containment
+    mapping is exactly a satisfying assignment.
+    """
+    sub_atoms = set()
+    sup_atoms = []
+    for clause in clauses:
+        signs = tuple(literal > 0 for literal in clause)
+        pred = "r" + "".join("p" if s else "n" for s in signs)
+        variables = tuple(Var("X%d" % abs(literal)) for literal in clause)
+        sup_atoms.append(Atom(pred, variables))
+        arity = len(clause)
+        for bits in range(2 ** arity):
+            values = tuple(bool(bits >> i & 1) for i in range(arity))
+            if any(v == s for v, s in zip(values, signs)):
+                sub_atoms.add(
+                    Atom(pred, tuple(Const(int(v)) for v in values))
+                )
+    sub = ConjunctiveQuery((), tuple(sorted(sub_atoms, key=repr)), "facts")
+    sup = ConjunctiveQuery((), tuple(sup_atoms), "clauses")
+    return sub, sup
+
+
+def coloring_to_simulation(edges):
+    """Lift the 3-colorability instance to depth-2 grouping queries.
+
+    Both queries expose a one-group nesting over a marker relation; the
+    superquery's inner body carries the graph, so the simulation
+    certificate must solve the coloring inside the inner level.  The
+    graph is 3-colorable iff ``sub ⊴ sup``.
+    """
+    sub_tri, sup_graph = coloring_to_containment(edges)
+    anchor = Var("A")
+    sub_child = GroupingNode("c", sub_tri.body, {"m": anchor}, (anchor,), ())
+    sub_root = GroupingNode("", (Atom("mark", (anchor,)),), {}, (), (sub_child,))
+    sup_anchor = Var("B")
+    sup_child = GroupingNode(
+        "c", sup_graph.body, {"m": sup_anchor}, (sup_anchor,), ()
+    )
+    sup_root = GroupingNode(
+        "", (Atom("mark", (sup_anchor,)),), {}, (), (sup_child,)
+    )
+    return (
+        GroupingQuery(sub_root, "k3_sim"),
+        GroupingQuery(sup_root, "graph_sim"),
+    )
+
+
+def greedy_is_colorable(edges, colors=3, attempts=500, seed=0):
+    """A randomized exact 3-coloring check for small graphs.
+
+    Exhaustive backtracking (the *attempts*/seed parameters only shuffle
+    the vertex order to keep typical cases fast); used as the
+    independent oracle validating the reductions.
+    """
+    nodes = sorted({u for e in edges for u in e})
+    adjacency = {n: set() for n in nodes}
+    for u, v in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    rng = random.Random(seed)
+    order = list(nodes)
+    rng.shuffle(order)
+    coloring = {}
+
+    def assign(position):
+        if position == len(order):
+            return True
+        node = order[position]
+        for color in range(colors):
+            if all(coloring.get(m) != color for m in adjacency[node]):
+                coloring[node] = color
+                if assign(position + 1):
+                    return True
+                del coloring[node]
+        return False
+
+    return assign(0)

@@ -1,0 +1,96 @@
+"""A small DPLL SAT solver.
+
+CNF formulas are lists of clauses; a clause is a tuple of non-zero
+integers (DIMACS convention: ``-3`` is the negation of variable 3).
+Used as the independent oracle when validating the NP-hardness
+reductions in :mod:`repro.complexity.reductions`.
+"""
+
+import random
+
+__all__ = ["solve_sat", "random_3sat"]
+
+
+def solve_sat(clauses):
+    """Solve a CNF formula; return a satisfying ``{var: bool}`` or None.
+
+    DPLL with unit propagation and pure-literal elimination.
+    """
+    clauses = [tuple(clause) for clause in clauses]
+    assignment = {}
+    result = _dpll(clauses, assignment)
+    return result
+
+
+def _dpll(clauses, assignment):
+    clauses = _simplify(clauses, assignment)
+    if clauses is None:
+        return None
+    if not clauses:
+        return dict(assignment)
+
+    # Unit propagation.
+    for clause in clauses:
+        if len(clause) == 1:
+            literal = clause[0]
+            assignment[abs(literal)] = literal > 0
+            result = _dpll(clauses, assignment)
+            if result is None:
+                del assignment[abs(literal)]
+            return result
+
+    # Pure-literal elimination.
+    polarity = {}
+    for clause in clauses:
+        for literal in clause:
+            polarity.setdefault(abs(literal), set()).add(literal > 0)
+    for var, signs in polarity.items():
+        if len(signs) == 1:
+            assignment[var] = signs == {True}
+            result = _dpll(clauses, assignment)
+            if result is None:
+                del assignment[var]
+            return result
+
+    # Branch on the first variable of the first clause.
+    variable = abs(clauses[0][0])
+    for choice in (True, False):
+        assignment[variable] = choice
+        result = _dpll(clauses, assignment)
+        if result is not None:
+            return result
+        del assignment[variable]
+    return None
+
+
+def _simplify(clauses, assignment):
+    out = []
+    for clause in clauses:
+        satisfied = False
+        remaining = []
+        for literal in clause:
+            var = abs(literal)
+            if var in assignment:
+                if assignment[var] == (literal > 0):
+                    satisfied = True
+                    break
+            else:
+                remaining.append(literal)
+        if satisfied:
+            continue
+        if not remaining:
+            return None  # empty clause: conflict
+        out.append(tuple(remaining))
+    return out
+
+
+def random_3sat(variables, clauses, seed=0):
+    """A random 3-CNF formula with the given counts."""
+    rng = random.Random(seed)
+    formula = []
+    for __ in range(clauses):
+        chosen = rng.sample(range(1, variables + 1), min(3, variables))
+        formula.append(
+            tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        )
+    return formula

@@ -1,0 +1,88 @@
+"""COQL — conjunctive idealized OQL (paper, Section 3).
+
+COQL is the paper's conjunctive query language for complex objects: the
+fragment of OQL with ``select … from … where``, ``flatten``, the
+singleton ``{E}`` and the empty set ``{}``, where the ``where`` clause is
+a conjunction of equalities between *atomic* expressions.  It is
+equivalent to the NRC core calculus of [7] with constants and atomic
+equality, is a conservative extension of conjunctive queries [43], and
+corresponds to the product/flatten/select/map/singleton fragment of the
+Abiteboul–Beeri algebra and to the Thomas–Fischer fragment
+``{π, σ, ×, outernest, unnest}``.
+
+The package provides:
+
+* :mod:`repro.coql.ast` / :mod:`repro.coql.parser` — expressions and a
+  concrete OQL-flavoured syntax;
+* :mod:`repro.coql.typecheck` — schema-directed type inference;
+* :mod:`repro.coql.eval` — the direct interpreter over nested databases;
+* :mod:`repro.coql.normalize` — reduction to comprehension normal form
+  (the rewriting of [43] specialised to COQL);
+* :mod:`repro.coql.encode` — the Section-5 encoding of a normalized
+  query as a tree of conjunctive queries with index variables;
+* :mod:`repro.coql.containment` — the paper's decision procedures:
+  :func:`contains` (Theorem 4.1), :func:`weakly_equivalent`, and
+  :func:`equivalent` (exact for queries that provably produce no empty
+  sets — the case where the paper shows equivalence and weak
+  equivalence coincide).
+"""
+
+from repro.coql.ast import (
+    Expr,
+    Const,
+    VarRef,
+    RelRef,
+    Proj,
+    RecordExpr,
+    Singleton,
+    EmptySet,
+    Flatten,
+    Select,
+)
+from repro.coql.parser import parse_coql
+from repro.coql.typecheck import typecheck
+from repro.coql.eval import evaluate_coql
+from repro.coql.normalize import normalize, NFSet, NFEmpty, NFRecord, NFPath, NFConst
+from repro.coql.encode import encode_query, paired_encoding
+from repro.coql.containment import (
+    contains,
+    weakly_equivalent,
+    equivalent,
+    empty_set_free,
+)
+from repro.coql.minimize import minimize_coql
+from repro.coql.explain import explain_containment, ContainmentExplanation
+from repro.coql.views import ViewCatalog, ViewReport
+
+__all__ = [
+    "Expr",
+    "Const",
+    "VarRef",
+    "RelRef",
+    "Proj",
+    "RecordExpr",
+    "Singleton",
+    "EmptySet",
+    "Flatten",
+    "Select",
+    "parse_coql",
+    "typecheck",
+    "evaluate_coql",
+    "normalize",
+    "NFSet",
+    "NFEmpty",
+    "NFRecord",
+    "NFPath",
+    "NFConst",
+    "encode_query",
+    "paired_encoding",
+    "contains",
+    "weakly_equivalent",
+    "equivalent",
+    "empty_set_free",
+    "minimize_coql",
+    "explain_containment",
+    "ContainmentExplanation",
+    "ViewCatalog",
+    "ViewReport",
+]

@@ -1,0 +1,216 @@
+"""Containment and equivalence of COQL queries (Theorems 4.1 and 4.2).
+
+Containment ``Q ⊑ Q'`` is the Hoare order on answers, on every database:
+``Q(D) ⊑ Q'(D)`` where ``S ⊑ S' iff ∀x∈S ∃y∈S'. x ⊑ y`` recursively.
+
+The decision procedure (Section 5):
+
+1. normalize both queries and encode them as grouping-query trees;
+2. an element whose inner set is empty is dominated by any element with
+   a matching atomic part, so each *truncation pattern* (a prefix-closed
+   pruning of the subquery's set nodes) yields one simulation
+   obligation: ``sub.truncate(P) ⊴ sup.truncate(P)``;
+3. containment holds iff every obligation does.  Patterns that prune a
+   *provably non-empty* component are implied by larger patterns and are
+   skipped — for queries that provably produce no empty sets only the
+   unpruned obligation remains, which is the paper's observation that
+   the exponential component disappears in that case.
+
+``weak equivalence`` is containment both ways; by the paper's theorem it
+coincides with equivalence whenever both queries are empty-set free,
+which is what :func:`equivalent` decides (the general equivalence
+question is the open problem the paper answers only partially).
+"""
+
+import itertools
+
+from repro.errors import (
+    IncomparableQueriesError,
+    UnsupportedQueryError,
+    TypeCheckError,
+)
+from repro.objects.types import RecordType, ATOM
+from repro.cq.homomorphism import find_homomorphism, ground_atoms_of_query
+from repro.cq.query import frozen_constant, ConjunctiveQuery
+from repro.grouping.simulation import is_simulated
+from repro.coql.ast import Expr
+from repro.coql.parser import parse_coql
+from repro.coql.normalize import normalize
+from repro.coql.typecheck import typecheck
+from repro.coql.encode import encode_query, paired_encoding, shapes_compatible
+
+__all__ = [
+    "contains",
+    "weakly_equivalent",
+    "equivalent",
+    "empty_set_free",
+    "prepare",
+    "as_schema",
+]
+
+
+def as_schema(schema):
+    """Normalize schema specs: ``{name: RecordType}`` or ``{name:
+    iterable of attribute names}`` (attributes then atomic) or a
+    Database (its schema is used)."""
+    from repro.objects.database import Database
+
+    if isinstance(schema, Database):
+        return schema.schema()
+    out = {}
+    for name, spec in schema.items():
+        if isinstance(spec, RecordType):
+            out[name] = spec
+        else:
+            out[name] = RecordType({attr: ATOM for attr in spec})
+    return out
+
+
+def prepare(query, schema, name="q"):
+    """Parse (if textual), type-check, normalize, and encode a query."""
+    schema = as_schema(schema)
+    if isinstance(query, str):
+        query = parse_coql(query)
+    if not isinstance(query, Expr):
+        raise TypeCheckError("not a COQL query: %r" % (query,))
+    typecheck(query, schema)
+    return encode_query(normalize(query), schema, name)
+
+
+def contains(sup, sub, schema, witnesses=None, method="certificate"):
+    """True iff ``sub ⊑ sup`` on every database (Theorem 4.1).
+
+    :param sup: the containing query (text or :class:`Expr`).
+    :param sub: the contained query.
+    :param schema: flat input schema (``{name: attrs}``/RecordTypes/DB).
+    :param method: ``"certificate"`` (the NP certificate search, default)
+        or ``"canonical"`` (semantic evaluation of the simulation
+        condition over the canonical database family — an independent
+        implementation kept for cross-validation and pedagogy; slower).
+    """
+    sub_encoded = prepare(sub, schema, "sub")
+    sup_encoded = prepare(sup, schema, "sup")
+    return _contains_encoded(sup_encoded, sub_encoded, witnesses, method)
+
+
+def _contains_encoded(sup_encoded, sub_encoded, witnesses=None,
+                      method="certificate"):
+    if not sub_encoded.is_empty and not sup_encoded.is_empty:
+        if not shapes_compatible(sub_encoded.shape, sup_encoded.shape):
+            raise IncomparableQueriesError(
+                "queries have different output shapes: %r vs %r"
+                % (sub_encoded.shape, sup_encoded.shape)
+            )
+    sub_query, sup_query, verdict = paired_encoding(sub_encoded, sup_encoded)
+    if verdict is not None:
+        return verdict
+    if sub_query is None:
+        raise IncomparableQueriesError(
+            "queries have incompatible nested structure"
+        )
+    if method == "certificate":
+        decide = lambda a, b: is_simulated(a, b, witnesses=witnesses)
+    elif method == "canonical":
+        from repro.grouping.bruteforce import check_simulation_on_canonical
+
+        decide = lambda a, b: check_simulation_on_canonical(
+            a, b, max_witnesses=witnesses
+        )
+    else:
+        raise UnsupportedQueryError("unknown method %r" % (method,))
+    for pattern in _obligation_patterns(sub_query):
+        sub_t = sub_query.truncate(pattern)
+        sup_t = sup_query.truncate(pattern)
+        if not decide(sub_t, sup_t):
+            return False
+    return True
+
+
+def _obligation_patterns(query):
+    """Yield the truncation patterns whose simulation obligations are not
+    implied by a larger pattern.
+
+    A pattern may prune a set node only when the node is *not* provably
+    non-empty (pruning a provably non-empty node is implied by keeping
+    it).  Patterns are prefix-closed path sets containing the root.
+    """
+    paths = [p for p in query.paths() if p]
+    optional = [p for p in paths if not _provably_nonempty(query, p)]
+    all_paths = set(query.paths())
+    seen = set()
+    for pruned in _subsets(optional):
+        pruned_closure = {
+            p for p in all_paths if any(p[: len(q)] == q for q in pruned)
+        }
+        kept = frozenset(all_paths - pruned_closure)
+        if kept in seen:
+            continue
+        seen.add(kept)
+        yield kept
+
+
+def _subsets(items):
+    for size in range(len(items) + 1):
+        yield from itertools.combinations(items, size)
+
+
+def _provably_nonempty(query, path):
+    """True when the group at *path* is non-empty for every parent row.
+
+    Sufficient syntactic test: a homomorphism from the node's full body
+    into the parent's full body that fixes every parent variable — then
+    any parent assignment extends to a child assignment.
+    """
+    parent_body = query.full_body(path[:-1])
+    child_body = query.full_body(path)
+    parent_vars = {v for atom in parent_body for v in atom.variables()}
+    carrier = ConjunctiveQuery((), parent_body, "parent")
+    target = ground_atoms_of_query(carrier)
+    fixed = {v: frozen_constant(v) for v in parent_vars}
+    return find_homomorphism(child_body, target, fixed=fixed) is not None
+
+
+def weakly_equivalent(q1, q2, schema, witnesses=None):
+    """True iff ``Q1 ⊑ Q2`` and ``Q2 ⊑ Q1`` (decidable in general)."""
+    first = prepare(q1, schema, "q1")
+    second = prepare(q2, schema, "q2")
+    return _contains_encoded(second, first, witnesses) and _contains_encoded(
+        first, second, witnesses
+    )
+
+
+def empty_set_free(query, schema):
+    """True when the query provably never produces an empty set.
+
+    Sufficient syntactic condition: no always-empty components, and every
+    nested set node is provably non-empty for each parent row.
+    """
+    encoded = prepare(query, schema)
+    if encoded.is_empty:
+        return False
+    if encoded.empty_paths:
+        return False
+    return all(
+        _provably_nonempty(encoded.query, p)
+        for p in encoded.query.paths()
+        if p
+    )
+
+
+def equivalent(q1, q2, schema, witnesses=None):
+    """Decide equivalence for empty-set-free queries.
+
+    By the paper's theorem, weak equivalence coincides with equivalence
+    when both queries are guaranteed not to produce empty sets (e.g. all
+    ``nest``/``unnest`` pipelines).  For queries without that guarantee
+    the general equivalence question is the open problem the paper
+    answers only partially, and this function raises
+    :class:`UnsupportedQueryError` — use :func:`weakly_equivalent`.
+    """
+    if not empty_set_free(q1, schema) or not empty_set_free(q2, schema):
+        raise UnsupportedQueryError(
+            "equivalence is decided for empty-set-free queries only "
+            "(weak equivalence is decidable in general: use "
+            "weakly_equivalent)"
+        )
+    return weakly_equivalent(q1, q2, schema, witnesses)

@@ -1,0 +1,292 @@
+"""Normalization of COQL to comprehension normal form.
+
+Using the rewriting techniques of Wong [43] (specialised to COQL), every
+COQL expression of set type reduces to a *union-free comprehension
+normal form*:
+
+    NFSet(gens, conds, head)   ≡   { head | x1 ∈ s1, …, xn ∈ sn, conds }
+
+where each generator source ``si`` is an input relation (or, for nested
+inputs, a set-valued path into an earlier variable), each condition
+equates two atomic paths/constants, and the head is built from atomic
+paths, constants, records, the always-empty set :class:`NFEmpty`, and
+nested :class:`NFSet` (which may reference outer generator variables —
+those references become the *index* of the Section-5 encoding).
+
+The rewrite rules applied (all standard NRC equations):
+
+* ``x ∈ {e}``            — inline ``e`` for ``x``;
+* ``x ∈ {}``             — the comprehension is empty;
+* ``x ∈ {h | G, C}``     — merge ``G``, ``C`` into the outer comprehension
+  and bind ``x`` to ``h`` (sets are duplicate-free, so this is exact);
+* ``flatten {h | G, C}`` — fuse: ``{h' | G, G', C, C'}`` when
+  ``h = {h' | G', C'}``;
+* constant conditions    — ``c = c`` is dropped, ``c = d`` (c ≠ d)
+  collapses the comprehension to empty.
+
+Generator variables of the normal form are freshly numbered (``g0``,
+``g1``, …), so inlined sub-comprehensions can never capture variables.
+"""
+
+import itertools
+
+from repro.errors import TypeCheckError, UnsupportedQueryError
+from repro.coql.ast import (
+    Const,
+    VarRef,
+    RelRef,
+    Proj,
+    RecordExpr,
+    Singleton,
+    EmptySet,
+    Flatten,
+    Select,
+)
+
+__all__ = ["normalize", "NFConst", "NFPath", "NFRecord", "NFEmpty", "NFSet"]
+
+
+class NFValue:
+    """Base class for normal-form values."""
+
+    __slots__ = ()
+
+    def __setattr__(self, name, value):
+        raise AttributeError("%s is immutable" % type(self).__name__)
+
+
+class NFConst(NFValue):
+    """An atomic constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        object.__setattr__(self, "value", value)
+
+    def __eq__(self, other):
+        return isinstance(other, NFConst) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("NFConst", self.value))
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+class NFPath(NFValue):
+    """A path ``var.a1.….ak`` into a generator variable."""
+
+    __slots__ = ("var", "attrs")
+
+    def __init__(self, var, attrs=()):
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "attrs", tuple(attrs))
+
+    def extend(self, attr):
+        return NFPath(self.var, self.attrs + (attr,))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, NFPath)
+            and other.var == self.var
+            and other.attrs == self.attrs
+        )
+
+    def __hash__(self):
+        return hash(("NFPath", self.var, self.attrs))
+
+    def __repr__(self):
+        return ".".join((self.var,) + self.attrs)
+
+
+class NFRecord(NFValue):
+    """A record of normal-form values."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields):
+        object.__setattr__(self, "fields", tuple(sorted(dict(fields).items())))
+
+    def keys(self):
+        return tuple(k for k, __ in self.fields)
+
+    def __getitem__(self, name):
+        for key, value in self.fields:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __eq__(self, other):
+        return isinstance(other, NFRecord) and other.fields == self.fields
+
+    def __hash__(self):
+        return hash(("NFRecord", self.fields))
+
+    def __repr__(self):
+        return "[%s]" % ", ".join("%s: %r" % (k, v) for k, v in self.fields)
+
+
+class NFEmpty(NFValue):
+    """The always-empty set."""
+
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, NFEmpty)
+
+    def __hash__(self):
+        return hash("NFEmpty")
+
+    def __repr__(self):
+        return "{}"
+
+
+class NFSet(NFValue):
+    """A union-free comprehension ``{head | gens, conds}``.
+
+    ``gens`` is a tuple of ``(variable, source)`` where *source* is an
+    input-relation name (str) or a set-valued :class:`NFPath`;
+    ``conds`` a tuple of ``(left, right)`` with atomic sides.
+    """
+
+    __slots__ = ("gens", "conds", "head")
+
+    def __init__(self, gens, conds, head):
+        object.__setattr__(self, "gens", tuple(gens))
+        object.__setattr__(self, "conds", tuple(conds))
+        object.__setattr__(self, "head", head)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, NFSet)
+            and other.gens == self.gens
+            and other.conds == self.conds
+            and other.head == self.head
+        )
+
+    def __hash__(self):
+        return hash(("NFSet", self.gens, self.conds, self.head))
+
+    def bound_vars(self):
+        return tuple(v for v, __ in self.gens)
+
+    def __repr__(self):
+        gens = ", ".join(
+            "%s in %s" % (v, s if isinstance(s, str) else repr(s))
+            for v, s in self.gens
+        )
+        conds = ", ".join("%r = %r" % (l, r) for l, r in self.conds)
+        parts = ", ".join(p for p in (gens, conds) if p)
+        return "{%r | %s}" % (self.head, parts)
+
+
+def normalize(expr):
+    """Reduce a COQL expression to normal form.
+
+    Returns an :class:`NFValue`; for well-typed set-valued queries this
+    is an :class:`NFSet` or :class:`NFEmpty`.
+    """
+    counter = itertools.count()
+
+    def fresh():
+        return "g%d" % next(counter)
+
+    return _norm(expr, {}, fresh)
+
+
+def _norm(expr, env, fresh):
+    if isinstance(expr, Const):
+        return NFConst(expr.value)
+    if isinstance(expr, VarRef):
+        if expr.name not in env:
+            raise TypeCheckError("unbound variable %s" % expr.name)
+        return env[expr.name]
+    if isinstance(expr, RelRef):
+        var = fresh()
+        return NFSet(((var, expr.name),), (), NFPath(var))
+    if isinstance(expr, Proj):
+        base = _norm(expr.expr, env, fresh)
+        if isinstance(base, NFPath):
+            return base.extend(expr.attr)
+        if isinstance(base, NFRecord):
+            try:
+                return base[expr.attr]
+            except KeyError:
+                raise TypeCheckError(
+                    "record %r has no attribute %s" % (base, expr.attr)
+                )
+        raise TypeCheckError("projection .%s on non-record %r" % (expr.attr, base))
+    if isinstance(expr, RecordExpr):
+        return NFRecord({k: _norm(e, env, fresh) for k, e in expr.fields})
+    if isinstance(expr, Singleton):
+        return NFSet((), (), _norm(expr.expr, env, fresh))
+    if isinstance(expr, EmptySet):
+        return NFEmpty()
+    if isinstance(expr, Flatten):
+        return _flatten(_norm(expr.expr, env, fresh), fresh)
+    if isinstance(expr, Select):
+        return _select(expr, env, fresh)
+    raise TypeCheckError("unknown COQL expression %r" % (expr,))
+
+
+def _flatten(nf, fresh):
+    if isinstance(nf, NFEmpty):
+        return NFEmpty()
+    if isinstance(nf, NFPath):
+        # A set-of-sets path (nested input): expand one generator level.
+        var = fresh()
+        return _flatten(NFSet(((var, nf),), (), NFPath(var)), fresh)
+    if not isinstance(nf, NFSet):
+        raise TypeCheckError("flatten applied to non-set %r" % (nf,))
+    head = nf.head
+    if isinstance(head, NFEmpty):
+        return NFEmpty()
+    if isinstance(head, NFSet):
+        return NFSet(
+            nf.gens + head.gens, nf.conds + head.conds, head.head
+        )
+    if isinstance(head, NFPath):
+        var = fresh()
+        return NFSet(nf.gens + ((var, head),), nf.conds, NFPath(var))
+    raise TypeCheckError("flatten over a set of non-sets (%r)" % (head,))
+
+
+def _select(expr, env, fresh):
+    scope = dict(env)
+    gens = []
+    conds = []
+    for var, source in expr.generators:
+        source_nf = _norm(source, scope, fresh)
+        if isinstance(source_nf, NFEmpty):
+            return NFEmpty()
+        if isinstance(source_nf, NFPath):
+            bound = fresh()
+            gens.append((bound, source_nf))
+            scope[var] = NFPath(bound)
+            continue
+        if isinstance(source_nf, NFSet):
+            gens.extend(source_nf.gens)
+            conds.extend(source_nf.conds)
+            scope[var] = source_nf.head
+            continue
+        raise TypeCheckError(
+            "generator %s ranges over non-set %r" % (var, source_nf)
+        )
+    for left, right in expr.conditions:
+        left_nf = _norm(left, scope, fresh)
+        right_nf = _norm(right, scope, fresh)
+        for side in (left_nf, right_nf):
+            if not isinstance(side, (NFConst, NFPath)):
+                raise UnsupportedQueryError(
+                    "COQL conditions compare atomic expressions only, "
+                    "got %r" % (side,)
+                )
+        if isinstance(left_nf, NFConst) and isinstance(right_nf, NFConst):
+            if left_nf.value == right_nf.value:
+                continue  # trivially true
+            return NFEmpty()  # trivially false: the comprehension is empty
+        if left_nf == right_nf:
+            continue
+        conds.append((left_nf, right_nf))
+    head = _norm(expr.head, scope, fresh)
+    return NFSet(tuple(gens), tuple(conds), head)

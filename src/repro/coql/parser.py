@@ -1,0 +1,208 @@
+"""Parser for a concrete COQL syntax.
+
+Grammar (OQL-flavoured)::
+
+    expr     := select | flatten | primary
+    select   := "select" expr "from" gen ("," gen)* ["where" cond ("and" cond)*]
+    gen      := IDENT "in" expr
+    flatten  := "flatten" "(" expr ")"
+    primary  := record | setlit | path | const | "(" expr ")"
+    record   := "[" IDENT ":" expr ("," IDENT ":" expr)* "]"
+    setlit   := "{" [expr] "}"
+    path     := IDENT ("." IDENT)*
+    cond     := expr "=" expr
+
+A leading identifier is a variable when bound by an enclosing generator
+and an input-relation name otherwise.
+
+>>> q = parse_coql("select [a: x.a] from x in r where x.b = 3")
+"""
+
+import re
+
+from repro.errors import ParseError
+from repro.coql.ast import (
+    Const,
+    VarRef,
+    RelRef,
+    Proj,
+    RecordExpr,
+    Singleton,
+    EmptySet,
+    Flatten,
+    Select,
+)
+
+__all__ = ["parse_coql"]
+
+_KEYWORDS = {"select", "from", "where", "in", "and", "flatten"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        [(){}\[\],.=:]              |
+        -?\d+\.\d+                  |
+        -?\d+                       |
+        "(?:[^"\\]|\\.)*"          |
+        '(?:[^'\\]|\\.)*'          |
+        [A-Za-z_][A-Za-z_0-9]*
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise ParseError("cannot tokenize COQL at %r" % rest[:25])
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of COQL input in %r" % self.text)
+        self.index += 1
+        return token
+
+    def expect(self, token):
+        got = self.next()
+        if got != token:
+            raise ParseError(
+                "expected %r, got %r (in %r)" % (token, got, self.text)
+            )
+
+    def done(self):
+        return self.index >= len(self.tokens)
+
+    # -- grammar -----------------------------------------------------------
+
+    def expr(self, bound):
+        token = self.peek()
+        if token == "select":
+            return self.select(bound)
+        if token == "flatten":
+            self.next()
+            self.expect("(")
+            inner = self.expr(bound)
+            self.expect(")")
+            return Flatten(inner)
+        return self.primary(bound)
+
+    def select(self, bound):
+        self.expect("select")
+        head_start = self.index
+        # First pass over the head: variable-vs-relation resolution never
+        # affects the token structure, so parsing with the outer bound set
+        # just locates the head's extent; the head is re-parsed below once
+        # the generator variables are known.
+        self.expr(bound)
+        self.expect("from")
+        generators = []
+        inner_bound = set(bound)
+        while True:
+            var = self.next()
+            if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", var) or var in _KEYWORDS:
+                raise ParseError("bad generator variable %r" % var)
+            self.expect("in")
+            source = self.expr(frozenset(inner_bound))
+            generators.append((var, source))
+            inner_bound.add(var)
+            if self.peek() == ",":
+                self.next()
+                continue
+            break
+        conditions = []
+        if self.peek() == "where":
+            self.next()
+            while True:
+                left = self.expr(frozenset(inner_bound))
+                self.expect("=")
+                right = self.expr(frozenset(inner_bound))
+                conditions.append((left, right))
+                if self.peek() == "and":
+                    self.next()
+                    continue
+                break
+        # Re-parse the head now that generator variables are known.
+        end = self.index
+        self.index = head_start
+        head = self.expr(frozenset(inner_bound))
+        if self.peek() != "from":
+            raise ParseError("malformed select head in %r" % self.text)
+        self.index = end
+        return Select(head, generators, conditions)
+
+    def primary(self, bound):
+        token = self.next()
+        if token == "(":
+            inner = self.expr(bound)
+            self.expect(")")
+            return inner
+        if token == "[":
+            fields = {}
+            while True:
+                name = self.next()
+                self.expect(":")
+                fields[name] = self.expr(bound)
+                nxt = self.next()
+                if nxt == "]":
+                    return RecordExpr(fields)
+                if nxt != ",":
+                    raise ParseError("expected ',' or ']' in record, got %r" % nxt)
+        if token == "{":
+            if self.peek() == "}":
+                self.next()
+                return EmptySet()
+            inner = self.expr(bound)
+            self.expect("}")
+            return Singleton(inner)
+        if token.startswith(("'", '"')):
+            return Const(token[1:-1].replace('\\"', '"').replace("\\'", "'"))
+        if re.fullmatch(r"-?\d+", token):
+            return Const(int(token))
+        if re.fullmatch(r"-?\d+\.\d+", token):
+            return Const(float(token))
+        if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token) and token not in _KEYWORDS:
+            base = VarRef(token) if token in bound else RelRef(token)
+            return self._path(base)
+        raise ParseError("unexpected token %r in %r" % (token, self.text))
+
+    def _path(self, base):
+        expr = base
+        while self.peek() == ".":
+            self.next()
+            attr = self.next()
+            if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", attr):
+                raise ParseError("bad attribute name %r" % attr)
+            expr = Proj(expr, attr)
+        return expr
+
+
+def parse_coql(text):
+    """Parse a COQL expression from its concrete syntax."""
+    parser = _Parser(text)
+    expr = parser.expr(frozenset())
+    if not parser.done():
+        raise ParseError(
+            "trailing tokens %r in %r" % (parser.tokens[parser.index:], text)
+        )
+    return expr

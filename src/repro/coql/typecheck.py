@@ -1,0 +1,117 @@
+"""Schema-directed type checking for COQL.
+
+A schema maps relation names to row types (:class:`RecordType`); a
+relation itself has type ``SetType(row type)``.  :func:`typecheck`
+returns the type of the expression or raises :class:`TypeCheckError`.
+
+Checks enforced (per the language definition in the paper's Appendix A):
+generators range over set-typed expressions; projections apply to
+records with the named attribute; ``where`` compares atomic expressions
+only; ``flatten`` applies to sets of sets.
+"""
+
+from repro.errors import TypeCheckError
+from repro.objects.types import (
+    ATOM,
+    AtomType,
+    RecordType,
+    SetType,
+    EmptySetType,
+    EMPTY_SET,
+    join_types,
+)
+from repro.coql.ast import (
+    Const,
+    VarRef,
+    RelRef,
+    Proj,
+    RecordExpr,
+    Singleton,
+    EmptySet,
+    Flatten,
+    Select,
+)
+
+__all__ = ["typecheck"]
+
+
+def typecheck(expr, schema, env=None):
+    """Infer the type of *expr* under *schema* (``{rel: RecordType}``).
+
+    :param env: optional ``{var name: type}`` for free variables.
+    """
+    return _infer(expr, schema, dict(env or {}))
+
+
+def _infer(expr, schema, env):
+    if isinstance(expr, Const):
+        return ATOM
+    if isinstance(expr, VarRef):
+        if expr.name not in env:
+            raise TypeCheckError("unbound variable %s" % expr.name)
+        return env[expr.name]
+    if isinstance(expr, RelRef):
+        if expr.name not in schema:
+            raise TypeCheckError("unknown relation %s" % expr.name)
+        row = schema[expr.name]
+        if not isinstance(row, RecordType):
+            raise TypeCheckError(
+                "schema entry for %s must be a RecordType, got %r"
+                % (expr.name, row)
+            )
+        return SetType(row)
+    if isinstance(expr, Proj):
+        base = _infer(expr.expr, schema, env)
+        if not isinstance(base, RecordType):
+            raise TypeCheckError(
+                "projection .%s applied to non-record type %r" % (expr.attr, base)
+            )
+        if expr.attr not in base:
+            raise TypeCheckError(
+                "record type %r has no attribute %s" % (base, expr.attr)
+            )
+        return base[expr.attr]
+    if isinstance(expr, RecordExpr):
+        return RecordType({k: _infer(e, schema, env) for k, e in expr.fields})
+    if isinstance(expr, Singleton):
+        return SetType(_infer(expr.expr, schema, env))
+    if isinstance(expr, EmptySet):
+        return EMPTY_SET
+    if isinstance(expr, Flatten):
+        outer = _infer(expr.expr, schema, env)
+        if isinstance(outer, EmptySetType):
+            return EMPTY_SET
+        if not isinstance(outer, SetType):
+            raise TypeCheckError("flatten applied to non-set type %r" % (outer,))
+        inner = outer.element
+        if isinstance(inner, EmptySetType):
+            return EMPTY_SET
+        if not isinstance(inner, SetType):
+            raise TypeCheckError(
+                "flatten applied to a set of non-sets (%r)" % (outer,)
+            )
+        return inner
+    if isinstance(expr, Select):
+        scope = dict(env)
+        for var, source in expr.generators:
+            source_type = _infer(source, schema, scope)
+            if isinstance(source_type, EmptySetType):
+                element = EMPTY_SET  # vacuous: the loop body never runs
+            elif isinstance(source_type, SetType):
+                element = source_type.element
+            else:
+                raise TypeCheckError(
+                    "generator %s ranges over non-set type %r"
+                    % (var, source_type)
+                )
+            scope[var] = element
+        for left, right in expr.conditions:
+            for side in (left, right):
+                side_type = _infer(side, schema, scope)
+                if not isinstance(side_type, AtomType):
+                    raise TypeCheckError(
+                        "COQL conditions compare atomic expressions only; "
+                        "%r has type %r" % (side, side_type)
+                    )
+        return SetType(_infer(expr.head, schema, scope))
+    raise TypeCheckError("unknown COQL expression %r" % (expr,))

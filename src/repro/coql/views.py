@@ -1,0 +1,112 @@
+"""View catalogues: answering nested queries from materialized views.
+
+The paper's introduction motivates containment with "rewriting queries
+using views [12, 27]".  This module provides the planner-facing side: a
+:class:`ViewCatalog` of named COQL views, and an analysis that reports,
+for a query Q, which views V satisfy ``Q ⊑ V`` (V's answer dominates
+Q's on every database, so a rewriting only needs to refine V), which are
+weakly equivalent to Q (V answers Q exactly, up to the Hoare preorder),
+and which are unusable — with counterexample evidence on request.
+"""
+
+from repro.errors import IncomparableQueriesError, UnsupportedQueryError
+from repro.coql.containment import contains, weakly_equivalent, as_schema
+from repro.coql.explain import explain_containment
+
+__all__ = ["ViewCatalog", "ViewReport"]
+
+
+class ViewReport:
+    """The usability analysis of one view for one query.
+
+    Attributes:
+        view: the view name.
+        usable: True when ``query ⊑ view``.
+        exact: True when additionally ``view ⊑ query`` (weakly
+            equivalent — the view answers the query up to the Hoare
+            preorder).
+        comparable: False when the output shapes differ (then *usable*
+            is False and the remaining fields are meaningless).
+        counterexample: when requested and usable is False, a database
+            witnessing the failure (or None when the search found none).
+    """
+
+    __slots__ = ("view", "usable", "exact", "comparable", "counterexample")
+
+    def __init__(self, view, usable, exact, comparable, counterexample=None):
+        self.view = view
+        self.usable = usable
+        self.exact = exact
+        self.comparable = comparable
+        self.counterexample = counterexample
+
+    def __repr__(self):
+        if not self.comparable:
+            return "ViewReport(%s: incomparable)" % self.view
+        status = "exact" if self.exact else ("usable" if self.usable else "unusable")
+        return "ViewReport(%s: %s)" % (self.view, status)
+
+
+class ViewCatalog:
+    """A named collection of COQL views over one flat schema."""
+
+    def __init__(self, schema, views=None):
+        self._schema = as_schema(schema)
+        self._views = {}
+        for name, text in (views or {}).items():
+            self.add(name, text)
+
+    def add(self, name, query):
+        """Register a view (text or Expr)."""
+        self._views[name] = query
+
+    def names(self):
+        return tuple(sorted(self._views))
+
+    def schema(self):
+        return dict(self._schema)
+
+    def analyze(self, query, with_counterexamples=False, witnesses=None):
+        """Report every view's usability for *query*.
+
+        :returns: ``{view name: ViewReport}``.
+        """
+        reports = {}
+        for name in self.names():
+            view = self._views[name]
+            try:
+                usable = contains(view, query, self._schema, witnesses)
+            except IncomparableQueriesError:
+                reports[name] = ViewReport(name, False, False, False)
+                continue
+            except UnsupportedQueryError:
+                reports[name] = ViewReport(name, False, False, False)
+                continue
+            exact = False
+            if usable:
+                exact = contains(query, view, self._schema, witnesses)
+            counterexample = None
+            if not usable and with_counterexamples:
+                explanation = explain_containment(
+                    view, query, self._schema, witnesses
+                )
+                counterexample = explanation.counterexample
+            reports[name] = ViewReport(name, usable, exact, True, counterexample)
+        return reports
+
+    def usable_views(self, query, witnesses=None):
+        """The names of views that can answer *query*, sorted."""
+        return tuple(
+            name
+            for name, report in sorted(self.analyze(query, witnesses=witnesses).items())
+            if report.usable
+        )
+
+    def best_views(self, query, witnesses=None):
+        """Usable views, exact ones first (the cheapest rewritings)."""
+        reports = self.analyze(query, witnesses=witnesses)
+        exact = [n for n, r in sorted(reports.items()) if r.exact]
+        merely_usable = [
+            n for n, r in sorted(reports.items()) if r.usable and not r.exact
+        ]
+        return tuple(exact + merely_usable)

@@ -1,0 +1,44 @@
+"""Classical conjunctive queries (the paper's flat-relational substrate).
+
+Provides the standard notation of [41]: queries ``q(X,Y) :- r(X,Z), s(Z,Y)``
+over flat relations, with evaluation, homomorphism search, Chandra–Merlin
+containment [11], equivalence, and minimization.  The grouping/simulation
+machinery of the paper (``repro.grouping``) builds on these primitives.
+"""
+
+from repro.cq.terms import Var, Const, Atom, is_var, is_const, substitute_term
+from repro.cq.query import ConjunctiveQuery, freeze
+from repro.cq.parser import parse_query, parse_atom
+from repro.cq.evaluate import evaluate, evaluate_bindings
+from repro.cq.homomorphism import (
+    find_homomorphism,
+    find_all_homomorphisms,
+    count_homomorphisms,
+)
+from repro.cq.containment import contains, equivalent, minimize, containment_mapping
+from repro.cq.unions import UnionQuery, union_contains, union_equivalent
+
+__all__ = [
+    "Var",
+    "Const",
+    "Atom",
+    "is_var",
+    "is_const",
+    "substitute_term",
+    "ConjunctiveQuery",
+    "freeze",
+    "parse_query",
+    "parse_atom",
+    "evaluate",
+    "evaluate_bindings",
+    "find_homomorphism",
+    "find_all_homomorphisms",
+    "count_homomorphisms",
+    "contains",
+    "equivalent",
+    "minimize",
+    "containment_mapping",
+    "UnionQuery",
+    "union_contains",
+    "union_equivalent",
+]

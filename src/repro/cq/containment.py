@@ -1,0 +1,95 @@
+"""Containment, equivalence, and minimization of conjunctive queries.
+
+The Chandra–Merlin theorem [11]: ``Q1 ⊑ Q2`` iff there is a containment
+mapping from ``Q2`` to ``Q1`` — a variable mapping sending every body atom
+of ``Q2`` to a body atom of ``Q1`` and the head of ``Q2`` to the head of
+``Q1``.  Equivalently: the frozen head of ``Q1`` is an answer of ``Q2``
+over the canonical database of ``Q1``.
+
+These are the baseline procedures (experiment E9); the paper's simulation
+conditions generalize them.
+"""
+
+from repro.errors import IncomparableQueriesError
+from repro.cq.terms import Var, Const, is_var
+from repro.cq.query import ConjunctiveQuery, frozen_constant
+from repro.cq.homomorphism import find_homomorphism, ground_atoms_of_query
+
+__all__ = ["containment_mapping", "contains", "equivalent", "minimize"]
+
+
+def containment_mapping(sub, sup):
+    """Find a containment mapping from *sup* to *sub*, or None.
+
+    A mapping φ with φ(head of sup) = head of sub and φ(body of sup) ⊆
+    body of sub witnesses ``sub ⊑ sup``.  Returned as ``{Var: value}``
+    over *sup*'s variables, where values are frozen constants of *sub*'s
+    variables or ordinary constants.
+    """
+    if len(sub.head) != len(sup.head):
+        raise IncomparableQueriesError(
+            "queries have different head arities: %d vs %d"
+            % (len(sub.head), len(sup.head))
+        )
+    target = ground_atoms_of_query(sub)
+    fixed = {}
+    for sup_term, sub_term in zip(sup.head, sub.head):
+        sub_value = (
+            frozen_constant(sub_term) if is_var(sub_term) else sub_term.value
+        )
+        if is_var(sup_term):
+            if fixed.get(sup_term, sub_value) != sub_value:
+                return None
+            fixed[sup_term] = sub_value
+        else:
+            if sup_term.value != sub_value:
+                return None
+    return find_homomorphism(sup.body, target, fixed=fixed)
+
+
+def contains(sup, sub):
+    """``contains(Q2, Q1)`` is True iff ``Q1 ⊑ Q2`` (Q2 contains Q1).
+
+    >>> from repro.cq.parser import parse_query
+    >>> big = parse_query("q(X) :- r(X, Y)")
+    >>> small = parse_query("q(X) :- r(X, Y), s(Y)")
+    >>> contains(big, small)
+    True
+    >>> contains(small, big)
+    False
+    """
+    return containment_mapping(sub, sup) is not None
+
+
+def equivalent(q1, q2):
+    """True iff the queries return the same answers on every database."""
+    return contains(q1, q2) and contains(q2, q1)
+
+
+def minimize(query):
+    """Return an equivalent query with a minimal number of body atoms.
+
+    Classical core computation: repeatedly try to drop a body atom while
+    preserving equivalence; the result is unique up to isomorphism.
+    """
+    body = list(query.body)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(body)):
+            candidate_body = body[:index] + body[index + 1:]
+            if not _safe(query.head, candidate_body):
+                continue
+            candidate = ConjunctiveQuery(query.head, candidate_body, query.name)
+            # Dropping an atom can only grow the answer set, so only the
+            # "candidate ⊑ query" direction needs checking.
+            if contains(query, candidate):
+                body = candidate_body
+                changed = True
+                break
+    return ConjunctiveQuery(query.head, body, query.name)
+
+
+def _safe(head, body):
+    body_vars = {v for atom in body for v in atom.variables()}
+    return all((not is_var(t)) or t in body_vars for t in head)

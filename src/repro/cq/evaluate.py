@@ -1,0 +1,118 @@
+"""Evaluation of conjunctive queries over flat databases.
+
+Atoms address relation columns positionally, in the relation's sorted
+attribute order (canonical databases built by :func:`repro.cq.query.freeze`
+use zero-padded positional names so the orders agree).
+
+The evaluator is a backtracking join with a most-constrained-atom-first
+ordering: at each step it picks the unprocessed atom with the fewest
+matching rows under the current partial binding.
+"""
+
+from repro.errors import EvaluationError, SchemaError
+from repro.cq.terms import Var, Const, is_var
+
+__all__ = ["evaluate", "evaluate_bindings", "relation_tuples"]
+
+
+def relation_tuples(database, pred, arity):
+    """The rows of relation *pred* as positional tuples.
+
+    A relation absent from the database is treated as empty (standard for
+    canonical databases, which only mention predicates in the body).
+    """
+    if pred not in database:
+        return ()
+    relation = database[pred]
+    attrs = relation.attributes()
+    if len(attrs) != arity:
+        raise SchemaError(
+            "atom %s/%d does not match relation with attributes %r"
+            % (pred, arity, attrs)
+        )
+    return tuple(tuple(row[a] for a in attrs) for row in relation)
+
+
+def evaluate_bindings(query, database):
+    """Yield all satisfying assignments of the query body.
+
+    Each binding is a dict ``{Var: atomic value}`` covering every variable
+    of the body.  Duplicate bindings are not produced (each full
+    assignment is distinct by construction).
+    """
+    tables = {}
+    for atom in query.body:
+        key = (atom.pred, atom.arity)
+        if key not in tables:
+            tables[key] = relation_tuples(database, atom.pred, atom.arity)
+    yield from _search(list(query.body), tables, {})
+
+
+def _matches(atom, rows, binding):
+    """Rows of *rows* consistent with *binding* on *atom*'s arguments."""
+    out = []
+    for row in rows:
+        extension = _match_row(atom, row, binding)
+        if extension is not None:
+            out.append(extension)
+    return out
+
+
+def _match_row(atom, row, binding):
+    extension = {}
+    for term, value in zip(atom.args, row):
+        if isinstance(term, Const):
+            if term.value != value or type(term.value) != type(value):
+                return None
+        else:
+            bound = binding.get(term, extension.get(term, _UNBOUND))
+            if bound is _UNBOUND:
+                extension[term] = value
+            elif bound != value:
+                return None
+    return extension
+
+
+class _Unbound:
+    pass
+
+
+_UNBOUND = _Unbound()
+
+
+def _search(remaining, tables, binding):
+    if not remaining:
+        yield dict(binding)
+        return
+    # Most-constrained-first: count candidate rows per unprocessed atom.
+    best_index = None
+    best_rows = None
+    for index, atom in enumerate(remaining):
+        rows = _matches(atom, tables[(atom.pred, atom.arity)], binding)
+        if best_rows is None or len(rows) < len(best_rows):
+            best_index, best_rows = index, rows
+            if not rows:
+                return
+    atom = remaining[best_index]
+    rest = remaining[:best_index] + remaining[best_index + 1:]
+    for extension in best_rows:
+        binding.update(extension)
+        yield from _search(rest, tables, binding)
+        for var in extension:
+            del binding[var]
+
+
+def evaluate(query, database):
+    """Evaluate the query; return the set of head tuples (a frozenset)."""
+    answers = set()
+    for binding in evaluate_bindings(query, database):
+        row = []
+        for term in query.head:
+            if is_var(term):
+                if term not in binding:
+                    raise EvaluationError("unbound head variable %r" % (term,))
+                row.append(binding[term])
+            else:
+                row.append(term.value)
+        answers.add(tuple(row))
+    return frozenset(answers)

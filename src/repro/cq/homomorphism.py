@@ -1,0 +1,187 @@
+"""Homomorphism search between sets of atoms.
+
+The workhorse of every decision procedure in this library: find a mapping
+from the variables of a set of *source* atoms to atomic values such that
+every source atom's image is one of the (ground) *target* atoms.
+
+Supports a *fixed* partial assignment (used to pin head variables in the
+Chandra–Merlin test) and per-variable *allowed* value sets (used by the
+simulation certificates of ``repro.grouping``, where index variables may
+only map to witness-copy values).
+
+The search is NP-complete in general (the paper leans on this for its
+hardness results); the implementation uses most-constrained-atom-first
+ordering and per-predicate indexing, which keeps typical instances fast.
+"""
+
+from repro.errors import ReproError
+from repro.cq.terms import Var, Const, Atom
+
+__all__ = [
+    "find_homomorphism",
+    "find_all_homomorphisms",
+    "count_homomorphisms",
+    "ground_atoms_of_query",
+]
+
+
+def ground_atoms_of_query(query, tag=""):
+    """The frozen body atoms of *query* as ground atoms.
+
+    Variables are replaced by their frozen constants (see
+    :func:`repro.cq.query.frozen_constant`).
+    """
+    from repro.cq.query import frozen_constant
+
+    mapping = {v: Const(frozen_constant(v, tag)) for v in query.variables()}
+    return tuple(atom.substitute(mapping) for atom in query.body)
+
+
+def _check_ground(atoms):
+    for atom in atoms:
+        for term in atom.args:
+            if isinstance(term, Var):
+                raise ReproError(
+                    "target atoms must be ground; %r is not" % (atom,)
+                )
+
+
+def _target_index(target_atoms):
+    index = {}
+    for atom in target_atoms:
+        index.setdefault((atom.pred, atom.arity), set()).add(
+            tuple(t.value for t in atom.args)
+        )
+    return index
+
+
+def find_homomorphism(
+    source_atoms, target_atoms, fixed=None, allowed=None, ordering="adaptive"
+):
+    """Find one homomorphism, or None.
+
+    :param source_atoms: atoms whose variables are to be mapped.
+    :param target_atoms: ground atoms to map into.
+    :param fixed: optional ``{Var: value}`` pinning some variables.
+    :param allowed: optional ``{Var: set-of-values}`` restricting some
+        variables' images (variables not listed are unrestricted).
+    :param ordering: ``"adaptive"`` (default) or ``"static"`` atom order.
+    :returns: a complete ``{Var: value}`` mapping or ``None``.
+    """
+    for mapping in find_all_homomorphisms(
+        source_atoms, target_atoms, fixed=fixed, allowed=allowed, ordering=ordering
+    ):
+        return mapping
+    return None
+
+
+def count_homomorphisms(source_atoms, target_atoms, fixed=None, allowed=None):
+    """The number of distinct homomorphisms."""
+    return sum(
+        1
+        for __ in find_all_homomorphisms(
+            source_atoms, target_atoms, fixed=fixed, allowed=allowed
+        )
+    )
+
+
+def find_all_homomorphisms(
+    source_atoms, target_atoms, fixed=None, allowed=None, ordering="adaptive"
+):
+    """Yield every homomorphism (as ``{Var: value}`` dicts).
+
+    Variables that occur in no source atom are not assigned; callers that
+    pin such variables should include them in *fixed* (they are then
+    echoed in the result).
+
+    *ordering* selects the atom-selection strategy: ``"adaptive"``
+    (most-constrained-first, the default) or ``"static"`` (source order —
+    kept for the ablation benchmarks).
+    """
+    source_atoms = tuple(source_atoms)
+    target_atoms = tuple(target_atoms)
+    _check_ground(target_atoms)
+    index = _target_index(target_atoms)
+    binding = dict(fixed or {})
+    if allowed:
+        for var, values in allowed.items():
+            if var in binding and binding[var] not in values:
+                return
+    if ordering == "adaptive":
+        yield from _search(list(source_atoms), index, binding, allowed or {})
+    elif ordering == "static":
+        yield from _search_static(list(source_atoms), index, binding, allowed or {})
+    else:
+        raise ReproError("unknown ordering %r" % (ordering,))
+
+
+def _candidate_rows(atom, rows, binding, allowed):
+    out = []
+    for row in rows:
+        extension = _match(atom, row, binding, allowed)
+        if extension is not None:
+            out.append(extension)
+    return out
+
+
+def _match(atom, row, binding, allowed):
+    extension = {}
+    for term, value in zip(atom.args, row):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+            continue
+        bound = binding.get(term, extension.get(term, _UNBOUND))
+        if bound is _UNBOUND:
+            restriction = allowed.get(term)
+            if restriction is not None and value not in restriction:
+                return None
+            extension[term] = value
+        elif bound != value:
+            return None
+    return extension
+
+
+class _Unbound:
+    pass
+
+
+_UNBOUND = _Unbound()
+
+
+def _search_static(remaining, index, binding, allowed):
+    if not remaining:
+        yield dict(binding)
+        return
+    atom = remaining[0]
+    rows = _candidate_rows(
+        atom, index.get((atom.pred, atom.arity), ()), binding, allowed
+    )
+    for extension in rows:
+        binding.update(extension)
+        yield from _search_static(remaining[1:], index, binding, allowed)
+        for var in extension:
+            del binding[var]
+
+
+def _search(remaining, index, binding, allowed):
+    if not remaining:
+        yield dict(binding)
+        return
+    best_index = None
+    best_rows = None
+    for position, atom in enumerate(remaining):
+        rows = _candidate_rows(
+            atom, index.get((atom.pred, atom.arity), ()), binding, allowed
+        )
+        if best_rows is None or len(rows) < len(best_rows):
+            best_index, best_rows = position, rows
+            if not rows:
+                return
+    atom = remaining[best_index]
+    rest = remaining[:best_index] + remaining[best_index + 1:]
+    for extension in best_rows:
+        binding.update(extension)
+        yield from _search(rest, index, binding, allowed)
+        for var in extension:
+            del binding[var]

@@ -1,0 +1,137 @@
+"""A small datalog-style parser for conjunctive queries.
+
+Syntax::
+
+    q(X, Y) :- r(X, Z), s(Z, Y), t("blue", X), u(3, X)
+
+* identifiers starting with an upper-case letter or ``_`` are variables;
+* numbers (``3``, ``-2``, ``2.5``) and quoted strings are constants;
+* identifiers starting with a lower-case letter in argument position are
+  string constants (datalog convention);
+* the head may be empty (``q() :- ...``) for boolean queries.
+"""
+
+import re
+
+from repro.errors import ParseError
+from repro.cq.terms import Var, Const, Atom
+from repro.cq.query import ConjunctiveQuery
+
+__all__ = ["parse_query", "parse_atom"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        :-                          |  # rule separator
+        [(),]                       |  # punctuation
+        -?\d+\.\d+                  |  # float
+        -?\d+                       |  # int
+        "(?:[^"\\]|\\.)*"          |  # double-quoted string
+        '(?:[^'\\]|\\.)*'          |  # single-quoted string
+        [A-Za-z_][A-Za-z_0-9.]*        # identifier
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text):
+    pos = 0
+    tokens = []
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError("cannot tokenize %r (at %r)" % (text, remainder[:20]))
+        token = match.group(1)
+        tokens.append(token)
+        pos = match.end()
+    return tokens
+
+
+class _Stream:
+    def __init__(self, tokens, source):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self):
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input in %r" % self.source)
+        self.index += 1
+        return token
+
+    def expect(self, token):
+        got = self.next()
+        if got != token:
+            raise ParseError(
+                "expected %r but got %r in %r" % (token, got, self.source)
+            )
+
+    def done(self):
+        return self.index >= len(self.tokens)
+
+
+def _parse_term(token):
+    if token.startswith(("'", '"')):
+        body = token[1:-1]
+        return Const(body.replace("\\\"", '"').replace("\\'", "'"))
+    if re.fullmatch(r"-?\d+", token):
+        return Const(int(token))
+    if re.fullmatch(r"-?\d+\.\d+", token):
+        return Const(float(token))
+    if token[0].isupper() or token[0] == "_":
+        return Var(token)
+    return Const(token)
+
+
+def _parse_atom_from(stream):
+    pred = stream.next()
+    if not re.fullmatch(r"[a-z][A-Za-z_0-9]*", pred):
+        raise ParseError("invalid predicate name %r in %r" % (pred, stream.source))
+    stream.expect("(")
+    args = []
+    if stream.peek() == ")":
+        stream.next()
+        return Atom(pred, args)
+    while True:
+        args.append(_parse_term(stream.next()))
+        token = stream.next()
+        if token == ")":
+            return Atom(pred, args)
+        if token != ",":
+            raise ParseError(
+                "expected ',' or ')' but got %r in %r" % (token, stream.source)
+            )
+
+
+def parse_atom(text):
+    """Parse a single atom, e.g. ``r(X, "blue", 3)``."""
+    stream = _Stream(_tokenize(text), text)
+    atom = _parse_atom_from(stream)
+    if not stream.done():
+        raise ParseError("trailing tokens after atom in %r" % text)
+    return atom
+
+
+def parse_query(text):
+    """Parse a rule ``q(X) :- r(X, Y), s(Y)`` into a ConjunctiveQuery."""
+    stream = _Stream(_tokenize(text), text)
+    head_atom = _parse_atom_from(stream)
+    body = []
+    if not stream.done():
+        stream.expect(":-")
+        while True:
+            body.append(_parse_atom_from(stream))
+            if stream.done():
+                break
+            stream.expect(",")
+    return ConjunctiveQuery(head_atom.args, body, name=head_atom.pred)

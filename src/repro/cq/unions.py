@@ -1,0 +1,101 @@
+"""Unions of conjunctive queries (the Sagiv–Yannakakis baseline [36]).
+
+The paper's related-work baseline for flat relational expressions with
+union: ``⋃ᵢ Qᵢ ⊑ ⋃ⱼ Q'ⱼ`` iff every disjunct ``Qᵢ`` is contained in
+*some* disjunct ``Q'ⱼ`` — so containment and equivalence of unions of
+conjunctive queries reduce to quadratically many classical tests.
+
+COQL deliberately drops union (else set difference becomes expressible
+[7]); this module exists as the flat-world reference point the paper
+positions itself against.
+"""
+
+from repro.errors import ReproError, IncomparableQueriesError
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.containment import contains as cq_contains
+from repro.cq.evaluate import evaluate
+
+__all__ = ["UnionQuery", "union_contains", "union_equivalent"]
+
+
+class UnionQuery:
+    """A finite union of conjunctive queries with equal head arity."""
+
+    __slots__ = ("disjuncts", "name")
+
+    def __init__(self, disjuncts, name="u"):
+        disjuncts = tuple(disjuncts)
+        if not disjuncts:
+            raise ReproError("a union query needs at least one disjunct")
+        arities = {len(q.head) for q in disjuncts}
+        if len(arities) != 1:
+            raise IncomparableQueriesError(
+                "disjuncts have different head arities: %r" % sorted(arities)
+            )
+        for q in disjuncts:
+            if not isinstance(q, ConjunctiveQuery):
+                raise ReproError("disjuncts must be conjunctive queries")
+        object.__setattr__(self, "disjuncts", disjuncts)
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("UnionQuery is immutable")
+
+    @property
+    def arity(self):
+        return len(self.disjuncts[0].head)
+
+    def evaluate(self, database):
+        """The union of the disjuncts' answers."""
+        answer = frozenset()
+        for disjunct in self.disjuncts:
+            answer |= evaluate(disjunct, database)
+        return answer
+
+    def minimize(self):
+        """Drop disjuncts contained in other disjuncts."""
+        kept = list(self.disjuncts)
+        changed = True
+        while changed:
+            changed = False
+            for i, candidate in enumerate(kept):
+                rest = kept[:i] + kept[i + 1:]
+                if rest and any(cq_contains(other, candidate) for other in rest):
+                    kept = rest
+                    changed = True
+                    break
+        return UnionQuery(kept, self.name)
+
+    def __repr__(self):
+        return "UnionQuery(%s; %d disjuncts)" % (self.name, len(self.disjuncts))
+
+
+def union_contains(sup, sub):
+    """``sub ⊑ sup`` for union queries (Sagiv–Yannakakis).
+
+    Each disjunct of *sub* must be contained in some disjunct of *sup*.
+    """
+    sub = _as_union(sub)
+    sup = _as_union(sup)
+    if sub.arity != sup.arity:
+        raise IncomparableQueriesError(
+            "unions have different head arities: %d vs %d"
+            % (sub.arity, sup.arity)
+        )
+    return all(
+        any(cq_contains(candidate, disjunct) for candidate in sup.disjuncts)
+        for disjunct in sub.disjuncts
+    )
+
+
+def union_equivalent(first, second):
+    """Equivalence of union queries (containment both ways)."""
+    return union_contains(first, second) and union_contains(second, first)
+
+
+def _as_union(query):
+    if isinstance(query, UnionQuery):
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return UnionQuery((query,))
+    raise ReproError("not a (union of) conjunctive queries: %r" % (query,))

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-classes separate the major failure
+modes: malformed values, type errors, parse errors, and requests that fall
+outside the decidable fragment implemented here.
+"""
+
+__all__ = [
+    "ReproError",
+    "ValueConstructionError",
+    "SchemaError",
+    "TypeCheckError",
+    "ParseError",
+    "EvaluationError",
+    "UnsupportedQueryError",
+    "IncomparableQueriesError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValueConstructionError(ReproError):
+    """A complex-object value was built from unsupported raw material."""
+
+
+class SchemaError(ReproError):
+    """A database or relation does not match its declared schema."""
+
+
+class TypeCheckError(ReproError):
+    """A query does not type-check against the given schema."""
+
+
+class ParseError(ReproError):
+    """A textual query could not be parsed."""
+
+
+class EvaluationError(ReproError):
+    """A query failed during evaluation (e.g. unbound variable)."""
+
+
+class UnsupportedQueryError(ReproError):
+    """The query falls outside the fragment the procedure decides.
+
+    The decision procedures implement the COQL fragment of Levy & Suciu
+    (PODS 1997); queries outside it (e.g. set-valued equality tests) raise
+    this error rather than returning a wrong answer.
+    """
+
+
+class IncomparableQueriesError(ReproError):
+    """Two queries cannot be compared because their output types differ."""

@@ -1,0 +1,56 @@
+"""Conjunctive queries with grouping and the simulation conditions.
+
+This package is the technical core of the paper (Sections 5 and 6).
+Complex objects are encoded as flat relations with *indexes*; a COQL
+query becomes a tree of conjunctive queries whose heads carry index
+variables (:class:`GroupingQuery`).  Containment of COQL queries then
+reduces to **simulation** between such trees, and equivalence to
+**strong simulation** — conditions with ``d+1`` quantifier alternations
+at nesting depth ``d``, both decidable and NP-complete.
+
+* :mod:`repro.grouping.query` — the grouping-query trees.
+* :mod:`repro.grouping.semantics` — nested-group evaluation on flat DBs.
+* :mod:`repro.grouping.simulation` — the certificate-based decision
+  procedure for simulation (extended containment mappings with witness
+  copies).
+* :mod:`repro.grouping.strong` — strong simulation.
+* :mod:`repro.grouping.bruteforce` — independent semantic checkers used
+  to validate the syntactic procedures (canonical databases + direct
+  evaluation of the quantifier alternation).
+"""
+
+from repro.grouping.query import GroupingNode, GroupingQuery
+from repro.grouping.semantics import evaluate_grouping, node_groups
+from repro.grouping.simulation import (
+    simulation_certificate,
+    is_simulated,
+    SimulationCertificate,
+)
+from repro.grouping.strong import strong_simulation_certificate, is_strongly_simulated
+from repro.grouping.minimize import minimize_grouping, simulation_equivalent
+from repro.grouping.bruteforce import (
+    semantic_simulates,
+    semantic_strongly_simulates,
+    canonical_databases,
+    check_simulation_on_canonical,
+    check_strong_simulation_on_canonical,
+)
+
+__all__ = [
+    "GroupingNode",
+    "GroupingQuery",
+    "evaluate_grouping",
+    "node_groups",
+    "simulation_certificate",
+    "is_simulated",
+    "SimulationCertificate",
+    "strong_simulation_certificate",
+    "is_strongly_simulated",
+    "minimize_grouping",
+    "simulation_equivalent",
+    "semantic_simulates",
+    "semantic_strongly_simulates",
+    "canonical_databases",
+    "check_simulation_on_canonical",
+    "check_strong_simulation_on_canonical",
+]

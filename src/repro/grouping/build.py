@@ -1,0 +1,50 @@
+"""Convenience constructors for grouping queries from strings.
+
+>>> q = grouping_query(
+...     node("", ["r(Xa)"], {"a": "Xa"}, children=[
+...         node("kids", ["s(Xa, Yb)"], {"b": "Yb"], index=["Xa"]),
+...     ])
+... )                                                    # doctest: +SKIP
+"""
+
+import re
+
+from repro.errors import ParseError
+from repro.cq.terms import Var, Const
+from repro.cq.parser import parse_atom, _parse_term
+from repro.grouping.query import GroupingNode, GroupingQuery
+
+__all__ = ["node", "grouping_query", "term"]
+
+
+def term(spec):
+    """Parse a term spec: a Var/Const passes through; strings parse as in
+    the datalog syntax (upper-case initial = variable)."""
+    if isinstance(spec, (Var, Const)):
+        return spec
+    if isinstance(spec, str):
+        return _parse_term(spec)
+    if isinstance(spec, (int, float, bool)):
+        return Const(spec)
+    raise ParseError("cannot interpret term spec %r" % (spec,))
+
+
+def node(label, atoms, values, index=(), children=()):
+    """Build a :class:`GroupingNode` from string specs.
+
+    :param atoms: iterable of atom strings, e.g. ``"r(X, Y)"``.
+    :param values: ``{name: term-spec}``.
+    :param index: iterable of variable names.
+    :param children: child nodes (already built).
+    """
+    parsed_atoms = [parse_atom(a) if isinstance(a, str) else a for a in atoms]
+    parsed_values = {name: term(spec) for name, spec in dict(values).items()}
+    parsed_index = tuple(
+        v if isinstance(v, Var) else Var(v) for v in index
+    )
+    return GroupingNode(label, parsed_atoms, parsed_values, parsed_index, children)
+
+
+def grouping_query(root, name="q"):
+    """Wrap a root node into a :class:`GroupingQuery`."""
+    return GroupingQuery(root, name)

@@ -1,0 +1,69 @@
+"""Minimization of grouping queries.
+
+Lifts conjunctive-query minimization (cores) to grouping-query trees:
+repeatedly drop a body atom of some node while the tree stays
+simulation-equivalent (simulated in both directions) to the original.
+Simulation equivalence is the grouping-level analogue of weak
+equivalence, so the result answers the paper's "find redundant
+subgoals" motivation at the level the decision procedures operate on.
+"""
+
+from repro.grouping.query import GroupingNode, GroupingQuery
+from repro.grouping.simulation import is_simulated
+
+__all__ = ["minimize_grouping", "simulation_equivalent"]
+
+
+def simulation_equivalent(first, second, witnesses=None):
+    """Simulation in both directions (grouping-level weak equivalence)."""
+    return is_simulated(first, second, witnesses=witnesses) and is_simulated(
+        second, first, witnesses=witnesses
+    )
+
+
+def minimize_grouping(query, witnesses=None):
+    """Drop redundant body atoms; the result is simulation-equivalent.
+
+    Greedy fixpoint over all (node, atom) pairs.  Atoms whose removal
+    would unbind a value or index variable are skipped up front; the
+    rest are removed whenever both simulation directions survive.
+    """
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for candidate in _atom_removals(current):
+            if simulation_equivalent(current, candidate, witnesses=witnesses):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def _atom_removals(query):
+    """Yield copies of *query* with one own-atom of one node removed."""
+    paths = list(query.paths())
+    for path in paths:
+        node = query.node_at(path)
+        for index in range(len(node.own_atoms)):
+            rebuilt = _rebuild_without(query, path, index)
+            if rebuilt is not None:
+                yield rebuilt
+
+
+def _rebuild_without(query, target_path, atom_index):
+    def walk(node, path):
+        own_atoms = node.own_atoms
+        if path == target_path:
+            own_atoms = own_atoms[:atom_index] + own_atoms[atom_index + 1:]
+        children = tuple(
+            walk(child, path + (child.label,)) for child in node.children
+        )
+        return GroupingNode(
+            node.label, own_atoms, dict(node.values), node.index, children
+        )
+
+    try:
+        return GroupingQuery(walk(query.root, ()), query.name)
+    except Exception:
+        return None  # removal unbinds a value/index variable

@@ -1,0 +1,42 @@
+"""Pretty-printing for grouping queries.
+
+Renders a grouping-query tree in the paper's indexed-query notation:
+one line per set node, with its index variables, value columns, and the
+atoms it introduces::
+
+    q0()               [a: X] :- r(X)
+    q1(X) "kids"       [b: Y] :- s(X, Y)
+
+The rendering is for humans (debugging, examples, teaching); it is not
+a parseable syntax.
+"""
+
+__all__ = ["format_grouping", "format_certificate"]
+
+
+def format_grouping(query):
+    """Render a :class:`GroupingQuery` as indexed-query text."""
+    lines = []
+    paths = query.paths()
+    for position, (path, node) in enumerate(sorted(paths.items())):
+        index = ", ".join(v.name for v in node.index)
+        values = ", ".join(
+            "%s: %r" % (name, term) for name, term in node.values
+        )
+        atoms = ", ".join(repr(a) for a in node.own_atoms) or "true"
+        label = '"%s"' % "/".join(path) if path else "(root)"
+        lines.append(
+            "q%d(%s) %-12s [%s] :- %s" % (position, index, label, values, atoms)
+        )
+    return "\n".join(lines)
+
+
+def format_certificate(certificate):
+    """Render a :class:`SimulationCertificate` mapping, sorted."""
+    lines = ["witnesses per node: %d" % certificate.witnesses]
+    for var, value in sorted(certificate.mapping.items(), key=lambda p: p[0].name):
+        lines.append("  %s ↦ %r" % (var.name, value))
+    for path, choice in sorted(certificate.index_choice.items()):
+        label = "/".join(path) or "(root)"
+        lines.append("  index[%s] = %r" % (label, choice))
+    return "\n".join(lines)

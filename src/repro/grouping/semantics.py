@@ -1,0 +1,90 @@
+"""Semantics of grouping queries over flat databases.
+
+Two views of the same answer:
+
+* :func:`node_groups` — the indexed view the decision procedures reason
+  about: for every node, a map from index values to the set of rows of
+  that group.  A row is ``(values, child_keys)`` where *child_keys* are
+  the index values of the element's set-valued components.
+* :func:`evaluate_grouping` — the complex-object view: the nested value
+  (a :class:`repro.objects.values.CSet` of records) the query denotes.
+
+The group of node *n* at index ``ī`` holds one row per satisfying
+assignment of *n*'s full body (ancestor + own atoms) with the index
+variables pinned to ``ī``.  A child key that no assignment of the child
+body realises denotes the empty set — this is how COQL answers acquire
+empty inner sets, and why equivalence is more delicate than containment
+(paper, Sections 3.2 and 5).
+"""
+
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.evaluate import evaluate_bindings
+from repro.cq.terms import is_var
+from repro.objects.values import Record, CSet
+
+__all__ = ["node_groups", "evaluate_grouping", "reachable_keys"]
+
+
+def node_groups(query, database):
+    """Compute ``{path: {index_values: frozenset(rows)}}`` for every node.
+
+    Rows are ``(values, child_keys)``: *values* is the tuple of the
+    node's value columns, *child_keys* the tuple (aligned with
+    ``node.children``) of child index values.
+    """
+    groups = {}
+    for path, node in query.paths().items():
+        body = query.full_body(path)
+        per_index = {}
+        carrier = ConjunctiveQuery((), body, query.name)
+        for binding in evaluate_bindings(carrier, database):
+            key = tuple(binding[v] for v in node.index)
+            values = tuple(
+                binding[t] if is_var(t) else t.value for __, t in node.values
+            )
+            child_keys = tuple(
+                tuple(binding[v] for v in child.index) for child in node.children
+            )
+            per_index.setdefault(key, set()).add((values, child_keys))
+        groups[path] = {key: frozenset(rows) for key, rows in per_index.items()}
+    return groups
+
+
+def reachable_keys(query, groups):
+    """``{path: set(index values)}`` of the keys reachable from the root.
+
+    The root key ``()`` is always reachable.  A child key is reachable
+    when some row of a reachable parent group carries it — whether or not
+    the child group is non-empty (an unrealised key denotes ``{}``).
+    """
+    reachable = {path: set() for path in groups}
+    reachable[()].add(())
+
+    def walk(path, node, key):
+        for values, child_keys in groups[path].get(key, ()):
+            for child, child_key in zip(node.children, child_keys):
+                child_path = path + (child.label,)
+                if child_key not in reachable[child_path]:
+                    reachable[child_path].add(child_key)
+                    walk(child_path, child, child_key)
+
+    walk((), query.root, ())
+    return reachable
+
+
+def evaluate_grouping(query, database):
+    """Evaluate the query to its nested complex-object answer."""
+    groups = node_groups(query, database)
+
+    def build(path, node, key):
+        elements = []
+        for values, child_keys in groups[path].get(key, ()):
+            fields = dict(zip(node.value_names(), values))
+            for child, child_key in zip(node.children, child_keys):
+                fields[child.label] = build(
+                    path + (child.label,), child, child_key
+                )
+            elements.append(Record(fields))
+        return CSet(elements)
+
+    return build((), query.root, ())

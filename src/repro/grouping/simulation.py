@@ -1,0 +1,222 @@
+"""The simulation decision procedure (paper, Section 5).
+
+``Q ⊴ Q'`` (*Q is simulated by Q'*) iff for every database each group of
+Q is contained in some group of Q', with the index correspondence chosen
+uniformly: at nesting depth *d* the condition has *d+1* quantifier
+alternations, e.g. for depth 2::
+
+    ∀I ∃I' ∀S ∀C .  Q1(S,I) ∧ Q2(I,C)  ⟹  Q'1(S,I') ∧ Q'2(I',C)
+
+The paper shows the condition is decidable (its negation falls in Class
+1.2 of [19]) and, the new result, NP-complete.  The NP certificate is an
+**extended containment mapping**: a homomorphism φ from Q' into the body
+of Q augmented with *witness copies*:
+
+* the *generic copy* — Q's full tree body, frozen;
+* for every set node *n* of Q, *k* fresh copies of *n*'s full body that
+  share exactly the index variables of *n* and of *n*'s parent with the
+  generic copy (they are extra rows in the same group).
+
+φ must (1) map every atom of Q' into this augmented body, (2) map Q's
+value columns identically onto the generic copy's value columns, and
+(3) map each index variable of Q' at node *n* only to values available
+when ``I'_n`` is chosen: generic index values along *n*'s chain, witness
+values of copies at *n* or its ancestors, and constants — never to
+row-private values of the generic copy.
+
+Soundness: pin one satisfying assignment per witness copy (they exist
+whenever the group chain is non-empty); the resulting ``I'_n`` is then
+uniform across all rows of the group, and φ extends every row assignment
+to a proof of membership in the chosen Q'-group.  Completeness: on the
+canonical database "generic row + k interchangeable witness rows per
+group", an automorphism/pigeonhole argument relocates any semantic
+covering onto a certificate, for ``k = |vars(Q')|``.
+
+The procedures here are validated against independent semantic checks in
+:mod:`repro.grouping.bruteforce` (see tests).
+"""
+
+from repro.errors import ReproError
+from repro.cq.terms import Var, Const, Atom, is_var
+from repro.cq.query import frozen_constant
+from repro.cq.homomorphism import find_homomorphism
+
+__all__ = [
+    "SimulationCertificate",
+    "simulation_certificate",
+    "is_simulated",
+    "build_simulation_target",
+]
+
+
+class SimulationCertificate:
+    """A successful extended containment mapping.
+
+    Attributes:
+        mapping: ``{Var: value}`` over the superquery's variables.
+        witnesses: the number *k* of witness copies per node used.
+        index_choice: ``{path: tuple-of-values}`` — the (symbolic) group
+            correspondence the certificate encodes, evaluated on the
+            canonical database.
+    """
+
+    __slots__ = ("mapping", "witnesses", "index_choice")
+
+    def __init__(self, mapping, witnesses, index_choice):
+        self.mapping = dict(mapping)
+        self.witnesses = witnesses
+        self.index_choice = dict(index_choice)
+
+    def __repr__(self):
+        return "SimulationCertificate(witnesses=%d, vars=%d)" % (
+            self.witnesses,
+            len(self.mapping),
+        )
+
+
+def _generic_value(var):
+    return frozen_constant(var, "@g")
+
+
+def _witness_value(var, path, copy):
+    return frozen_constant(var, "@w:%s:%d" % ("/".join(path), copy))
+
+
+def build_simulation_target(sub, witnesses):
+    """Build the augmented body of *sub* used as homomorphism target.
+
+    Returns ``(atoms, available)`` where *atoms* are the ground target
+    atoms and *available* maps each path of *sub* to the set of values an
+    index variable of the matched superquery node may take at that path
+    (generic chain-index values, witness values at the path and its
+    ancestors, and all ordinary constants).
+    """
+    paths = sub.paths()
+    generic = {v: Const(_generic_value(v)) for v in sub.variables()}
+    atoms = []
+    constants = set()
+    for node in sub.nodes():
+        for atom in node.own_atoms:
+            ground = atom.substitute(generic)
+            atoms.append(ground)
+            constants.update(
+                t.value
+                for t, orig in zip(ground.args, atom.args)
+                if isinstance(orig, Const)
+            )
+
+    # Witness values available at each path: own + ancestors.
+    witness_values = {path: set() for path in paths}
+    for path, node in paths.items():
+        if not path:
+            continue  # the root has no index, hence no witness copies
+        parent = paths[path[:-1]]
+        shared = set(node.index) | set(parent.index)
+        body = sub.full_body(path)
+        body_vars = sorted({v for atom in body for v in atom.variables()})
+        for copy in range(witnesses):
+            mapping = {}
+            for var in body_vars:
+                if var in shared:
+                    mapping[var] = generic[var]
+                else:
+                    mapping[var] = Const(_witness_value(var, path, copy))
+            for atom in body:
+                atoms.append(atom.substitute(mapping))
+            witness_values[path].update(
+                mapping[v].value for v in body_vars if v not in shared
+            )
+
+    # Chain-index generic values available at each path.
+    available = {}
+    for path, node in paths.items():
+        allowed = set(constants)
+        chain = path
+        while True:
+            chain_node = paths[chain]
+            allowed.update(_generic_value(v) for v in chain_node.index)
+            allowed.update(witness_values.get(chain, ()))
+            if not chain:
+                break
+            chain = chain[:-1]
+        available[path] = allowed
+    return tuple(atoms), available
+
+
+def _value_of_sub_term(term):
+    return _generic_value(term) if is_var(term) else term.value
+
+
+def simulation_certificate(sub, sup, witnesses=None):
+    """Find a certificate that ``sub ⊴ sup``, or return None.
+
+    :param sub: the simulated :class:`GroupingQuery` (the "smaller").
+    :param sup: the simulating query (the "larger").
+    :param witnesses: witness copies per node; defaults to
+        ``max(1, |vars(sup)|)``, the completeness bound.
+    """
+    sub.require_same_shape(sup)
+    if witnesses is None:
+        # Incremental strategy: a certificate into a smaller target stays
+        # valid in a larger one, so try one witness copy first and fall
+        # back to the completeness bound only when needed.
+        bound = max(1, len(sup.variables()))
+        certificate = simulation_certificate(sub, sup, witnesses=1)
+        if certificate is not None or bound == 1:
+            return certificate
+        return simulation_certificate(sub, sup, witnesses=bound)
+    if witnesses < 0:
+        raise ReproError("witnesses must be non-negative")
+
+    target_atoms, available = build_simulation_target(sub, witnesses)
+
+    sub_paths = sub.paths()
+    sup_paths = sup.paths()
+
+    # Pin the value columns of every node pair.
+    fixed = {}
+    for path, sup_node in sup_paths.items():
+        sub_node = sub_paths[path]
+        for (name, sup_term), (__, sub_term) in zip(
+            sup_node.values, sub_node.values
+        ):
+            sub_value = _value_of_sub_term(sub_term)
+            if is_var(sup_term):
+                if fixed.get(sup_term, sub_value) != sub_value:
+                    return None
+                fixed[sup_term] = sub_value
+            elif sup_term.value != sub_value:
+                return None
+
+    # Index variables of sup may only take stage-available values.
+    allowed = {}
+    for path, sup_node in sup_paths.items():
+        for var in sup_node.index:
+            pool = available[path]
+            if var in allowed:
+                allowed[var] = allowed[var] & pool
+            else:
+                allowed[var] = set(pool)
+
+    sup_atoms = tuple(a for node in sup.nodes() for a in node.own_atoms)
+    mapping = find_homomorphism(sup_atoms, target_atoms, fixed=fixed, allowed=allowed)
+    if mapping is None:
+        return None
+    # Index variables that occur in no sup atom (possible when an index
+    # variable is also a value variable already pinned by `fixed`) are
+    # covered; truly unconstrained index variables cannot exist because
+    # grouping-query validation requires them to occur in the parent body.
+    mapping = dict(mapping)
+    for var, value in fixed.items():
+        mapping.setdefault(var, value)
+    index_choice = {
+        path: tuple(mapping.get(v) for v in node.index)
+        for path, node in sup_paths.items()
+    }
+    return SimulationCertificate(mapping, witnesses, index_choice)
+
+
+def is_simulated(sub, sup, witnesses=None):
+    """True iff ``sub ⊴ sup`` (every group of sub lies in a group of sup,
+    on every database)."""
+    return simulation_certificate(sub, sup, witnesses=witnesses) is not None

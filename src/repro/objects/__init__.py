@@ -1,0 +1,62 @@
+"""Complex-object data model (Levy & Suciu, PODS 1997, Section 3).
+
+Complex objects are built recursively from
+
+* **atoms** — values from an infinite domain (here: ``str``, ``int``,
+  ``bool``, ``float``),
+* **records** ``[A1: x1, ..., Ak: xk]`` with named components, and
+* **finite sets** ``{x1, ..., xn}``.
+
+The package provides the value constructors (:class:`Record`,
+:class:`CSet`), the type system (:class:`AtomType`, :class:`RecordType`,
+:class:`SetType`), the Hoare containment order :func:`dominated`, nested
+databases (:class:`Database`), and the index encoding of nested relations
+as flat relations (:func:`encode_database`, :func:`decode_relation`).
+"""
+
+from repro.objects.values import Record, CSet, is_atom, is_complex_object, sort_key
+from repro.objects.types import (
+    AtomType,
+    RecordType,
+    SetType,
+    ATOM,
+    infer_type,
+    conforms,
+    join_types,
+)
+from repro.objects.order import dominated, hoare_leq, hoare_equivalent
+from repro.objects.database import Database, Relation
+from repro.objects.encoding import encode_database, encode_relation, decode_relation
+from repro.objects.graphs import ObjectGraph, to_graph, graph_simulation, value_simulated
+from repro.objects.json_io import dumps_value, loads_value, dumps_database, loads_database
+
+__all__ = [
+    "Record",
+    "CSet",
+    "is_atom",
+    "is_complex_object",
+    "sort_key",
+    "AtomType",
+    "RecordType",
+    "SetType",
+    "ATOM",
+    "infer_type",
+    "conforms",
+    "join_types",
+    "dominated",
+    "hoare_leq",
+    "hoare_equivalent",
+    "Database",
+    "Relation",
+    "encode_database",
+    "encode_relation",
+    "decode_relation",
+    "ObjectGraph",
+    "to_graph",
+    "graph_simulation",
+    "value_simulated",
+    "dumps_value",
+    "loads_value",
+    "dumps_database",
+    "loads_database",
+]

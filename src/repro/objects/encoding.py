@@ -1,0 +1,163 @@
+"""Index encoding of nested relations as flat relations (paper, Sec. 5.1).
+
+"The idea is to replace every inner set (relation) with a fresh atomic
+value, called *index*, and to store separately, in another relation, the
+correspondence between the indexes and the relations they replace"
+(following [21, 18, 39, 25]).
+
+:func:`encode_relation` turns one nested relation ``R`` into a family of
+flat relations: ``R`` itself with every set-valued attribute ``b``
+replaced by an index column, plus one child relation ``R__b`` holding
+``(index, element...)`` pairs, recursively.  Equal inner sets receive the
+same index (value-based indexing), so decoding is exact:
+``decode_relation(encode_relation(R)) == R``.
+"""
+
+from repro.errors import SchemaError
+from repro.objects.values import Record, CSet, sort_key
+from repro.objects.types import AtomType, RecordType, SetType, EmptySetType, ATOM
+
+__all__ = ["encode_relation", "encode_database", "decode_relation", "INDEX_ATTR"]
+
+#: Column name used for the parent-index column of child relations.
+INDEX_ATTR = "__index"
+
+
+def _child_name(parent_name, attr):
+    return "%s__%s" % (parent_name, attr)
+
+
+def _element_record(element):
+    """View a set element as a record (atoms become single-column rows)."""
+    if isinstance(element, Record):
+        return element
+    return Record({"__value": element})
+
+
+def encode_relation(relation):
+    """Encode one nested relation as a dict of flat relations.
+
+    Returns ``{name: Relation}`` containing the flattened root relation
+    under ``relation.name`` plus one child relation per set-valued
+    attribute path.  A flat input is returned unchanged (singleton dict).
+    """
+    from repro.objects.database import Relation
+
+    out = {}
+    indexer = _Indexer(relation.name)
+    root_rows = []
+    root_type = _flatten_type(relation.row_type)
+    for row in relation.rows:
+        root_rows.append(_encode_record(row, relation.name, indexer, out))
+    out[relation.name] = Relation(relation.name, CSet(root_rows), root_type)
+    # Materialise child tables collected by the indexer.
+    for child_name, rows in indexer.tables.items():
+        if rows:
+            out[child_name] = Relation(child_name, CSet(rows))
+        else:
+            out[child_name] = Relation(
+                child_name, CSet(), RecordType({INDEX_ATTR: ATOM})
+            )
+    return out
+
+
+def encode_database(database):
+    """Encode every nested relation of *database*; flat ones pass through."""
+    from repro.objects.database import Database
+
+    relations = []
+    for rel in database.relations():
+        if rel.is_flat():
+            relations.append(rel)
+        else:
+            relations.extend(encode_relation(rel).values())
+    return Database(relations)
+
+
+class _Indexer:
+    """Assigns value-based indexes to inner sets and collects child rows."""
+
+    def __init__(self, root_name):
+        self.root_name = root_name
+        self.tables = {}
+        self._index_of = {}
+
+    def index_for(self, table_name, set_value):
+        key = (table_name, set_value)
+        if key in self._index_of:
+            return self._index_of[key]
+        index = "%s#%d" % (table_name, len(self._index_of))
+        self._index_of[key] = index
+        rows = self.tables.setdefault(table_name, [])
+        for element in set_value:
+            element_rec = _element_record(element)
+            encoded = _encode_record(element_rec, table_name, self, None)
+            rows.append(encoded.replace(**{INDEX_ATTR: index}))
+        return index
+
+
+def _encode_record(record, table_name, indexer, _unused):
+    fields = {}
+    for attr, value in record.items():
+        if isinstance(value, CSet):
+            child = _child_name(table_name, attr)
+            fields[attr] = indexer.index_for(child, value)
+        elif isinstance(value, Record):
+            raise SchemaError(
+                "record-valued attribute %s: flatten records before encoding "
+                "(only sets are indexed)" % attr
+            )
+        else:
+            fields[attr] = value
+    return Record(fields)
+
+
+def _flatten_type(row_type):
+    fields = {}
+    for attr, t in row_type.items():
+        if isinstance(t, (SetType, EmptySetType)):
+            fields[attr] = ATOM  # the index column
+        elif isinstance(t, AtomType):
+            fields[attr] = ATOM
+        else:
+            raise SchemaError("record-valued attribute %s not supported" % attr)
+    return RecordType(fields)
+
+
+def decode_relation(name, tables):
+    """Invert :func:`encode_relation`.
+
+    *tables* is the dict produced by :func:`encode_relation`; *name* the
+    root relation name.  Returns the original nested :class:`Relation`.
+    """
+    from repro.objects.database import Relation
+
+    root = tables[name]
+    rows = [_decode_record(row, name, tables) for row in root.rows]
+    return Relation(name, CSet(rows))
+
+
+def _decode_record(row, table_name, tables):
+    fields = {}
+    for attr, value in row.items():
+        if attr == INDEX_ATTR:
+            continue
+        child = _child_name(table_name, attr)
+        if child in tables:
+            fields[attr] = _decode_set(value, child, tables)
+        else:
+            fields[attr] = value
+    return Record(fields)
+
+
+def _decode_set(index, table_name, tables):
+    members = []
+    for row in tables[table_name].rows:
+        if row[INDEX_ATTR] != index:
+            continue
+        decoded = _decode_record(row, table_name, tables)
+        if decoded.keys() == ("__value",):
+            members.append(decoded["__value"])
+        else:
+            members.append(decoded)
+    return CSet(members)

@@ -1,0 +1,199 @@
+"""Complex objects as rooted graphs; the simulation relation.
+
+The paper notes that its containment order "coincides with the
+simulation relation between complex objects represented as graphs
+[6, 5]" (the UnQL/unstructured-data view).  This module makes the
+coincidence executable:
+
+* :func:`to_graph` — encode a complex-object value as a rooted labelled
+  graph (hash-consed, so shared subvalues share nodes);
+* :class:`ObjectGraph` — a general rooted labelled graph, which may be
+  **cyclic** (the unstructured-data generalization of complex objects);
+* :func:`graph_simulation` — the greatest simulation between two rooted
+  graphs, computed by iterated refinement (works on cyclic graphs);
+* theorem made testable: ``dominated(x, y)`` iff the root of
+  ``to_graph(x)`` is simulated by the root of ``to_graph(y)`` (see
+  ``tests/test_object_graphs.py``).
+
+Node labels: ``("atom", value)`` for atoms, ``("record", attrs)`` for
+records, ``("set",)`` for sets.  Edges are labelled with the record
+attribute, or ``"∈"`` for set membership.
+"""
+
+from repro.errors import ValueConstructionError, ReproError
+from repro.objects.values import Record, CSet, is_atom
+
+__all__ = ["ObjectGraph", "to_graph", "graph_simulation", "value_simulated"]
+
+#: Edge label for set membership.
+MEMBER = "∈"
+
+
+class ObjectGraph:
+    """A rooted, edge-labelled graph over complex-object node labels.
+
+    Nodes are arbitrary hashable identifiers; ``labels[node]`` is one of
+    ``("atom", value)``, ``("record", (attr, ...))``, ``("set",)``;
+    ``edges`` maps ``(node, edge label)`` to a tuple of successor nodes
+    (record nodes have exactly one successor per attribute; set nodes
+    any number of ``∈`` successors).  Cycles are allowed.
+    """
+
+    __slots__ = ("root", "labels", "edges")
+
+    def __init__(self, root, labels, edges):
+        self.root = root
+        self.labels = dict(labels)
+        self.edges = {key: tuple(value) for key, value in edges.items()}
+        self._validate()
+
+    def _validate(self):
+        if self.root not in self.labels:
+            raise ReproError("root %r has no label" % (self.root,))
+        for (node, label), successors in self.edges.items():
+            if node not in self.labels:
+                raise ReproError("edge from unlabelled node %r" % (node,))
+            for successor in successors:
+                if successor not in self.labels:
+                    raise ReproError(
+                        "edge to unlabelled node %r" % (successor,)
+                    )
+            kind = self.labels[node][0]
+            if kind == "atom":
+                raise ReproError("atom node %r has outgoing edges" % (node,))
+            if kind == "record" and label == MEMBER:
+                raise ReproError("record node %r has a ∈ edge" % (node,))
+            if kind == "set" and label != MEMBER:
+                raise ReproError(
+                    "set node %r has a non-∈ edge %r" % (node, label)
+                )
+
+    def successors(self, node, label):
+        return self.edges.get((node, label), ())
+
+    def nodes(self):
+        return tuple(self.labels)
+
+    def __repr__(self):
+        return "ObjectGraph(root=%r, nodes=%d, edges=%d)" % (
+            self.root,
+            len(self.labels),
+            sum(len(v) for v in self.edges.values()),
+        )
+
+
+def to_graph(value):
+    """Encode a complex-object value as an :class:`ObjectGraph`.
+
+    Hash-consed: structurally equal subvalues share a node, so the graph
+    is a DAG whose size is the number of distinct subvalues.
+    """
+    labels = {}
+    edges = {}
+    ids = {}
+
+    def intern(v):
+        key = v
+        if key in ids:
+            return ids[key]
+        if is_atom(v):
+            node = ("a", len(ids))
+            labels[node] = ("atom", v)
+        elif isinstance(v, Record):
+            node = ("r", len(ids))
+            labels[node] = ("record", v.keys())
+        elif isinstance(v, CSet):
+            node = ("s", len(ids))
+            labels[node] = ("set",)
+        else:
+            raise ValueConstructionError("not a complex object: %r" % (v,))
+        ids[key] = node
+        if isinstance(v, Record):
+            for attr, component in v.items():
+                edges[(node, attr)] = (intern(component),)
+        elif isinstance(v, CSet):
+            members = tuple(intern(m) for m in v)
+            if members:
+                edges[(node, MEMBER)] = members
+        return node
+
+    root = intern(value)
+    return ObjectGraph(root, labels, edges)
+
+
+def graph_simulation(left, right):
+    """The greatest simulation from *left* into *right*.
+
+    A relation R over nodes is a simulation when ``(x, y) ∈ R`` implies
+
+    * labels are compatible: atoms equal; records with equal attribute
+      sets; sets with sets;
+    * records: for every attribute a, ``(x.a, y.a) ∈ R``;
+    * sets: every ∈-successor of x is R-related to some ∈-successor
+      of y.
+
+    Computed by iterated refinement from the label-compatible relation —
+    terminates on cyclic graphs (greatest fixpoint).
+
+    :returns: the simulation as a set of ``(left node, right node)``.
+    """
+    relation = set()
+    for x in left.nodes():
+        for y in right.nodes():
+            if _labels_compatible(left.labels[x], right.labels[y]):
+                relation.add((x, y))
+
+    changed = True
+    while changed:
+        changed = False
+        for pair in tuple(relation):
+            if not _pair_ok(pair, left, right, relation):
+                relation.discard(pair)
+                changed = True
+    return relation
+
+
+def _labels_compatible(left_label, right_label):
+    if left_label[0] != right_label[0]:
+        return False
+    if left_label[0] == "atom":
+        return left_label[1] == right_label[1]
+    if left_label[0] == "record":
+        return left_label[1] == right_label[1]
+    return True
+
+
+def _pair_ok(pair, left, right, relation):
+    x, y = pair
+    label = left.labels[x]
+    if label[0] == "atom":
+        return True
+    if label[0] == "record":
+        for attr in label[1]:
+            xs = left.successors(x, attr)
+            ys = right.successors(y, attr)
+            if not xs or not ys:
+                return False
+            if (xs[0], ys[0]) not in relation:
+                return False
+        return True
+    # set node
+    for member in left.successors(x, MEMBER):
+        if not any(
+            (member, candidate) in relation
+            for candidate in right.successors(y, MEMBER)
+        ):
+            return False
+    return True
+
+
+def value_simulated(lower, upper):
+    """``lower ⊑ upper`` via graph simulation.
+
+    Coincides with :func:`repro.objects.order.dominated` (tested); kept
+    as an independent implementation of the order and as the entry point
+    for cyclic/unstructured data.
+    """
+    left = to_graph(lower)
+    right = to_graph(upper)
+    return (left.root, right.root) in graph_simulation(left, right)

@@ -1,0 +1,100 @@
+"""JSON (de)serialization for complex objects and databases.
+
+Complex objects map onto JSON naturally — records become objects, sets
+become arrays (sorted deterministically on output) — except that JSON
+arrays are ordered and may contain duplicates, both of which the set
+constructor erases.  The mapping here is therefore lossy only in the
+harmless direction: ``from_json(to_json(v)) == v`` for every complex
+object *v* (property-tested).
+
+Records whose attribute set could be confused with the encoding itself
+need no escaping because atoms, objects, and arrays occupy disjoint
+JSON syntactic classes.
+"""
+
+import json
+
+from repro.errors import ValueConstructionError, SchemaError
+from repro.objects.values import Record, CSet, is_atom
+from repro.objects.database import Database, Relation
+
+__all__ = [
+    "value_to_jsonable",
+    "value_from_jsonable",
+    "dumps_value",
+    "loads_value",
+    "dumps_database",
+    "loads_database",
+]
+
+
+def value_to_jsonable(value):
+    """Complex object → plain Python (dict/list/scalars)."""
+    if is_atom(value):
+        return value
+    if isinstance(value, Record):
+        return {name: value_to_jsonable(v) for name, v in value.items()}
+    if isinstance(value, CSet):
+        return [value_to_jsonable(v) for v in value]  # deterministic order
+    raise ValueConstructionError("not a complex object: %r" % (value,))
+
+
+def value_from_jsonable(data):
+    """Plain Python (from JSON) → complex object.
+
+    Dicts become records, lists become sets (duplicates collapse),
+    scalars become atoms.  ``None`` is rejected: complex objects have no
+    null.
+    """
+    if data is None:
+        raise ValueConstructionError("complex objects have no null value")
+    if isinstance(data, (str, int, float, bool)):
+        return data
+    if isinstance(data, dict):
+        return Record({k: value_from_jsonable(v) for k, v in data.items()})
+    if isinstance(data, list):
+        return CSet([value_from_jsonable(v) for v in data])
+    raise ValueConstructionError("cannot decode %r" % (data,))
+
+
+def dumps_value(value, **kwargs):
+    """Serialize a complex object to a JSON string."""
+    return json.dumps(value_to_jsonable(value), **kwargs)
+
+
+def loads_value(text):
+    """Deserialize a complex object from a JSON string."""
+    return value_from_jsonable(json.loads(text))
+
+
+def dumps_database(database, **kwargs):
+    """Serialize a database to JSON: ``{relation: [row, ...]}``."""
+    payload = {
+        name: [value_to_jsonable(row) for row in database[name]]
+        for name in database.names()
+    }
+    return json.dumps(payload, **kwargs)
+
+
+def loads_database(text):
+    """Deserialize a database from JSON produced by :func:`dumps_database`.
+
+    Empty relations are dropped (their schema is not recoverable from
+    JSON); pass explicit schemas to :meth:`Database.from_dict` when empty
+    relations matter.
+    """
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise SchemaError("a database JSON document must be an object")
+    relations = []
+    for name, rows in payload.items():
+        if not rows:
+            continue
+        decoded = [value_from_jsonable(row) for row in rows]
+        for row in decoded:
+            if not isinstance(row, Record):
+                raise SchemaError(
+                    "relation %s: rows must be JSON objects" % name
+                )
+        relations.append(Relation(name, CSet(decoded)))
+    return Database(relations)

@@ -1,0 +1,66 @@
+"""The containment order on complex objects (paper, Section 3.2).
+
+Set inclusion is not preserved by nesting, so the paper adopts the weakest
+order relation that (a) restricts to set inclusion on flat relations and
+(b) is preserved by the complex-object constructors:
+
+* on atoms: ``x ⊑ y  iff  x = y``;
+* on records: componentwise;
+* on sets: ``S ⊑ S'  iff  ∀x ∈ S. ∃y ∈ S'. x ⊑ y``.
+
+This is the lower (Hoare) powerdomain ordering [22] and coincides with the
+simulation relation between complex objects represented as graphs [6, 5].
+It was previously used for Verso relations [4], partial information [8]
+and or-sets [32].
+
+Note that ``⊑`` is a preorder, not a partial order, on nested values:
+``{{a}, {a,b}}`` and ``{{a,b}}`` dominate each other but differ.  On flat
+relations mutual domination implies equality.
+"""
+
+from repro.errors import ValueConstructionError
+from repro.objects.values import Record, CSet, is_atom
+
+__all__ = ["dominated", "hoare_leq", "hoare_equivalent"]
+
+
+def dominated(lower, upper):
+    """Return True when ``lower ⊑ upper`` in the Hoare order.
+
+    >>> dominated(CSet([1]), CSet([1, 2]))
+    True
+    >>> dominated(CSet([CSet([])]), CSet([CSet([1])]))
+    True
+    >>> dominated(CSet([1, 2]), CSet([1]))
+    False
+    """
+    if is_atom(lower) and is_atom(upper):
+        return lower == upper
+    if isinstance(lower, Record) and isinstance(upper, Record):
+        if lower.keys() != upper.keys():
+            return False
+        return all(dominated(lower[k], upper[k]) for k in lower.keys())
+    if isinstance(lower, CSet) and isinstance(upper, CSet):
+        return all(
+            any(dominated(x, y) for y in upper.elements())
+            for x in lower.elements()
+        )
+    if not _valid(lower) or not _valid(upper):
+        raise ValueConstructionError(
+            "dominated() expects complex objects, got %r and %r" % (lower, upper)
+        )
+    # Well-formed values of different kinds are incomparable.
+    return False
+
+
+def _valid(value):
+    return is_atom(value) or isinstance(value, (Record, CSet))
+
+
+#: Alias emphasising the powerdomain reading of the order.
+hoare_leq = dominated
+
+
+def hoare_equivalent(left, right):
+    """Mutual domination (the paper's *weak equality* of answers)."""
+    return dominated(left, right) and dominated(right, left)

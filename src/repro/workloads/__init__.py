@@ -1,0 +1,34 @@
+"""Workload generators: random databases and query families.
+
+Used by the property tests (randomized cross-validation of the decision
+procedures against the brute-force semantic checks) and by the benchmark
+harness (scaling families: chains, stars, and random queries).
+"""
+
+from repro.workloads.generators import (
+    random_flat_database,
+    random_cq,
+    random_grouping_query,
+    chain_query,
+    star_query,
+    chain_grouping_query,
+    random_coql,
+    random_coql_deep,
+    COQL_SCHEMA,
+)
+from repro.workloads.scenarios import Scenario, company_scenario, orders_scenario
+
+__all__ = [
+    "random_flat_database",
+    "random_cq",
+    "random_grouping_query",
+    "chain_query",
+    "star_query",
+    "chain_grouping_query",
+    "random_coql",
+    "random_coql_deep",
+    "COQL_SCHEMA",
+    "Scenario",
+    "company_scenario",
+    "orders_scenario",
+]

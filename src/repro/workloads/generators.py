@@ -1,0 +1,305 @@
+"""Random and structured generators for databases and queries.
+
+All generators take a :class:`random.Random` instance (or a seed) so
+experiments are reproducible.
+"""
+
+import random
+
+from repro.objects.database import Database, Relation
+from repro.objects.values import Record, CSet
+from repro.cq.terms import Var, Const, Atom
+from repro.cq.query import ConjunctiveQuery, positional_columns
+from repro.grouping.query import GroupingNode, GroupingQuery
+
+__all__ = [
+    "random_flat_database",
+    "random_cq",
+    "random_grouping_query",
+    "chain_query",
+    "star_query",
+    "chain_grouping_query",
+    "random_coql",
+    "COQL_SCHEMA",
+]
+
+
+def _rng(seed_or_rng):
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def random_flat_database(schema, rows=4, domain=4, seed=0):
+    """A random flat database.
+
+    :param schema: ``{relation name: arity}``.
+    :param rows: rows per relation (each drawn uniformly; duplicates
+        collapse, so relations may end up smaller).
+    :param domain: atoms are drawn from ``0 .. domain-1``.
+    """
+    rng = _rng(seed)
+    relations = []
+    for name in sorted(schema):
+        arity = schema[name]
+        cols = positional_columns(arity)
+        records = []
+        for __ in range(rows):
+            records.append(
+                Record({c: rng.randrange(domain) for c in cols})
+            )
+        relations.append(Relation(name, CSet(records)))
+    return Database(relations)
+
+
+def random_cq(schema, atoms=3, variables=4, head_arity=2, seed=0, constants=0):
+    """A random conjunctive query over *schema* (``{name: arity}``).
+
+    Variables are drawn from a pool of size *variables*; with probability
+    proportional to *constants* an argument position becomes a small
+    integer constant instead.  The head picks *head_arity* variables that
+    occur in the body (so the query is always safe).
+    """
+    rng = _rng(seed)
+    pool = [Var("X%d" % i) for i in range(variables)]
+    names = sorted(schema)
+    body = []
+    for __ in range(atoms):
+        name = rng.choice(names)
+        args = []
+        for __ in range(schema[name]):
+            if constants and rng.random() < constants / (constants + 4):
+                args.append(Const(rng.randrange(3)))
+            else:
+                args.append(rng.choice(pool))
+        body.append(Atom(name, args))
+    body_vars = sorted({v for atom in body for v in atom.variables()})
+    if not body_vars:
+        head = ()
+    else:
+        head = tuple(
+            rng.choice(body_vars) for __ in range(min(head_arity, len(body_vars)))
+        )
+    return ConjunctiveQuery(head, body, "q")
+
+
+def chain_query(length, head_arity=2, pred="e"):
+    """The path query ``q(X0, Xn) :- e(X0,X1), ..., e(Xn-1,Xn)``."""
+    variables = [Var("X%d" % i) for i in range(length + 1)]
+    body = [
+        Atom(pred, (variables[i], variables[i + 1])) for i in range(length)
+    ]
+    head = (variables[0], variables[-1])[:head_arity]
+    return ConjunctiveQuery(head, body, "chain%d" % length)
+
+
+def star_query(points, pred="e"):
+    """``q(C) :- e(C, X1), ..., e(C, Xk)`` — a star with *points* rays."""
+    center = Var("C")
+    body = [Atom(pred, (center, Var("X%d" % i))) for i in range(points)]
+    return ConjunctiveQuery((center,), body, "star%d" % points)
+
+
+def chain_grouping_query(depth, pred="e", fanout_values=1):
+    """A depth-*d* grouping query over a single binary relation.
+
+    Level 0 selects ``e(X0, X1)`` and exposes ``a0 = X0``; each deeper
+    level *i* joins ``e(X_i, X_{i+1})``, is grouped by ``X_i`` (the
+    parent's last variable) and exposes ``a_i = X_{i+1}``.  Useful as a
+    scaling family for the depth-dependent quantifier alternations.
+    """
+    variables = [Var("X%d" % i) for i in range(depth + 1)]
+
+    def build(level):
+        atoms = (Atom(pred, (variables[level], variables[level + 1])),)
+        values = {"a%d" % level: variables[level + 1]}
+        children = ()
+        if level + 1 < depth:
+            children = (build(level + 1),)
+        label = "root" if level == 0 else "n%d" % level
+        index = () if level == 0 else (variables[level],)
+        return GroupingNode(label, atoms, values, index, children)
+
+    root = build(0)
+    return GroupingQuery(
+        GroupingNode("", root.own_atoms, dict(root.values), (), root.children),
+        "chain_g%d" % depth,
+    )
+
+
+def random_grouping_query(
+    schema,
+    seed=0,
+    depth=2,
+    atoms_per_node=2,
+    variables=5,
+    values_per_node=1,
+    branching=1,
+):
+    """A random grouping-query tree of the given depth over *schema*.
+
+    Each node introduces up to *atoms_per_node* random atoms; child
+    indexes are random non-empty subsets of the parent-scope variables;
+    each node exposes *values_per_node* value columns drawn from its
+    scope.  *branching* children are generated per non-leaf node
+    (labelled ``c0``, ``c1``, …), so ``branching=1`` yields the chain
+    shape and larger values yield proper trees.
+    """
+    rng = _rng(seed)
+    names = sorted(schema)
+    pool = [Var("X%d" % i) for i in range(variables)]
+
+    def make_atoms(count):
+        out = []
+        for __ in range(count):
+            name = rng.choice(names)
+            out.append(
+                Atom(name, tuple(rng.choice(pool) for __ in range(schema[name])))
+            )
+        return tuple(out)
+
+    def build(level, scope):
+        atoms = make_atoms(rng.randint(1, atoms_per_node))
+        new_scope = sorted(
+            set(scope) | {v for a in atoms for v in a.variables()}
+        )
+        values = {}
+        for i in range(values_per_node):
+            values["v%d" % i] = rng.choice(new_scope)
+        children = []
+        if level < depth - 1:
+            for position in range(branching):
+                index_size = rng.randint(1, min(2, len(new_scope)))
+                index = tuple(rng.sample(new_scope, index_size))
+                child = build(level + 1, new_scope)
+                label = "c" if branching == 1 else "c%d" % position
+                children.append(
+                    GroupingNode(
+                        label,
+                        child.own_atoms,
+                        dict(child.values),
+                        index,
+                        child.children,
+                    )
+                )
+        return GroupingNode("", atoms, values, (), tuple(children))
+
+    root = build(0, [])
+    return GroupingQuery(root, "rand_g")
+
+
+#: The fixed flat schema the random COQL generator works over.
+COQL_SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+
+def random_coql(seed=0, depth=2):
+    """A random COQL query over :data:`COQL_SCHEMA`, as concrete syntax.
+
+    Depth 1 produces flat select-from-where queries; depth 2 adds one
+    nested subquery whose conditions may link to the outer variables.
+    All generated queries fall inside the implemented decidable fragment
+    (inner conditions always involve an inner variable).
+    """
+    rng = _rng(seed)
+    relations = sorted(COQL_SCHEMA)
+
+    def outer_path(variables):
+        var = rng.choice(variables)
+        attr = rng.choice(COQL_SCHEMA[var[0]])
+        return "%s.%s" % (var, attr)
+
+    gen_count = rng.randint(1, 2)
+    gens = []
+    variables = []
+    for i in range(gen_count):
+        rel = rng.choice(relations)
+        var = "%s%d" % (rel, i)
+        variables.append(var)
+        gens.append("%s in %s" % (var, rel))
+    conds = []
+    if rng.random() < 0.5 and len(variables) >= 1:
+        left = outer_path(variables)
+        right = outer_path(variables) if rng.random() < 0.7 else str(rng.randrange(2))
+        if left != right:
+            conds.append("%s = %s" % (left, right))
+
+    head_fields = ["v: %s" % outer_path(variables)]
+    if depth >= 2:
+        inner_rel = rng.choice(relations)
+        inner_var = "%s9" % inner_rel
+        inner_conds = []
+        if rng.random() < 0.8:
+            inner_attr = rng.choice(COQL_SCHEMA[inner_rel])
+            partner = (
+                outer_path(variables)
+                if rng.random() < 0.7
+                else str(rng.randrange(2))
+            )
+            inner_conds.append("%s.%s = %s" % (inner_var, inner_attr, partner))
+        inner = "select [w: %s.%s] from %s in %s" % (
+            inner_var,
+            rng.choice(COQL_SCHEMA[inner_rel]),
+            inner_var,
+            inner_rel,
+        )
+        if inner_conds:
+            inner += " where " + " and ".join(inner_conds)
+        head_fields.append("inner: (%s)" % inner)
+
+    text = "select [%s] from %s" % (", ".join(head_fields), ", ".join(gens))
+    if conds:
+        text += " where " + " and ".join(conds)
+    return text
+
+
+def random_coql_deep(seed=0, depth=3):
+    """A random COQL query with *depth* nesting levels (chain-shaped).
+
+    Generalizes :func:`random_coql` to arbitrary depth: each level has
+    one generator, an optional condition that always involves the
+    level's own variable (staying inside the decidable fragment), one
+    atomic head column, and — below the last level — one nested
+    subquery.
+    """
+    rng = _rng(seed)
+    relations = sorted(COQL_SCHEMA)
+    counter = [0]
+
+    def fresh(rel):
+        counter[0] += 1
+        return "%s%d" % (rel, counter[0])
+
+    def path_of(variables):
+        var = rng.choice(variables)
+        rel = var.rstrip("0123456789")
+        return "%s.%s" % (var, rng.choice(COQL_SCHEMA[rel]))
+
+    def build(level, outer_variables):
+        rel = rng.choice(relations)
+        var = fresh(rel)
+        variables = [var]
+        conds = []
+        if rng.random() < 0.7:
+            left = path_of(variables)  # involves the level's own variable
+            if level > 0 and outer_variables and rng.random() < 0.6:
+                right = path_of(outer_variables)
+            elif rng.random() < 0.5:
+                right = path_of(variables)
+            else:
+                right = str(rng.randrange(2))
+            if left != right:
+                conds.append("%s = %s" % (left, right))
+        head_fields = ["v%d: %s" % (level, path_of(variables))]
+        if level + 1 < depth:
+            inner = build(level + 1, variables + list(outer_variables))
+            head_fields.append("inner%d: (%s)" % (level, inner))
+        text = "select [%s] from %s in %s" % (
+            ", ".join(head_fields),
+            var,
+            rel,
+        )
+        if conds:
+            text += " where " + " and ".join(conds)
+        return text
+
+    return build(0, [])

@@ -1,0 +1,131 @@
+"""Named realistic scenarios: schemas, generators, and query sets.
+
+Used by the examples and benchmarks so that workloads read like the
+database settings the paper's introduction has in mind (OQL-era object
+databases: departments with employees, customers with orders) rather
+than synthetic r/s soup.
+"""
+
+import random
+
+from repro.objects.database import Database
+
+__all__ = ["Scenario", "company_scenario", "orders_scenario"]
+
+
+class Scenario:
+    """A schema, a database generator, and named queries."""
+
+    __slots__ = ("name", "schema", "queries", "_generator")
+
+    def __init__(self, name, schema, queries, generator):
+        self.name = name
+        self.schema = schema
+        self.queries = dict(queries)
+        self._generator = generator
+
+    def database(self, scale=1, seed=0):
+        """A reproducible database at the given scale factor."""
+        return self._generator(scale, seed)
+
+    def __repr__(self):
+        return "Scenario(%s, %d queries)" % (self.name, len(self.queries))
+
+
+def company_scenario():
+    """Departments and employees (the OQL classic).
+
+    Queries: group employees under their department; several
+    reformulations with known relationships (equivalent, contained,
+    incomparable) for exercising the deciders.
+    """
+    schema = {
+        "dept": ("dname", "floor"),
+        "emp": ("name", "dep", "salary_band"),
+    }
+
+    def generate(scale, seed):
+        rng = random.Random(seed)
+        departments = [
+            {"dname": "d%d" % i, "floor": rng.randrange(1, 4)}
+            for i in range(2 * scale)
+        ]
+        employees = [
+            {
+                "name": "e%d" % i,
+                "dep": "d%d" % rng.randrange(2 * scale + 1),  # some dangling
+                "salary_band": rng.randrange(3),
+            }
+            for i in range(6 * scale)
+        ]
+        return Database.from_dict({"dept": departments, "emp": employees})
+
+    queries = {
+        "staff_by_dept": (
+            "select [d: x.dname,"
+            " staff: select [n: y.name] from y in emp where y.dep = x.dname]"
+            " from x in dept"
+        ),
+        "staff_by_dept_renamed": (
+            "select [d: dd.dname,"
+            " staff: select [n: ee.name] from ee in emp where ee.dep = dd.dname]"
+            " from dd in dept"
+        ),
+        "staffed_depts_only": (
+            "select [d: x.dname,"
+            " staff: select [n: y.name] from y in emp where y.dep = x.dname]"
+            " from x in dept, w in emp where w.dep = x.dname"
+        ),
+        "all_staff_under_dept": (
+            "select [d: x.dname, staff: select [n: y.name] from y in emp]"
+            " from x in dept"
+        ),
+    }
+    return Scenario("company", schema, queries, generate)
+
+
+def orders_scenario():
+    """Customers, orders, and a gold-tier side table."""
+    schema = {
+        "orders": ("cust", "item"),
+        "catalog": ("item", "category"),
+        "gold": ("cust",),
+    }
+
+    def generate(scale, seed):
+        rng = random.Random(seed)
+        customers = ["c%d" % i for i in range(3 * scale)]
+        items = ["i%d" % i for i in range(4 * scale)]
+        orders = [
+            {"cust": rng.choice(customers), "item": rng.choice(items)}
+            for __ in range(8 * scale)
+        ]
+        catalog = [
+            {"item": item, "category": "cat%d" % rng.randrange(3)}
+            for item in items
+            if rng.random() < 0.8
+        ]
+        gold = [{"cust": c} for c in customers if rng.random() < 0.4]
+        return Database.from_dict(
+            {"orders": orders, "catalog": catalog, "gold": gold}
+        )
+
+    queries = {
+        "basket_per_customer": (
+            "select [c: o.cust,"
+            " items: select [i: p.item] from p in orders where p.cust = o.cust]"
+            " from o in orders"
+        ),
+        "gold_baskets": (
+            "select [c: o.cust,"
+            " items: select [i: p.item] from p in orders where p.cust = o.cust]"
+            " from o in orders, g in gold where g.cust = o.cust"
+        ),
+        "catalogued_baskets": (
+            "select [c: o.cust,"
+            " items: select [i: p.item] from p in orders, k in catalog"
+            " where p.cust = o.cust and k.item = p.item]"
+            " from o in orders"
+        ),
+    }
+    return Scenario("orders", schema, queries, generate)

@@ -1,0 +1,214 @@
+"""Tests for aggregate-query equivalence (paper, Section 7).
+
+The single-block theorem (equivalence ⟺ core CQ equivalence) is
+cross-validated against symbolic evaluation on random databases; the
+nested case against grouping-tree evaluation.
+"""
+
+import pytest
+
+from repro.errors import IncomparableQueriesError
+from repro.cq import parse_query, Var
+from repro.cq.parser import parse_atom
+from repro.aggregates import (
+    AggregateQuery,
+    NestedAggregateQuery,
+    evaluate_aggregate,
+    evaluate_symbolic,
+    aggregate_equivalent,
+    aggregate_contained,
+    nested_aggregate_equivalent,
+)
+from repro.grouping.semantics import evaluate_grouping
+from repro.workloads import random_flat_database
+
+
+def atoms(*texts):
+    return tuple(parse_atom(t) for t in texts)
+
+
+def agg(body_texts, group_by, func="f", target="V"):
+    return AggregateQuery(
+        atoms(*body_texts),
+        tuple(Var(g) for g in group_by),
+        func,
+        Var(target),
+    )
+
+
+class TestSemantics:
+    def test_count(self):
+        query = agg(["r(G, V)"], ["G"], func="count")
+        db = random_flat_database({"r": 2}, rows=6, domain=3, seed=1)
+        result = evaluate_aggregate(query, db)
+        keys = {row[0] for row in result}
+        assert keys == {row[0] for row in evaluate_symbolic(query, db)}
+
+    def test_sum_and_min_max(self):
+        from repro.objects import Database
+
+        db = Database.from_dict(
+            {"r": [{"c00": 1, "c01": 5}, {"c00": 1, "c01": 7}, {"c00": 2, "c01": 9}]}
+        )
+        query = agg(["r(G, V)"], ["G"])
+        assert evaluate_aggregate(query, db, func="sum") == frozenset(
+            {(1, 12), (2, 9)}
+        )
+        assert evaluate_aggregate(query, db, func="min") == frozenset(
+            {(1, 5), (2, 9)}
+        )
+        assert evaluate_aggregate(query, db, func="max") == frozenset(
+            {(1, 7), (2, 9)}
+        )
+
+    def test_symbolic_groups(self):
+        from repro.objects import Database
+
+        db = Database.from_dict(
+            {"r": [{"c00": 1, "c01": 5}, {"c00": 1, "c01": 7}]}
+        )
+        query = agg(["r(G, V)"], ["G"])
+        assert evaluate_symbolic(query, db) == frozenset(
+            {(1, ("f", frozenset({5, 7})))}
+        )
+
+
+class TestSingleBlockEquivalence:
+    def test_redundant_atom(self):
+        q1 = agg(["r(G, V)"], ["G"])
+        q2 = agg(["r(G, V)", "r(G, W)"], ["G"])
+        assert aggregate_equivalent(q1, q2)
+
+    def test_extra_join_not_equivalent(self):
+        q1 = agg(["r(G, V)"], ["G"])
+        q2 = agg(["r(G, V)", "s(G)"], ["G"])
+        assert not aggregate_equivalent(q1, q2)
+        # but contained one way
+        assert aggregate_contained(q1, q2)
+
+    def test_different_funcs_not_equivalent(self):
+        q1 = agg(["r(G, V)"], ["G"], func="f")
+        q2 = agg(["r(G, V)"], ["G"], func="g")
+        assert not aggregate_equivalent(q1, q2)
+
+    def test_group_arity_mismatch_raises(self):
+        q1 = agg(["r(G, V)"], ["G"])
+        q2 = agg(["r(G, V)"], ["G", "G"])
+        with pytest.raises(IncomparableQueriesError):
+            aggregate_equivalent(q1, q2)
+
+    def test_containment_strictness(self):
+        """q2 restricts the groups to keys present in s: results are a
+        subset of q1's (same groups at shared keys)."""
+        q1 = agg(["r(G, V)"], ["G"])
+        q2 = agg(["r(G, V)", "s(G)"], ["G"])
+        assert aggregate_contained(q1, q2)
+        assert not aggregate_contained(q2, q1)
+
+    def test_containment_rejects_shrunk_groups(self):
+        """q3 filters *within* groups, so its groups differ at shared
+        keys: not contained (the aggregate value would change)."""
+        q1 = agg(["r(G, V)"], ["G"])
+        q3 = agg(["r(G, V)", "p(V)"], ["G"])
+        assert not aggregate_contained(q1, q3)
+        assert not aggregate_contained(q3, q1)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_verdicts_match_symbolic_semantics(self, seed):
+        schema = {"r": 2, "s": 1}
+        bodies = [
+            ["r(G, V)"],
+            ["r(G, V)", "r(G, W)"],
+            ["r(G, V)", "s(G)"],
+            ["r(G, V)", "s(V)"],
+            ["r(G, V)", "r(W, V)"],
+        ]
+        import random as _random
+
+        rng = _random.Random(seed)
+        q1 = agg(rng.choice(bodies), ["G"])
+        q2 = agg(rng.choice(bodies), ["G"])
+        verdict = aggregate_equivalent(q1, q2)
+        agree = True
+        for db_seed in range(8):
+            db = random_flat_database(schema, rows=5, domain=3, seed=db_seed)
+            if evaluate_symbolic(q1, db) != evaluate_symbolic(q2, db):
+                agree = False
+                break
+        if verdict:
+            assert agree, (q1, q2)
+        # Negative verdicts should usually be refutable; with this small
+        # pool of bodies, every inequivalent pair is.
+        if agree and not verdict:
+            pytest.fail("decider refuted but no semantic difference found")
+
+    def test_concrete_aggregates_agree_with_verdict(self):
+        q1 = agg(["r(G, V)"], ["G"], func="count")
+        q2 = agg(["r(G, V)", "r(G, W)"], ["G"], func="count")
+        assert aggregate_equivalent(q1, q2)
+        for db_seed in range(5):
+            db = random_flat_database({"r": 2}, rows=5, domain=3, seed=db_seed)
+            assert evaluate_aggregate(q1, db) == evaluate_aggregate(q2, db)
+
+
+class TestNestedAggregates:
+    def body(self):
+        return atoms("r(D, E, V)")
+
+    def test_reflexive(self):
+        q = NestedAggregateQuery(
+            self.body(), [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")], Var("V")
+        )
+        assert nested_aggregate_equivalent(q, q)
+
+    def test_redundant_atom_equivalent(self):
+        q1 = NestedAggregateQuery(
+            self.body(), [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")], Var("V")
+        )
+        q2 = NestedAggregateQuery(
+            atoms("r(D, E, V)", "r(D, E2, V2)"),
+            [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")],
+            Var("V"),
+        )
+        assert nested_aggregate_equivalent(q1, q2)
+
+    def test_filtered_not_equivalent(self):
+        q1 = NestedAggregateQuery(
+            self.body(), [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")], Var("V")
+        )
+        q2 = NestedAggregateQuery(
+            atoms("r(D, E, V)", "s(E)"),
+            [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")],
+            Var("V"),
+        )
+        assert not nested_aggregate_equivalent(q1, q2)
+
+    def test_function_mismatch(self):
+        q1 = NestedAggregateQuery(self.body(), [((Var("D"),), "f")], Var("V"))
+        q2 = NestedAggregateQuery(self.body(), [((Var("D"),), "g")], Var("V"))
+        assert not nested_aggregate_equivalent(q1, q2)
+
+    def test_verdicts_match_grouping_evaluation(self):
+        q1 = NestedAggregateQuery(
+            self.body(), [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")], Var("V")
+        )
+        q2 = NestedAggregateQuery(
+            atoms("r(D, E, V)", "r(D, E2, V2)"),
+            [((Var("D"),), "f"), ((Var("D"), Var("E")), "g")],
+            Var("V"),
+        )
+        assert nested_aggregate_equivalent(q1, q2)
+        g1, g2 = q1.to_grouping(), q2.to_grouping()
+        for db_seed in range(6):
+            db = random_flat_database({"r": 3, "s": 1}, rows=5, domain=3, seed=db_seed)
+            assert evaluate_grouping(g1, db) == evaluate_grouping(g2, db)
+
+    def test_refinement_required(self):
+        from repro.errors import UnsupportedQueryError
+
+        with pytest.raises(UnsupportedQueryError):
+            NestedAggregateQuery(
+                self.body(),
+                [((Var("D"),), "f"), ((Var("E"),), "g")],
+                Var("V"),
+            )

@@ -1,0 +1,148 @@
+"""Tests for COQL minimization and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, _parse_schema
+from repro.errors import ReproError
+from repro.coql import minimize_coql, weakly_equivalent, parse_coql
+from repro.coql.ast import Select
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+
+class TestMinimize:
+    def test_drops_redundant_generator(self):
+        query = "select [v: x.a] from x in r, y in r"
+        minimized = minimize_coql(query, SCHEMA)
+        assert isinstance(minimized, Select)
+        assert len(minimized.generators) == 1
+        assert weakly_equivalent(minimized, parse_coql(query), SCHEMA)
+
+    def test_keeps_necessary_generator(self):
+        query = "select [v: x.a] from x in r, y in s where x.a = y.k"
+        minimized = minimize_coql(query, SCHEMA)
+        assert len(minimized.generators) == 2
+
+    def test_drops_redundant_condition(self):
+        query = "select [v: x.a] from x in r, y in r where y.a = y.a"
+        minimized = minimize_coql(query, SCHEMA)
+        assert len(minimized.conditions) == 0
+        assert len(minimized.generators) == 1
+
+    def test_minimizes_nested_subquery(self):
+        query = (
+            "select [a: x.a, kids: select [b: y.b] from y in s, z in s"
+            " where y.k = x.a] from x in r"
+        )
+        minimized = minimize_coql(query, SCHEMA)
+        inner = minimized.head["kids"]
+        assert len(inner.generators) == 1
+
+    def test_already_minimal_unchanged(self):
+        query = "select [v: x.a] from x in r"
+        minimized = minimize_coql(query, SCHEMA)
+        assert minimized == parse_coql(query)
+
+    def test_result_is_weakly_equivalent(self):
+        query = (
+            "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a]"
+            " from x in r, w in r"
+        )
+        minimized = minimize_coql(query, SCHEMA)
+        assert weakly_equivalent(minimized, parse_coql(query), SCHEMA)
+
+
+class TestCli:
+    def test_parse_schema(self):
+        assert _parse_schema("r:a,b;s:k") == {"r": ("a", "b"), "s": ("k",)}
+        with pytest.raises(ReproError):
+            _parse_schema("  ")
+
+    def test_contain_positive(self, capsys):
+        code = main(
+            [
+                "contain",
+                "--schema",
+                "r:a,b",
+                "select [v: x.a] from x in r",
+                "select [v: x.a] from x in r, y in r where y.a = x.a",
+            ]
+        )
+        assert code == 0
+        assert "contained" in capsys.readouterr().out
+
+    def test_contain_negative(self, capsys):
+        code = main(
+            [
+                "contain",
+                "--schema",
+                "r:a,b;s:k,b",
+                "select [v: x.a] from x in r, y in s where x.a = y.k",
+                "select [v: x.a] from x in r",
+            ]
+        )
+        assert code == 1
+        assert "NOT contained" in capsys.readouterr().out
+
+    def test_equiv_weak(self, capsys):
+        code = main(
+            [
+                "equiv",
+                "--weak",
+                "--schema",
+                "r:a,b",
+                "select [v: x.a] from x in r",
+                "select [v: z.a] from z in r",
+            ]
+        )
+        assert code == 0
+
+    def test_equiv_strict_raises_on_open_case(self, capsys):
+        code = main(
+            [
+                "equiv",
+                "--schema",
+                "r:a,b;s:k,b",
+                "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a] from x in r",
+                "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a] from x in r",
+            ]
+        )
+        assert code == 2  # UnsupportedQueryError -> error exit
+
+    def test_eval(self, tmp_path, capsys):
+        data = tmp_path / "db.json"
+        data.write_text(json.dumps({"r": [{"a": 1, "b": 2}]}))
+        code = main(
+            ["eval", "--data", str(data), "select [v: x.a] from x in r"]
+        )
+        assert code == 0
+        assert "[v: 1]" in capsys.readouterr().out
+
+    def test_minimize(self, capsys):
+        code = main(
+            [
+                "minimize",
+                "--schema",
+                "r:a,b",
+                "select [v: x.a] from x in r, y in r",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "y in r" not in out
+
+    def test_cq_contain(self, capsys):
+        code = main(
+            ["cq-contain", "q(X) :- r(X, Y)", "q(X) :- r(X, Y), s(Y)"]
+        )
+        assert code == 0
+
+    def test_bad_schema_reports_error(self, capsys):
+        code = main(
+            ["contain", "--schema", "", "select [v: x.a] from x in r",
+             "select [v: x.a] from x in r"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

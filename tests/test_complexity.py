@@ -1,0 +1,86 @@
+"""Tests for the NP-hardness reductions and the SAT oracle."""
+
+import pytest
+
+from repro.cq import contains
+from repro.grouping import is_simulated
+from repro.complexity import (
+    solve_sat,
+    random_3sat,
+    coloring_to_containment,
+    sat_to_containment,
+    coloring_to_simulation,
+    random_graph,
+    greedy_is_colorable,
+)
+
+
+class TestSat:
+    def test_satisfiable(self):
+        assert solve_sat([(1, 2), (-1, 2), (1, -2)]) is not None
+
+    def test_unsatisfiable(self):
+        clauses = [(1, 2), (1, -2), (-1, 2), (-1, -2)]
+        assert solve_sat(clauses) is None
+
+    def test_model_satisfies(self):
+        clauses = random_3sat(6, 12, seed=3)
+        model = solve_sat(clauses)
+        if model is not None:
+            for clause in clauses:
+                assert any(
+                    model.get(abs(lit), False) == (lit > 0) for lit in clause
+                )
+
+    def test_empty_formula(self):
+        assert solve_sat([]) == {}
+
+
+class TestColoringReduction:
+    def test_triangle_is_colorable(self):
+        edges = ((0, 1), (1, 2), (0, 2))
+        sub, sup = coloring_to_containment(edges)
+        assert contains(sup, sub)
+
+    def test_k4_is_not_colorable(self):
+        edges = tuple(
+            (i, j) for i in range(4) for j in range(i + 1, 4)
+        )
+        sub, sup = coloring_to_containment(edges)
+        assert not contains(sup, sub)
+
+    def test_odd_cycle_plus(self):
+        # 5-cycle is 3-colorable.
+        edges = tuple((i, (i + 1) % 5) for i in range(5))
+        sub, sup = coloring_to_containment(edges)
+        assert contains(sup, sub)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exact_oracle(self, seed):
+        edges = random_graph(7, 11, seed=seed)
+        sub, sup = coloring_to_containment(edges)
+        assert contains(sup, sub) is greedy_is_colorable(edges)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_simulation_lift_matches(self, seed):
+        edges = random_graph(6, 9, seed=seed)
+        sub, sup = coloring_to_simulation(edges)
+        assert is_simulated(sub, sup, witnesses=1) is greedy_is_colorable(edges)
+
+
+class TestSatReduction:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_dpll(self, seed):
+        clauses = random_3sat(5, 9, seed=seed)
+        sub, sup = sat_to_containment(clauses)
+        assert contains(sup, sub) is (solve_sat(clauses) is not None)
+
+    def test_forced_assignment(self):
+        clauses = [(1,), (-1, 2), (-2, 3)]
+        sub, sup = sat_to_containment(clauses)
+        assert contains(sup, sub)
+
+    def test_contradiction(self):
+        clauses = [(1,), (-1,)]
+        sub, sup = sat_to_containment(clauses)
+        assert not contains(sup, sub)

@@ -1,0 +1,279 @@
+"""Tests for COQL containment / weak equivalence (Theorems 4.1, 4.2).
+
+Includes the empirical validation backbone:
+
+* encoder vs interpreter — the Section-5 encoding evaluates to exactly
+  the interpreter's answer on random databases;
+* containment vs Hoare order — a positive verdict implies answer
+  domination on every sampled database; negative verdicts are probed for
+  semantic refutations;
+* truncation necessity — the case where full simulation holds but
+  containment fails because of elements with empty inner sets.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import IncomparableQueriesError, UnsupportedQueryError
+from repro.objects import Database, Record, CSet, dominated
+from repro.coql import (
+    parse_coql,
+    evaluate_coql,
+    normalize,
+    contains,
+    weakly_equivalent,
+    equivalent,
+    empty_set_free,
+)
+from repro.coql.containment import prepare, as_schema
+from repro.coql.encode import reconstruct_value
+from repro.grouping.semantics import node_groups
+from repro.workloads import random_coql, COQL_SCHEMA
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+
+def random_named_db(seed, rows=4, domain=3):
+    rng = random.Random(seed)
+    tables = {}
+    for name, attrs in SCHEMA.items():
+        tables[name] = [
+            {attr: rng.randrange(domain) for attr in attrs} for __ in range(rows)
+        ]
+    return Database.from_dict(tables)
+
+
+LINKED = (
+    "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a]"
+    " from x in r"
+)
+UNLINKED = (
+    "select [a: x.a, kids: select [b: y.b] from y in s] from x in r"
+)
+
+
+class TestContainmentBasics:
+    def test_linked_below_unlinked(self):
+        assert contains(UNLINKED, LINKED, SCHEMA)
+        assert not contains(LINKED, UNLINKED, SCHEMA)
+
+    def test_self_containment(self):
+        assert contains(LINKED, LINKED, SCHEMA)
+        assert weakly_equivalent(LINKED, LINKED, SCHEMA)
+
+    def test_flat_containment_matches_cq_world(self):
+        narrow = "select [v: x.a] from x in r, y in s where x.a = y.k"
+        wide = "select [v: x.a] from x in r"
+        assert contains(wide, narrow, SCHEMA)
+        assert not contains(narrow, wide, SCHEMA)
+
+    def test_incomparable_shapes_raise(self):
+        with pytest.raises(IncomparableQueriesError):
+            contains("select [v: x.a] from x in r",
+                     "select [w: x.a] from x in r", SCHEMA)
+
+    def test_empty_query_contained_in_everything(self):
+        empty = "select [v: x.a] from x in r where 1 = 2"
+        some = "select [v: x.a] from x in r"
+        assert contains(some, empty, SCHEMA)
+        assert not contains(empty, some, SCHEMA)
+        assert weakly_equivalent(empty, empty, SCHEMA)
+
+    def test_empty_inner_component(self):
+        with_empty = "select [a: x.a, kids: {}] from x in r"
+        assert contains(LINKED, with_empty, SCHEMA)
+        assert not contains(with_empty, LINKED, SCHEMA)
+        assert weakly_equivalent(with_empty, with_empty, SCHEMA)
+
+    def test_truncation_is_necessary(self):
+        """Full simulation holds but containment fails: Q1's elements
+        with empty inner sets have no counterpart in Q2.  This is the
+        paper's reason containment needs the per-emptiness-pattern
+        obligations."""
+        q2 = (
+            "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a]"
+            " from x in r, z in s where z.k = x.a"
+        )
+        # Q2 ⊑ Q1: Q2's rows are a subset, groups identical.
+        assert contains(LINKED, q2, SCHEMA)
+        # Q1 ⋢ Q2: the element (a, {}) exists for r-rows with no s partner.
+        assert not contains(q2, LINKED, SCHEMA)
+        # Semantic witness:
+        db = Database.from_dict(
+            {"r": [{"a": 7, "b": 0}], "s": [{"k": 1, "b": 5}]}
+        )
+        left = evaluate_coql(parse_coql(LINKED), db)
+        right = evaluate_coql(parse_coql(q2), db)
+        assert not dominated(left, right)
+
+    def test_inner_constant_restriction(self):
+        narrow = (
+            "select [a: x.a, kids: select [b: y.b] from y in s "
+            "where y.k = x.a and y.b = 1] from x in r"
+        )
+        assert contains(UNLINKED, narrow, SCHEMA)
+        assert contains(LINKED, narrow, SCHEMA)
+        assert not contains(narrow, LINKED, SCHEMA)
+
+    def test_set_of_sets(self):
+        q1 = "select (select {y.b} from y in s where y.k = x.a) from x in r"
+        assert weakly_equivalent(q1, q1, SCHEMA)
+
+    def test_outer_outer_condition_in_nested_query_unsupported(self):
+        gated = (
+            "select [a: x.a, kids: select [b: y.b] from y in s "
+            "where x.a = x.b] from x in r"
+        )
+        with pytest.raises(UnsupportedQueryError):
+            contains(gated, gated, SCHEMA)
+
+
+class TestEmptySetFreedom:
+    def test_unlinked_inner_is_not_provably_nonempty(self):
+        assert not empty_set_free(LINKED, SCHEMA)
+        assert not empty_set_free(UNLINKED, SCHEMA)
+
+    def test_self_grouping_is_empty_set_free(self):
+        # The nest idiom: group rows of r by a; groups contain at least
+        # the originating row.
+        nest = (
+            "select [a: x.a, grp: select [b: y.b] from y in r where y.a = x.a]"
+            " from x in r"
+        )
+        assert empty_set_free(nest, SCHEMA)
+
+    def test_flat_queries_are_empty_set_free(self):
+        assert empty_set_free("select [v: x.a] from x in r", SCHEMA)
+
+    def test_equivalent_on_empty_set_free(self):
+        nest1 = (
+            "select [a: x.a, grp: select [b: y.b] from y in r where y.a = x.a]"
+            " from x in r"
+        )
+        nest2 = (
+            "select [a: z.a, grp: select [b: w.b] from w in r where w.a = z.a]"
+            " from z in r"
+        )
+        assert equivalent(nest1, nest2, SCHEMA)
+
+    def test_equivalent_raises_otherwise(self):
+        with pytest.raises(UnsupportedQueryError):
+            equivalent(LINKED, LINKED, SCHEMA)
+
+
+class TestEncoderAgainstInterpreter:
+    """The Section-5 encoding is validated against the interpreter."""
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_random_queries_random_databases(self, depth):
+        checked = 0
+        for seed in range(60):
+            text = random_coql(seed=seed, depth=depth)
+            expr = parse_coql(text)
+            encoded = prepare(text, SCHEMA)
+            if encoded.is_empty:
+                continue
+            for db_seed in range(4):
+                db = random_named_db(db_seed)
+                direct = evaluate_coql(expr, db)
+                groups = node_groups(encoded.query, db)
+                rebuilt = reconstruct_value(encoded, groups)
+                assert rebuilt == direct, (text, db_seed)
+            checked += 1
+        assert checked >= 50
+
+    def test_worked_example(self):
+        db = Database.from_dict(
+            {
+                "r": [{"a": 1, "b": 0}, {"a": 9, "b": 0}],
+                "s": [{"k": 1, "b": 5}],
+            }
+        )
+        encoded = prepare(LINKED, SCHEMA)
+        groups = node_groups(encoded.query, db)
+        rebuilt = reconstruct_value(encoded, groups)
+        assert rebuilt == CSet(
+            [
+                Record(a=1, kids=CSet([Record(b=5)])),
+                Record(a=9, kids=CSet()),
+            ]
+        )
+
+
+class TestContainmentAgainstSemantics:
+    """Verdicts cross-checked against the Hoare order on answers."""
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_soundness(self, depth):
+        positive = 0
+        for seed in range(25):
+            q1 = random_coql(seed=seed, depth=depth)
+            q2 = random_coql(seed=seed + 3000, depth=depth)
+            pairs = [(q1, q2)]
+            if seed % 4 == 0:
+                pairs.append((q1, q1))  # guaranteed-positive pair
+            for sub_text, sup_text in pairs:
+                try:
+                    verdict = contains(sup_text, sub_text, SCHEMA)
+                except IncomparableQueriesError:
+                    continue
+                if not verdict:
+                    continue
+                positive += 1
+                sub_expr, sup_expr = parse_coql(sub_text), parse_coql(sup_text)
+                for db_seed in range(5):
+                    db = random_named_db(db_seed)
+                    assert dominated(
+                        evaluate_coql(sub_expr, db), evaluate_coql(sup_expr, db)
+                    ), (sub_text, sup_text, db_seed)
+        assert positive >= 5
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_negative_verdicts_usually_refutable(self, depth):
+        """A False verdict should usually be witnessed by a database where
+        domination fails (random probing; not every counterexample is
+        found, so this asserts a healthy refutation rate, not 100%)."""
+        negatives = 0
+        refuted = 0
+        for seed in range(20):
+            q1 = random_coql(seed=seed, depth=depth)
+            q2 = random_coql(seed=seed + 3000, depth=depth)
+            try:
+                if contains(q2, q1, SCHEMA):
+                    continue
+            except IncomparableQueriesError:
+                continue
+            negatives += 1
+            e1, e2 = parse_coql(q1), parse_coql(q2)
+            for db_seed in range(25):
+                db = random_named_db(db_seed, rows=5, domain=3)
+                if not dominated(evaluate_coql(e1, db), evaluate_coql(e2, db)):
+                    refuted += 1
+                    break
+        assert negatives >= 5
+        assert refuted >= negatives * 0.6
+
+
+class TestConservativity:
+    """COQL over flat relations = conjunctive queries (the paper's
+    conservativity claim after [43])."""
+
+    def test_flat_verdicts_match_cq_containment(self):
+        from repro.cq import parse_query, contains as cq_contains
+
+        pairs = [
+            (
+                "select [v: x.a] from x in r",
+                "q(V) :- r(V, B)",
+                "select [v: x.a] from x in r, y in s where x.a = y.k",
+                "q(V) :- r(V, B), s(B2, V)",
+            ),
+        ]
+        coql_wide, cq_wide, coql_narrow, cq_narrow = pairs[0]
+        assert contains(coql_wide, coql_narrow, SCHEMA) is cq_contains(
+            parse_query(cq_wide), parse_query(cq_narrow)
+        )
+        assert contains(coql_narrow, coql_wide, SCHEMA) is cq_contains(
+            parse_query(cq_narrow), parse_query(cq_wide)
+        )

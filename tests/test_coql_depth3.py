@@ -1,0 +1,126 @@
+"""Depth-3 COQL cross-validation: encoder vs interpreter and
+containment vs Hoare semantics at three nesting levels."""
+
+import random
+
+import pytest
+
+from repro.errors import IncomparableQueriesError
+from repro.objects import Database, dominated
+from repro.coql import parse_coql, evaluate_coql, contains, weakly_equivalent
+from repro.coql.containment import prepare
+from repro.coql.encode import reconstruct_value
+from repro.grouping.semantics import node_groups
+from repro.workloads import random_coql_deep
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+
+def random_named_db(seed, rows=3, domain=2):
+    rng = random.Random(seed)
+    return Database.from_dict(
+        {
+            name: [
+                {attr: rng.randrange(domain) for attr in attrs}
+                for __ in range(rows)
+            ]
+            for name, attrs in SCHEMA.items()
+        }
+    )
+
+
+class TestEncoderDepth3:
+    def test_random_queries_match_interpreter(self):
+        checked = 0
+        for seed in range(20):
+            text = random_coql_deep(seed=seed, depth=3)
+            encoded = prepare(text, SCHEMA)
+            if encoded.is_empty:
+                continue
+            expr = parse_coql(text)
+            for db_seed in range(3):
+                db = random_named_db(db_seed)
+                direct = evaluate_coql(expr, db)
+                rebuilt = reconstruct_value(
+                    encoded, node_groups(encoded.query, db)
+                )
+                assert rebuilt == direct, (text, db_seed)
+            checked += 1
+        assert checked >= 15
+
+    def test_handwritten_three_levels(self):
+        text = (
+            "select [a: x.a,"
+            " mids: select [k: y.k,"
+            "  leaves: select [b: z.b] from z in s where z.k = y.k]"
+            " from y in s where y.k = x.a]"
+            " from x in r"
+        )
+        encoded = prepare(text, SCHEMA)
+        assert encoded.query.depth() == 3
+        db = Database.from_dict(
+            {
+                "r": [{"a": 1, "b": 0}],
+                "s": [{"k": 1, "b": 5}, {"k": 1, "b": 6}],
+            }
+        )
+        direct = evaluate_coql(parse_coql(text), db)
+        rebuilt = reconstruct_value(encoded, node_groups(encoded.query, db))
+        assert rebuilt == direct
+
+
+class TestContainmentDepth3:
+    def test_self_weak_equivalence(self):
+        checked = 0
+        for seed in range(8):
+            text = random_coql_deep(seed=seed, depth=3)
+            try:
+                assert weakly_equivalent(text, text, SCHEMA), text
+            except IncomparableQueriesError:
+                continue
+            checked += 1
+        assert checked >= 6
+
+    def test_soundness_against_hoare(self):
+        positive = 0
+        for seed in range(10):
+            q1 = random_coql_deep(seed=seed, depth=3)
+            q2 = random_coql_deep(seed=seed + 2000, depth=3)
+            pairs = [(q1, q2)]
+            if seed % 3 == 0:
+                pairs.append((q1, q1))
+            for sub_text, sup_text in pairs:
+                try:
+                    if not contains(sup_text, sub_text, SCHEMA):
+                        continue
+                except IncomparableQueriesError:
+                    continue
+                positive += 1
+                sub_expr, sup_expr = parse_coql(sub_text), parse_coql(sup_text)
+                for db_seed in range(3):
+                    db = random_named_db(db_seed)
+                    assert dominated(
+                        evaluate_coql(sub_expr, db),
+                        evaluate_coql(sup_expr, db),
+                    ), (sub_text, sup_text, db_seed)
+        assert positive >= 3
+
+    def test_three_level_link_hierarchy(self):
+        """Dropping the innermost link widens the query; dropping the
+        middle link widens it further — verified at depth 3."""
+        tight = (
+            "select [a: x.a,"
+            " mids: select [k: y.k,"
+            "  leaves: select [b: z.b] from z in s where z.k = y.k]"
+            " from y in s where y.k = x.a]"
+            " from x in r"
+        )
+        loose_leaf = (
+            "select [a: x.a,"
+            " mids: select [k: y.k,"
+            "  leaves: select [b: z.b] from z in s]"
+            " from y in s where y.k = x.a]"
+            " from x in r"
+        )
+        assert contains(loose_leaf, tight, SCHEMA)
+        assert not contains(tight, loose_leaf, SCHEMA)

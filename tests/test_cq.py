@@ -1,0 +1,253 @@
+"""Unit tests for the conjunctive-query substrate (parser, evaluation,
+homomorphisms, Chandra–Merlin containment, minimization)."""
+
+import pytest
+
+from repro.errors import ParseError, ReproError, IncomparableQueriesError
+from repro.objects import Database
+from repro.cq import (
+    Var,
+    Const,
+    Atom,
+    parse_query,
+    parse_atom,
+    evaluate,
+    contains,
+    equivalent,
+    minimize,
+    containment_mapping,
+    find_homomorphism,
+    count_homomorphisms,
+)
+from repro.cq.query import ConjunctiveQuery, freeze, atoms_to_database
+from repro.cq.homomorphism import ground_atoms_of_query
+
+
+class TestParser:
+    def test_simple_rule(self):
+        q = parse_query("q(X, Y) :- r(X, Z), s(Z, Y)")
+        assert q.name == "q"
+        assert q.head == (Var("X"), Var("Y"))
+        assert len(q.body) == 2
+
+    def test_constants(self):
+        q = parse_query('q(X) :- r(X, 3, "blue", tag)')
+        atom = q.body[0]
+        assert atom.args[1] == Const(3)
+        assert atom.args[2] == Const("blue")
+        assert atom.args[3] == Const("tag")
+
+    def test_float_and_negative(self):
+        atom = parse_atom("r(-2, 2.5)")
+        assert atom.args == (Const(-2), Const(2.5))
+
+    def test_boolean_query(self):
+        q = parse_query("q() :- r(X)")
+        assert q.head == ()
+
+    def test_underscore_variable(self):
+        q = parse_query("q(X) :- r(X, _y)")
+        assert Var("_y") in q.body[0].variables()
+
+    def test_bad_syntax_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("q(X :- r(X)")
+        with pytest.raises(ParseError):
+            parse_query("q(X) :- r(X),")
+        with pytest.raises(ParseError):
+            parse_atom("r(X) extra")
+
+    def test_unsafe_query_rejected(self):
+        with pytest.raises(ReproError):
+            parse_query("q(X) :- r(Y)")
+
+
+class TestQuery:
+    def test_variables_sorted(self):
+        q = parse_query("q(B) :- r(B, A), s(C)")
+        assert q.variables() == (Var("A"), Var("B"), Var("C"))
+
+    def test_existential_vars(self):
+        q = parse_query("q(X) :- r(X, Y)")
+        assert q.existential_vars() == (Var("Y"),)
+
+    def test_rename_apart(self):
+        q = parse_query("q(X) :- r(X, Y)").rename_apart("_1")
+        assert q.head == (Var("X_1"),)
+
+    def test_freeze_builds_canonical_db(self):
+        q = parse_query("q(X) :- r(X, Y), s(Y)")
+        db, head = freeze(q)
+        assert len(db["r"]) == 1 and len(db["s"]) == 1
+        assert evaluate(q, db) == frozenset({head})
+
+    def test_atoms_to_database(self):
+        db = atoms_to_database([parse_atom("r(1, 2)"), parse_atom("r(1, 3)")])
+        assert len(db["r"]) == 2
+
+
+class TestEvaluate:
+    def db(self):
+        return Database.from_dict(
+            {
+                "r": [{"c00": 1, "c01": 2}, {"c00": 2, "c01": 3}, {"c00": 3, "c01": 1}],
+                "s": [{"c00": 2}],
+            }
+        )
+
+    def test_join(self):
+        q = parse_query("q(X, Y) :- r(X, Z), r(Z, Y)")
+        assert evaluate(q, self.db()) == frozenset({(1, 3), (2, 1), (3, 2)})
+
+    def test_selection_constant(self):
+        q = parse_query("q(Y) :- r(1, Y)")
+        assert evaluate(q, self.db()) == frozenset({(2,)})
+
+    def test_semijoin(self):
+        q = parse_query("q(X) :- r(X, Y), s(Y)")
+        assert evaluate(q, self.db()) == frozenset({(1,)})
+
+    def test_missing_relation_is_empty(self):
+        q = parse_query("q(X) :- missing(X)")
+        assert evaluate(q, self.db()) == frozenset()
+
+    def test_repeated_variable(self):
+        db = Database.from_dict({"r": [{"c00": 1, "c01": 1}, {"c00": 1, "c01": 2}]})
+        q = parse_query("q(X) :- r(X, X)")
+        assert evaluate(q, db) == frozenset({(1,)})
+
+    def test_constant_head(self):
+        q = parse_query("q(7) :- s(Y)")
+        assert evaluate(q, self.db()) == frozenset({(7,)})
+
+    def test_cycle_query(self):
+        q = parse_query("q() :- r(X, Y), r(Y, Z), r(Z, X)")
+        assert evaluate(q, self.db()) == frozenset({()})
+
+
+class TestHomomorphism:
+    def test_finds_simple_mapping(self):
+        source = [parse_atom("r(X, Y)")]
+        target = [parse_atom("r(1, 2)")]
+        hom = find_homomorphism(source, target)
+        assert hom == {Var("X"): 1, Var("Y"): 2}
+
+    def test_respects_fixed(self):
+        source = [parse_atom("r(X, Y)")]
+        target = [parse_atom("r(1, 2)"), parse_atom("r(3, 4)")]
+        hom = find_homomorphism(source, target, fixed={Var("X"): 3})
+        assert hom[Var("Y")] == 4
+
+    def test_respects_allowed(self):
+        source = [parse_atom("r(X, Y)")]
+        target = [parse_atom("r(1, 2)"), parse_atom("r(3, 4)")]
+        hom = find_homomorphism(source, target, allowed={Var("Y"): {2}})
+        assert hom[Var("X")] == 1
+
+    def test_counts(self):
+        source = [parse_atom("e(X, Y)")]
+        target = [parse_atom("e(1, 2)"), parse_atom("e(2, 1)")]
+        assert count_homomorphisms(source, target) == 2
+
+    def test_no_mapping(self):
+        assert find_homomorphism([parse_atom("r(X, X)")], [parse_atom("r(1, 2)")]) is None
+
+    def test_ground_atoms_of_query(self):
+        q = parse_query("q(X) :- r(X, Y)")
+        atoms = ground_atoms_of_query(q)
+        assert all(not a.variables() for a in atoms)
+
+    def test_rejects_nonground_target(self):
+        with pytest.raises(ReproError):
+            find_homomorphism([parse_atom("r(X)")], [parse_atom("r(Y)")])
+
+
+class TestContainment:
+    def test_adding_atoms_shrinks(self):
+        big = parse_query("q(X) :- r(X, Y)")
+        small = parse_query("q(X) :- r(X, Y), s(Y)")
+        assert contains(big, small)
+        assert not contains(small, big)
+
+    def test_equivalent_reorderings(self):
+        q1 = parse_query("q(X) :- r(X, Y), s(Y)")
+        q2 = parse_query("q(X) :- s(B), r(X, B)")
+        assert equivalent(q1, q2)
+
+    def test_redundant_atom_equivalence(self):
+        q1 = parse_query("q(X) :- r(X, Y)")
+        q2 = parse_query("q(X) :- r(X, Y), r(X, Z)")
+        assert equivalent(q1, q2)
+
+    def test_constants_matter(self):
+        q1 = parse_query("q(X) :- r(X, 1)")
+        q2 = parse_query("q(X) :- r(X, Y)")
+        assert contains(q2, q1)
+        assert not contains(q1, q2)
+
+    def test_head_constants(self):
+        q1 = parse_query("q(1) :- r(1)")
+        q2 = parse_query("q(X) :- r(X)")
+        assert contains(q2, q1)
+        assert not contains(q1, q2)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(IncomparableQueriesError):
+            contains(parse_query("q(X) :- r(X)"), parse_query("q(X, Y) :- r(X), r(Y)"))
+
+    def test_path_queries(self):
+        # Path of length 3 is contained in path of length 2.
+        p2 = parse_query("q(X, Y) :- e(X, Z), e(Z, Y)")
+        p3 = parse_query("q(X, Y) :- e(X, A), e(A, B), e(B, Y)")
+        assert not contains(p2, p3)
+        assert not contains(p3, p2)
+
+    def test_cycle_in_triangle(self):
+        # A 6-cycle maps homomorphically onto a triangle.
+        triangle = parse_query("q() :- e(X, Y), e(Y, Z), e(Z, X)")
+        hexagon = parse_query(
+            "q() :- e(A, B), e(B, C), e(C, D), e(D, E), e(E, F), e(F, A)"
+        )
+        assert contains(hexagon, triangle)
+        assert not contains(triangle, hexagon)
+
+    def test_containment_mapping_returned(self):
+        big = parse_query("q(X) :- r(X, Y)")
+        small = parse_query("q(X) :- r(X, Y), s(Y)")
+        mapping = containment_mapping(small, big)
+        assert mapping is not None and Var("X") in mapping
+
+    def test_containment_soundness_on_db(self):
+        # If Q1 ⊑ Q2 then answers are included on a sample database.
+        big = parse_query("q(X) :- r(X, Y)")
+        small = parse_query("q(X) :- r(X, Y), s(Y)")
+        db = Database.from_dict(
+            {"r": [{"c00": 1, "c01": 2}, {"c00": 5, "c01": 6}], "s": [{"c00": 2}]}
+        )
+        assert evaluate(small, db) <= evaluate(big, db)
+
+
+class TestMinimize:
+    def test_removes_redundant_atom(self):
+        q = parse_query("q(X) :- r(X, Y), r(X, Z)")
+        assert len(minimize(q).body) == 1
+
+    def test_keeps_core(self):
+        q = parse_query("q(X) :- r(X, Y), s(Y)")
+        assert len(minimize(q).body) == 2
+
+    def test_minimized_is_equivalent(self):
+        q = parse_query("q(X) :- e(X, Y), e(X, Z), e(Z, W)")
+        m = minimize(q)
+        assert equivalent(q, m)
+
+    def test_triangle_with_pendant(self):
+        q = parse_query("q() :- e(X, Y), e(Y, Z), e(Z, X), e(X, W)")
+        m = minimize(q)
+        assert len(m.body) == 3
+
+    def test_head_vars_protected(self):
+        q = parse_query("q(X, Y) :- e(X, Y), e(X, Z)")
+        m = minimize(q)
+        assert len(m.body) == 1
+        assert m.head == (Var("X"), Var("Y"))

@@ -1,0 +1,109 @@
+"""Tests for containment explanations (witnesses and counterexamples)."""
+
+import pytest
+
+from repro.objects import dominated
+from repro.coql import parse_coql, evaluate_coql, contains
+from repro.coql.explain import explain_containment
+from repro.workloads import random_coql
+from repro.errors import IncomparableQueriesError
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+LINKED = (
+    "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a]"
+    " from x in r"
+)
+UNLINKED = "select [a: x.a, kids: select [b: y.b] from y in s] from x in r"
+
+
+class TestPositiveExplanations:
+    def test_certificates_cover_all_obligations(self):
+        explanation = explain_containment(UNLINKED, LINKED, SCHEMA)
+        assert explanation.holds
+        assert len(explanation.certificates) == 2  # full + pruned pattern
+        for certificate in explanation.certificates.values():
+            assert certificate.mapping
+
+    def test_flat_positive(self):
+        explanation = explain_containment(
+            "select [v: x.a] from x in r",
+            "select [v: x.a] from x in r where x.b = 1",
+            SCHEMA,
+        )
+        assert explanation.holds
+        assert len(explanation.certificates) == 1
+
+
+class TestCounterexamples:
+    def test_group_content_counterexample(self):
+        explanation = explain_containment(LINKED, UNLINKED, SCHEMA)
+        assert not explanation.holds
+        assert explanation.counterexample is not None
+        assert not dominated(explanation.sub_answer, explanation.sup_answer)
+
+    def test_truncation_counterexample(self):
+        restricted = LINKED + ", z in s where z.k = x.a"
+        explanation = explain_containment(restricted, LINKED, SCHEMA)
+        assert not explanation.holds
+        assert explanation.counterexample is not None
+        # The counterexample exhibits an element with an empty inner set.
+        db = explanation.counterexample
+        direct_sub = evaluate_coql(parse_coql(LINKED), db)
+        direct_sup = evaluate_coql(parse_coql(restricted), db)
+        assert not dominated(direct_sub, direct_sup)
+
+    def test_counterexample_agrees_with_interpreter(self):
+        explanation = explain_containment(LINKED, UNLINKED, SCHEMA)
+        db = explanation.counterexample
+        assert evaluate_coql(parse_coql(UNLINKED), db) == explanation.sub_answer
+        assert evaluate_coql(parse_coql(LINKED), db) == explanation.sup_answer
+
+    def test_flat_negative(self):
+        explanation = explain_containment(
+            "select [v: x.a] from x in r where x.b = 1",
+            "select [v: x.a] from x in r",
+            SCHEMA,
+        )
+        assert not explanation.holds
+        assert explanation.counterexample is not None
+
+
+class TestAgreementWithContains:
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_verdicts_match(self, depth):
+        compared = 0
+        for seed in range(15):
+            q1 = random_coql(seed=seed, depth=depth)
+            q2 = random_coql(seed=seed + 3000, depth=depth)
+            try:
+                verdict = contains(q2, q1, SCHEMA)
+            except IncomparableQueriesError:
+                continue
+            explanation = explain_containment(q2, q1, SCHEMA)
+            assert explanation.holds is verdict, (q1, q2)
+            if not verdict and explanation.counterexample is not None:
+                assert not dominated(
+                    explanation.sub_answer, explanation.sup_answer
+                )
+            compared += 1
+        assert compared >= 8
+
+    def test_counterexample_hit_rate(self):
+        """Counterexamples should be found for most refutations."""
+        negatives = 0
+        found = 0
+        for seed in range(20):
+            q1 = random_coql(seed=seed, depth=2)
+            q2 = random_coql(seed=seed + 3000, depth=2)
+            try:
+                explanation = explain_containment(q2, q1, SCHEMA)
+            except IncomparableQueriesError:
+                continue
+            if explanation.holds:
+                continue
+            negatives += 1
+            if explanation.counterexample is not None:
+                found += 1
+        assert negatives >= 5
+        assert found >= negatives * 0.7

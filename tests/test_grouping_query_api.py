@@ -1,0 +1,152 @@
+"""Unit tests for the GroupingQuery tree API (traversal, truncation,
+renaming, flat views) and for the workload generators."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.cq.terms import Var
+from repro.cq import evaluate
+from repro.grouping import GroupingQuery
+from repro.grouping.build import node, grouping_query
+from repro.workloads import (
+    chain_query,
+    star_query,
+    chain_grouping_query,
+    random_cq,
+    random_grouping_query,
+    random_flat_database,
+    random_coql,
+)
+
+
+def three_level():
+    return grouping_query(
+        node(
+            "",
+            ["r(X)"],
+            {"a": "X"},
+            children=[
+                node(
+                    "mid",
+                    ["s(X, Y)"],
+                    {"b": "Y"},
+                    index=["X"],
+                    children=[node("leaf", ["t(Y, Z)"], {"c": "Z"}, index=["Y"])],
+                )
+            ],
+        )
+    )
+
+
+class TestTreeApi:
+    def test_paths(self):
+        q = three_level()
+        assert set(q.paths()) == {(), ("mid",), ("mid", "leaf")}
+
+    def test_nodes_preorder(self):
+        labels = [n.label for n in three_level().nodes()]
+        assert labels == ["", "mid", "leaf"]
+
+    def test_full_body_accumulates(self):
+        q = three_level()
+        assert len(q.full_body(())) == 1
+        assert len(q.full_body(("mid",))) == 2
+        assert len(q.full_body(("mid", "leaf"))) == 3
+
+    def test_node_at_and_parent(self):
+        q = three_level()
+        assert q.node_at(("mid", "leaf")).label == "leaf"
+        assert q.parent_path(("mid", "leaf")) == ("mid",)
+        with pytest.raises(ReproError):
+            q.parent_path(())
+
+    def test_depth(self):
+        assert three_level().depth() == 3
+        assert grouping_query(node("", ["r(X)"], {"a": "X"})).depth() == 1
+
+    def test_truncate_prefix_closed(self):
+        q = three_level()
+        t = q.truncate({(), ("mid",)})
+        assert set(t.paths()) == {(), ("mid",)}
+        with pytest.raises(ReproError):
+            q.truncate({("mid",)})  # missing root
+
+    def test_truncate_keeps_values(self):
+        t = three_level().truncate({()})
+        assert t.root.value_names() == ("a",)
+
+    def test_rename_apart_fresh_vars(self):
+        q = three_level()
+        renamed = q.rename_apart("_w")
+        assert not set(q.variables()) & set(renamed.variables())
+        assert renamed.shape() == q.shape()
+
+    def test_to_flat_cq(self):
+        q = three_level()
+        flat = q.to_flat_cq(("mid",))
+        assert flat.head == (Var("X"), Var("Y"))
+        assert len(flat.body) == 2
+
+    def test_shape_distinguishes_labels(self):
+        other = grouping_query(
+            node(
+                "",
+                ["r(X)"],
+                {"a": "X"},
+                children=[node("other", ["s(X, Y)"], {"b": "Y"}, index=["X"])],
+            )
+        )
+        assert other.shape() != three_level().shape()
+
+    def test_equality_and_hash(self):
+        assert three_level() == three_level()
+        assert hash(three_level()) == hash(three_level())
+
+
+class TestWorkloadGenerators:
+    def test_chain_query_structure(self):
+        q = chain_query(5)
+        assert len(q.body) == 5
+        assert q.head == (Var("X0"), Var("X5"))
+
+    def test_star_query_structure(self):
+        q = star_query(4)
+        assert len(q.body) == 4
+        assert all(atom.args[0] == Var("C") for atom in q.body)
+
+    def test_chain_grouping_depths(self):
+        for depth in (1, 2, 3):
+            q = chain_grouping_query(depth)
+            assert q.depth() == depth
+
+    def test_random_cq_is_safe_and_deterministic(self):
+        q1 = random_cq({"r": 2}, seed=9)
+        q2 = random_cq({"r": 2}, seed=9)
+        assert q1 == q2
+        body_vars = {v for atom in q1.body for v in atom.variables()}
+        assert all(t in body_vars for t in q1.head)
+
+    def test_random_grouping_query_validates(self):
+        for seed in range(10):
+            q = random_grouping_query({"r": 2, "s": 2}, seed=seed, depth=3)
+            assert isinstance(q, GroupingQuery)
+            assert q.depth() <= 3
+
+    def test_random_flat_database_deterministic(self):
+        db1 = random_flat_database({"r": 2}, seed=4)
+        db2 = random_flat_database({"r": 2}, seed=4)
+        assert db1 == db2
+
+    def test_random_coql_parses(self):
+        from repro.coql import parse_coql
+
+        for seed in range(20):
+            parse_coql(random_coql(seed=seed, depth=2))
+
+    def test_chain_query_evaluation(self):
+        from repro.objects import Database
+
+        db = Database.from_dict(
+            {"e": [{"c00": 1, "c01": 2}, {"c00": 2, "c01": 3}]}
+        )
+        assert evaluate(chain_query(2), db) == frozenset({(1, 3)})

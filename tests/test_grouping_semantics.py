@@ -1,0 +1,188 @@
+"""Unit tests for grouping-query trees and their nested-group semantics."""
+
+import pytest
+
+from repro.errors import ReproError, IncomparableQueriesError
+from repro.objects import Database, Record, CSet
+from repro.cq.terms import Var
+from repro.grouping import GroupingQuery, evaluate_grouping, node_groups
+from repro.grouping.build import node, grouping_query
+from repro.grouping.semantics import reachable_keys
+
+
+def parent_child_query():
+    """select [a: x.a, kids: {[b: y.b] | s(y), y.k = x.a}] from r(x)."""
+    return grouping_query(
+        node(
+            "",
+            ["r(Xa)"],
+            {"a": "Xa"},
+            children=[node("kids", ["s(Xa, Yb)"], {"b": "Yb"}, index=["Xa"])],
+        )
+    )
+
+
+def db():
+    return Database.from_dict(
+        {
+            "r": [{"c00": 1}, {"c00": 2}, {"c00": 3}],
+            "s": [
+                {"c00": 1, "c01": 10},
+                {"c00": 1, "c01": 11},
+                {"c00": 2, "c01": 20},
+            ],
+        }
+    )
+
+
+class TestValidation:
+    def test_root_must_have_empty_index(self):
+        inner = node("", ["r(X)"], {"a": "X"}, index=["X"])
+        with pytest.raises(ReproError):
+            GroupingQuery(inner)
+
+    def test_index_must_be_in_parent_scope(self):
+        with pytest.raises(ReproError):
+            grouping_query(
+                node(
+                    "",
+                    ["r(X)"],
+                    {"a": "X"},
+                    children=[node("c", ["s(Y, Z)"], {"b": "Z"}, index=["Y"])],
+                )
+            )
+
+    def test_values_must_be_bound(self):
+        with pytest.raises(ReproError):
+            grouping_query(node("", ["r(X)"], {"a": "Z"}))
+
+    def test_duplicate_child_labels_rejected(self):
+        with pytest.raises(ReproError):
+            node(
+                "",
+                ["r(X)"],
+                {},
+                children=[
+                    node("c", ["s(X, Y)"], {"b": "Y"}, index=["X"]),
+                    node("c", ["s(X, Z)"], {"b": "Z"}, index=["X"]),
+                ],
+            )
+
+    def test_shape_comparison(self):
+        q1 = parent_child_query()
+        q2 = grouping_query(node("", ["r(X)"], {"a": "X"}))
+        with pytest.raises(IncomparableQueriesError):
+            q1.require_same_shape(q2)
+
+    def test_depth_and_nodes(self):
+        q = parent_child_query()
+        assert q.depth() == 2
+        assert len(q.nodes()) == 2
+
+    def test_truncate_drops_subtree(self):
+        q = parent_child_query()
+        flat = q.truncate({()})
+        assert flat.depth() == 1
+        assert flat.root.value_names() == ("a",)
+
+
+class TestSemantics:
+    def test_groups(self):
+        groups = node_groups(parent_child_query(), db())
+        root = groups[()]
+        assert set(root) == {()}
+        rows = root[()]
+        assert ((1,), ((1,),)) in rows
+        kids = groups[("kids",)]
+        assert kids[(1,)] == frozenset({((10,), ()), ((11,), ())})
+        assert kids[(2,)] == frozenset({((20,), ())})
+        assert (3,) not in kids
+
+    def test_evaluate_nested_value(self):
+        answer = evaluate_grouping(parent_child_query(), db())
+        expected = CSet(
+            [
+                Record(a=1, kids=CSet([Record(b=10), Record(b=11)])),
+                Record(a=2, kids=CSet([Record(b=20)])),
+                Record(a=3, kids=CSet()),
+            ]
+        )
+        assert answer == expected
+
+    def test_empty_database(self):
+        empty = Database.from_dict({})
+        assert evaluate_grouping(parent_child_query(), empty) == CSet()
+
+    def test_reachable_keys(self):
+        q = parent_child_query()
+        groups = node_groups(q, db())
+        reach = reachable_keys(q, groups)
+        assert reach[("kids",)] == {(1,), (2,), (3,)}
+
+    def test_flat_query_semantics_match_cq(self):
+        from repro.cq import evaluate
+
+        q = grouping_query(node("", ["r(X)"], {"a": "X"}))
+        flat = q.to_flat_cq()
+        assert {row[0] for row in evaluate(flat, db())} == {1, 2, 3}
+        answer = evaluate_grouping(q, db())
+        assert answer == CSet([Record(a=1), Record(a=2), Record(a=3)])
+
+    def test_three_level_query(self):
+        q = grouping_query(
+            node(
+                "",
+                ["r(X)"],
+                {"a": "X"},
+                children=[
+                    node(
+                        "mid",
+                        ["s(X, Y)"],
+                        {"b": "Y"},
+                        index=["X"],
+                        children=[
+                            node("leaf", ["t(Y, Z)"], {"c": "Z"}, index=["Y"])
+                        ],
+                    )
+                ],
+            )
+        )
+        database = Database.from_dict(
+            {
+                "r": [{"c00": 1}],
+                "s": [{"c00": 1, "c01": 5}],
+                "t": [{"c00": 5, "c01": 7}, {"c00": 5, "c01": 8}],
+            }
+        )
+        answer = evaluate_grouping(q, database)
+        expected = CSet(
+            [
+                Record(
+                    a=1,
+                    mid=CSet(
+                        [Record(b=5, leaf=CSet([Record(c=7), Record(c=8)]))]
+                    ),
+                )
+            ]
+        )
+        assert answer == expected
+
+    def test_group_shared_between_elements(self):
+        # Two root rows with the same index share the same inner set.
+        q = grouping_query(
+            node(
+                "",
+                ["r(X, K)"],
+                {"a": "X"},
+                children=[node("c", ["s(K, Y)"], {"b": "Y"}, index=["K"])],
+            )
+        )
+        database = Database.from_dict(
+            {
+                "r": [{"c00": 1, "c01": 9}, {"c00": 2, "c01": 9}],
+                "s": [{"c00": 9, "c01": 4}],
+            }
+        )
+        answer = evaluate_grouping(q, database)
+        inner = CSet([Record(b=4)])
+        assert answer == CSet([Record(a=1, c=inner), Record(a=2, c=inner)])

@@ -1,0 +1,315 @@
+"""Tests for the simulation decision procedure (paper Sections 5, 6).
+
+Besides hand-crafted cases, these tests cross-validate the certificate
+procedure against two independent semantic implementations:
+
+* soundness — whenever the certificate exists, the semantic simulation
+  condition holds on randomized databases;
+* completeness — the certificate verdict agrees with semantic simulation
+  over the canonical database family.
+"""
+
+import pytest
+
+from repro.objects import Database
+from repro.cq import parse_query, contains
+from repro.grouping import (
+    is_simulated,
+    simulation_certificate,
+    is_strongly_simulated,
+    semantic_simulates,
+    semantic_strongly_simulates,
+    check_simulation_on_canonical,
+    check_strong_simulation_on_canonical,
+)
+from repro.grouping.build import node, grouping_query
+from repro.workloads import (
+    random_flat_database,
+    random_cq,
+    random_grouping_query,
+)
+
+
+def flat_of(cq):
+    """Wrap a flat CQ as a (depth-1) grouping query with value columns."""
+    values = {"v%d" % i: t for i, t in enumerate(cq.head)}
+    return grouping_query(node("", list(cq.body), values))
+
+
+def linked_query():
+    """Inner set linked to the outer row: {[b: y] | s(xa, y)}."""
+    return grouping_query(
+        node(
+            "",
+            ["r(Xa)"],
+            {"a": "Xa"},
+            children=[node("kids", ["s(Xa, Yb)"], {"b": "Yb"}, index=["Xa"])],
+        )
+    )
+
+
+def unlinked_query():
+    """Inner set not linked to the outer row: all of s."""
+    return grouping_query(
+        node(
+            "",
+            ["r(Xa)"],
+            {"a": "Xa"},
+            children=[node("kids", ["s(Z, Yb)"], {"b": "Yb"}, index=[])],
+        )
+    )
+
+
+class TestFlatSimulationIsContainment:
+    """Depth-1 simulation coincides with Chandra–Merlin containment."""
+
+    CASES = [
+        ("q(X) :- r(X, Y), s(Y)", "q(X) :- r(X, Y)", True),
+        ("q(X) :- r(X, Y)", "q(X) :- r(X, Y), s(Y)", False),
+        ("q(X, Y) :- e(X, Z), e(Z, Y)", "q(X, Y) :- e(X, Z), e(Z, Y)", True),
+        ("q() :- e(A,B), e(B,C), e(C,A)", "q() :- e(X,X)", False),
+        ("q() :- e(X,X)", "q() :- e(A,B), e(B,C), e(C,A)", True),
+    ]
+
+    @pytest.mark.parametrize("sub_text,sup_text,expected", CASES)
+    def test_matches_containment(self, sub_text, sup_text, expected):
+        sub, sup = parse_query(sub_text), parse_query(sup_text)
+        assert contains(sup, sub) is expected
+        assert is_simulated(flat_of(sub), flat_of(sup)) is expected
+
+    def test_random_flat_queries_agree_with_containment(self):
+        schema = {"r": 2, "s": 1, "t": 2}
+        agreements = 0
+        for seed in range(60):
+            q1 = random_cq(schema, atoms=3, variables=3, head_arity=1, seed=seed)
+            q2 = random_cq(schema, atoms=2, variables=3, head_arity=1, seed=seed + 1000)
+            if len(q1.head) != len(q2.head):
+                continue
+            expected = contains(q2, q1)
+            assert is_simulated(flat_of(q1), flat_of(q2)) is expected
+            agreements += 1
+        assert agreements > 30
+
+
+class TestNestedSimulation:
+    def test_reflexive(self):
+        q = linked_query()
+        assert is_simulated(q, q)
+
+    def test_linked_below_unlinked(self):
+        # {y | s(xa,y)} ⊆ {y | s(z,y)} for every database: simulated.
+        assert is_simulated(linked_query(), unlinked_query())
+
+    def test_unlinked_not_below_linked(self):
+        assert not is_simulated(unlinked_query(), linked_query())
+
+    def test_certificate_exposes_choice(self):
+        cert = simulation_certificate(linked_query(), unlinked_query())
+        assert cert is not None
+        assert cert.index_choice[("kids",)] == ()
+
+    def test_extra_inner_condition_simulated(self):
+        narrow = grouping_query(
+            node(
+                "",
+                ["r(Xa)"],
+                {"a": "Xa"},
+                children=[
+                    node(
+                        "kids",
+                        ["s(Xa, Yb)", "p(Yb)"],
+                        {"b": "Yb"},
+                        index=["Xa"],
+                    )
+                ],
+            )
+        )
+        assert is_simulated(narrow, linked_query())
+        assert not is_simulated(linked_query(), narrow)
+
+    def test_outer_join_extra_atom(self):
+        small_outer = grouping_query(
+            node(
+                "",
+                ["r(Xa)", "p(Xa)"],
+                {"a": "Xa"},
+                children=[node("kids", ["s(Xa, Yb)"], {"b": "Yb"}, index=["Xa"])],
+            )
+        )
+        assert is_simulated(small_outer, linked_query())
+        assert not is_simulated(linked_query(), small_outer)
+
+    def test_value_mismatch_fails(self):
+        q1 = grouping_query(node("", ["r(X, Y)"], {"a": "X"}))
+        q2 = grouping_query(node("", ["r(X, Y)"], {"a": "Y"}))
+        assert not is_simulated(q1, q2)
+        # but reflexivity still holds
+        assert is_simulated(q2, q2)
+
+    def test_constant_values(self):
+        q1 = grouping_query(node("", ["r(X)"], {"a": 1}))
+        q2 = grouping_query(node("", ["r(X)"], {"a": "X"}))
+        assert not is_simulated(q1, q2)  # q2's output is X, not always 1
+        assert not is_simulated(q2, q1)
+
+    def test_index_arity_may_differ(self):
+        two_key = grouping_query(
+            node(
+                "",
+                ["r(X, K1, K2)"],
+                {"a": "X"},
+                children=[
+                    node("c", ["s(K1, K2, Y)"], {"b": "Y"}, index=["K1", "K2"])
+                ],
+            )
+        )
+        one_key = grouping_query(
+            node(
+                "",
+                ["r(X, K1, K2)"],
+                {"a": "X"},
+                children=[node("c", ["s(K1, W, Y)"], {"b": "Y"}, index=["K1"])],
+            )
+        )
+        assert is_simulated(two_key, one_key)
+        assert not is_simulated(one_key, two_key)
+
+    def test_depth_three_reflexive(self):
+        q = grouping_query(
+            node(
+                "",
+                ["r(X)"],
+                {"a": "X"},
+                children=[
+                    node(
+                        "m",
+                        ["s(X, Y)"],
+                        {"b": "Y"},
+                        index=["X"],
+                        children=[node("l", ["t(Y, Z)"], {"c": "Z"}, index=["Y"])],
+                    )
+                ],
+            )
+        )
+        assert is_simulated(q, q)
+        assert is_strongly_simulated(q, q)
+
+
+class TestSemanticCrossValidation:
+    """The certificate procedure against the brute-force checkers."""
+
+    SCHEMA = {"r": 2, "s": 2}
+
+    def _pairs(self, count, depth):
+        for seed in range(count):
+            q1 = random_grouping_query(self.SCHEMA, seed=seed, depth=depth)
+            q2 = random_grouping_query(self.SCHEMA, seed=seed + 5000, depth=depth)
+            if q1.shape() == q2.shape():
+                yield q1, q2
+            if seed % 3 == 0:
+                # Guaranteed-positive pair: a query against a renamed copy.
+                yield q1, q1.rename_apart("_p")
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_soundness_on_random_databases(self, depth):
+        """Certificate ⟹ semantic simulation on arbitrary databases."""
+        checked = 0
+        for q1, q2 in self._pairs(80, depth):
+            if not is_simulated(q1, q2):
+                continue
+            for db_seed in range(6):
+                db = random_flat_database(self.SCHEMA, rows=4, domain=3, seed=db_seed)
+                assert semantic_simulates(q1, q2, db), (q1, q2, db_seed)
+            checked += 1
+        assert checked >= 3
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_agreement_with_canonical_family(self, depth):
+        """Certificate verdict == semantic verdict on canonical databases."""
+        compared = 0
+        for q1, q2 in self._pairs(60, depth):
+            expected = check_simulation_on_canonical(q1, q2)
+            assert is_simulated(q1, q2) is expected, (q1, q2)
+            compared += 1
+        assert compared >= 5
+
+    def test_strong_soundness_on_random_databases(self):
+        checked = 0
+        for q1, q2 in self._pairs(60, 2):
+            if not is_strongly_simulated(q1, q2):
+                continue
+            for db_seed in range(6):
+                db = random_flat_database(self.SCHEMA, rows=4, domain=3, seed=db_seed)
+                assert semantic_strongly_simulates(q1, q2, db), (q1, q2, db_seed)
+            checked += 1
+        assert checked >= 2
+
+    def test_strong_against_canonical_family(self):
+        """The canonical family of `sub` is a *necessary* condition for
+        strong simulation: the certificate may only say True when the
+        family holds, and must say False when the family refutes.  (It is
+        not sufficient: refuting the reverse direction can require
+        databases exhibiting extra rows in `sup`'s groups, which the
+        sub-built canonical family cannot produce — the tests probe such
+        cases with random databases instead.)"""
+        compared = 0
+        disagreements = 0
+        for q1, q2 in self._pairs(25, 2):
+            canonical_ok = check_strong_simulation_on_canonical(q1, q2)
+            verdict = is_strongly_simulated(q1, q2)
+            if verdict:
+                assert canonical_ok, (q1, q2)
+            if not canonical_ok:
+                assert not verdict, (q1, q2)
+            if canonical_ok and not verdict:
+                # The certificate refuted beyond the canonical family; a
+                # random database should witness the refutation.
+                disagreements += 1
+                refuted = any(
+                    not semantic_strongly_simulates(
+                        q1,
+                        q2,
+                        random_flat_database(self.SCHEMA, rows=4, domain=3, seed=s),
+                    )
+                    for s in range(60)
+                )
+                assert refuted, (q1, q2)
+            compared += 1
+        assert compared >= 5
+
+
+class TestStrongSimulation:
+    def test_linked_vs_unlinked_not_strong(self):
+        # Groups are included but not equal.
+        assert is_simulated(linked_query(), unlinked_query())
+        assert not is_strongly_simulated(linked_query(), unlinked_query())
+
+    def test_reflexive(self):
+        assert is_strongly_simulated(linked_query(), linked_query())
+
+    def test_strong_implies_simulation(self):
+        for seed in range(25):
+            q1 = random_grouping_query({"r": 2, "s": 2}, seed=seed, depth=2)
+            q2 = random_grouping_query({"r": 2, "s": 2}, seed=seed + 7000, depth=2)
+            if q1.shape() != q2.shape():
+                continue
+            if is_strongly_simulated(q1, q2):
+                assert is_simulated(q1, q2)
+
+    def test_renamed_copy_strongly_simulates(self):
+        q = linked_query()
+        renamed = q.rename_apart("_p")
+        assert is_strongly_simulated(q, renamed)
+        assert is_strongly_simulated(renamed, q)
+
+    def test_redundant_outer_atom(self):
+        redundant = grouping_query(
+            node(
+                "",
+                ["r(Xa)", "r(Zb)"],
+                {"a": "Xa"},
+                children=[node("kids", ["s(Xa, Yb)"], {"b": "Yb"}, index=["Xa"])],
+            )
+        )
+        assert is_strongly_simulated(redundant, linked_query())
+        assert is_strongly_simulated(linked_query(), redundant)

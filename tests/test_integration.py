@@ -1,0 +1,207 @@
+"""Integration tests across subsystems.
+
+These exercise the flows a downstream user would actually run: nested
+inputs through the index encoding, algebra pipelines against COQL
+deciders, the aggregate layer against the grouping layer, and the
+hardness reductions against the decision procedures.
+"""
+
+import pytest
+
+from repro.errors import SchemaError, UnsupportedQueryError
+from repro.objects import (
+    Database,
+    Relation,
+    Record,
+    CSet,
+    encode_database,
+    dominated,
+)
+from repro.coql import parse_coql, evaluate_coql, contains, weakly_equivalent
+from repro.cq import parse_query, evaluate as cq_evaluate, contains as cq_contains
+from repro.algebra import BaseRel, Nest, Unnest, evaluate_algebra, algebra_to_coql
+from repro.grouping import evaluate_grouping, is_simulated
+from repro.aggregates import AggregateQuery, aggregate_equivalent
+from repro.cq.terms import Var
+from repro.cq.parser import parse_atom
+
+
+class TestNestedInputsViaEncoding:
+    """The paper's Section-5.1 workflow: nested inputs are first encoded
+    as flat relations with indexes, then queried/decided flat."""
+
+    def nested_db(self):
+        return Database(
+            [
+                Relation.from_rows(
+                    "emp",
+                    [
+                        {"name": "ann", "kids": [{"k": "bo"}, {"k": "cy"}]},
+                        {"name": "dan", "kids": []},
+                    ],
+                )
+            ]
+        )
+
+    def test_decider_requires_flat_then_accepts_encoded(self):
+        db = self.nested_db()
+        with pytest.raises(SchemaError):
+            db.require_flat()
+        flat = encode_database(db)
+        flat.require_flat()
+        # Query the encoded database with COQL over the flat schema:
+        # parents paired with their kid rows through the index column.
+        q = (
+            "select [n: e.name, kid: c.k] from e in emp, c in emp__kids"
+            " where c.__index = e.kids"
+        )
+        answer = evaluate_coql(parse_coql(q), flat)
+        names = {(row["n"], row["kid"]) for row in answer}
+        assert names == {("ann", "bo"), ("ann", "cy")}
+
+    def test_containment_over_encoded_schema(self):
+        flat = encode_database(self.nested_db())
+        schema = flat  # Database works as a schema spec
+        wide = "select [n: e.name] from e in emp"
+        narrow = (
+            "select [n: e.name] from e in emp, c in emp__kids"
+            " where c.__index = e.kids"
+        )
+        assert contains(wide, narrow, schema)
+        assert not contains(narrow, wide, schema)
+
+
+class TestAlgebraAgainstCoqlDeciders:
+    SCHEMA = {"r": ("a", "b")}
+
+    def test_translated_pipelines_feed_the_decider(self):
+        from repro.objects.types import RecordType, ATOM
+
+        typed = {"r": RecordType({"a": ATOM, "b": ATOM})}
+        roundtrip = Unnest(Nest(BaseRel("r"), ("b",), "g"), "g")
+        identity = BaseRel("r")
+        q1 = algebra_to_coql(roundtrip, typed)
+        q2 = algebra_to_coql(identity, typed)
+        assert weakly_equivalent(q1, q2, typed)
+
+    def test_verdict_matches_evaluation(self):
+        from repro.objects.types import RecordType, ATOM
+
+        typed = {"r": RecordType({"a": ATOM, "b": ATOM})}
+        roundtrip = Unnest(Nest(BaseRel("r"), ("b",), "g"), "g")
+        db = Database.from_dict(
+            {"r": [{"a": 1, "b": 2}, {"a": 1, "b": 3}, {"a": 4, "b": 5}]}
+        )
+        assert evaluate_algebra(roundtrip, db) == CSet(db["r"].rows)
+
+
+class TestAggregatesAgainstGrouping:
+    def test_single_block_matches_grouping_values(self):
+        q1 = AggregateQuery(
+            (parse_atom("r(G, V)"),), (Var("G"),), "f", Var("V")
+        )
+        q2 = AggregateQuery(
+            (parse_atom("r(G, V)"), parse_atom("r(G, W)")),
+            (Var("G"),),
+            "f",
+            Var("V"),
+        )
+        assert aggregate_equivalent(q1, q2)
+        g1, g2 = q1.grouping_query(), q2.grouping_query()
+        from repro.workloads import random_flat_database
+
+        for seed in range(5):
+            db = random_flat_database({"r": 2}, rows=5, domain=3, seed=seed)
+            assert evaluate_grouping(g1, db) == evaluate_grouping(g2, db)
+
+    def test_grouping_view_simulation_consistency(self):
+        q1 = AggregateQuery(
+            (parse_atom("r(G, V)"),), (Var("G"),), "f", Var("V")
+        )
+        q2 = AggregateQuery(
+            (parse_atom("r(G, V)"), parse_atom("s(G)")),
+            (Var("G"),),
+            "f",
+            Var("V"),
+        )
+        # Not equivalent; the grouping views agree: q2 ⊴ q1, not reverse.
+        assert not aggregate_equivalent(q1, q2)
+        assert is_simulated(q2.grouping_query(), q1.grouping_query())
+        assert not is_simulated(q1.grouping_query(), q2.grouping_query())
+
+
+class TestFlatWorldConsistency:
+    """COQL, grouping, and CQ answers coincide on flat queries."""
+
+    def test_three_way_answers(self):
+        from repro.coql.containment import prepare
+
+        schema = {"r": ("a", "b")}
+        text = "select [x: t.a, y: t.b] from t in r"
+        db = Database.from_dict(
+            {"r": [{"a": 1, "b": 2}, {"a": 3, "b": 4}]}
+        )
+        coql_answer = evaluate_coql(parse_coql(text), db)
+        encoded = prepare(text, schema)
+        grouping_answer = evaluate_grouping(encoded.query, db)
+        assert coql_answer == grouping_answer
+        flat_cq = encoded.query.to_flat_cq()
+        cq_answer = cq_evaluate(flat_cq, db)
+        assert {tuple(r[k] for k in ("x", "y")) for r in coql_answer} == cq_answer
+
+
+class TestFailureInjection:
+    """Malformed inputs fail loudly with the documented error types."""
+
+    def test_unknown_relation(self):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            contains(
+                "select [v: x.a] from x in nope",
+                "select [v: x.a] from x in nope",
+                {"r": ("a",)},
+            )
+
+    def test_nested_source_rejected_by_decider(self):
+        from repro.objects.types import RecordType, SetType, ATOM
+
+        nested_schema = {
+            "t": RecordType(
+                {"a": ATOM, "grp": SetType(RecordType({"b": ATOM}))}
+            )
+        }
+        q = "select [v: y.b] from x in t, y in x.grp"
+        with pytest.raises(UnsupportedQueryError):
+            contains(q, q, nested_schema)
+
+    def test_outer_gating_condition_rejected(self):
+        q = (
+            "select [a: x.a, k: select [b: y.b] from y in s where x.a = 1]"
+            " from x in r"
+        )
+        with pytest.raises(UnsupportedQueryError):
+            contains(q, q, {"r": ("a",), "s": ("b",)})
+
+    def test_interpreter_still_handles_rejected_queries(self):
+        """The fragment restriction is decision-only: evaluation works."""
+        q = parse_coql(
+            "select [a: x.a, k: select [b: y.b] from y in s where x.a = 1]"
+            " from x in r"
+        )
+        db = Database.from_dict(
+            {"r": [{"a": 1}, {"a": 2}], "s": [{"b": 9}]}
+        )
+        answer = evaluate_coql(q, db)
+        assert Record(a=1, k=CSet([Record(b=9)])) in answer
+        assert Record(a=2, k=CSet()) in answer
+
+
+class TestHardnessEndToEnd:
+    def test_reduction_through_coql(self):
+        """A coloring instance phrased as flat COQL containment."""
+        from repro.complexity import coloring_to_containment
+
+        edges = ((0, 1), (1, 2), (0, 2))
+        sub, sup = coloring_to_containment(edges)
+        assert cq_contains(sup, sub)

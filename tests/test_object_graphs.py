@@ -1,0 +1,126 @@
+"""Tests for complex objects as graphs and the simulation relation.
+
+Headline property (the paper's [6, 5] remark): the Hoare containment
+order coincides with graph simulation.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.objects import Record, CSet, dominated
+from repro.objects.graphs import (
+    ObjectGraph,
+    to_graph,
+    graph_simulation,
+    value_simulated,
+    MEMBER,
+)
+
+atoms = st.one_of(st.integers(0, 3), st.sampled_from(["x", "y"]))
+values = st.recursive(
+    atoms,
+    lambda inner: st.one_of(
+        st.dictionaries(
+            st.sampled_from(["a", "b"]), inner, min_size=1, max_size=2
+        ).map(Record),
+        st.lists(inner, max_size=3).map(CSet),
+    ),
+    max_leaves=6,
+)
+
+
+class TestToGraph:
+    def test_atom(self):
+        g = to_graph(5)
+        assert g.labels[g.root] == ("atom", 5)
+
+    def test_record_edges(self):
+        g = to_graph(Record(a=1, b=2))
+        assert g.labels[g.root][0] == "record"
+        (child,) = g.successors(g.root, "a")
+        assert g.labels[child] == ("atom", 1)
+
+    def test_set_membership_edges(self):
+        g = to_graph(CSet([1, 2]))
+        assert len(g.successors(g.root, MEMBER)) == 2
+
+    def test_hash_consing_shares_nodes(self):
+        shared = Record(x=1)
+        g = to_graph(CSet([Record(a=shared, b=shared)]))
+        record_nodes = [
+            n for n, lab in g.labels.items() if lab == ("record", ("x",))
+        ]
+        assert len(record_nodes) == 1
+
+    def test_validation_rejects_bad_graphs(self):
+        with pytest.raises(ReproError):
+            ObjectGraph("root", {}, {})
+        with pytest.raises(ReproError):
+            ObjectGraph(
+                "r",
+                {"r": ("atom", 1), "s": ("set",)},
+                {("r", "a"): ("s",)},
+            )
+
+
+class TestGraphSimulation:
+    def test_atom_simulation(self):
+        assert value_simulated(1, 1)
+        assert not value_simulated(1, 2)
+
+    def test_set_simulation(self):
+        assert value_simulated(CSet([1]), CSet([1, 2]))
+        assert not value_simulated(CSet([1, 2]), CSet([1]))
+
+    def test_nested(self):
+        low = CSet([Record(a=1, s=CSet([]))])
+        high = CSet([Record(a=1, s=CSet([2]))])
+        assert value_simulated(low, high)
+        assert not value_simulated(high, low)
+
+    def test_cyclic_graph_simulation(self):
+        """A cyclic 'infinite set' simulates its unfolding (and itself)."""
+        # loop: set whose member is a record whose 'next' is the set.
+        labels = {
+            "S": ("set",),
+            "R": ("record", ("next",)),
+        }
+        edges = {("S", MEMBER): ("R",), ("R", "next"): ("S",)}
+        loop = ObjectGraph("S", labels, edges)
+        relation = graph_simulation(loop, loop)
+        assert ("S", "S") in relation and ("R", "R") in relation
+
+    def test_cyclic_vs_finite(self):
+        """A finite one-step unfolding with an empty tail is simulated by
+        the cyclic graph."""
+        labels = {"S": ("set",), "R": ("record", ("next",))}
+        edges = {("S", MEMBER): ("R",), ("R", "next"): ("S",)}
+        loop = ObjectGraph("S", labels, edges)
+
+        finite = to_graph(CSet([Record(next=CSet())]))
+        relation = graph_simulation(finite, loop)
+        assert (finite.root, "S") in relation
+        # But not the other way: the loop's member requires a non-stub
+        # successor forever... actually the empty set simulates nothing's
+        # members vacuously, so the loop IS simulated by the finite graph
+        # only if R maps to a record whose next simulates S; next of the
+        # finite record is {}, which simulates no non-empty set... S has
+        # a member, {} has none — so the reverse fails.
+        reverse = graph_simulation(loop, finite)
+        assert ("S", finite.root) not in reverse
+
+
+class TestCoincidenceWithHoareOrder:
+    """dominated(x, y) ⟺ graph simulation (the paper's remark)."""
+
+    @given(values, values)
+    @settings(max_examples=150, deadline=None)
+    def test_coincides(self, x, y):
+        assert dominated(x, y) == value_simulated(x, y)
+
+    @given(values)
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive(self, x):
+        assert value_simulated(x, x)

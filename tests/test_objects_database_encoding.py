@@ -1,0 +1,147 @@
+"""Unit tests for databases and the Section-5.1 index encoding."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.objects import (
+    Record,
+    CSet,
+    Relation,
+    Database,
+    RecordType,
+    SetType,
+    ATOM,
+    encode_relation,
+    encode_database,
+    decode_relation,
+)
+
+
+def nested_relation():
+    return Relation.from_rows(
+        "emp",
+        [
+            {"name": "ann", "kids": [{"k": "bo"}, {"k": "cy"}]},
+            {"name": "dan", "kids": []},
+            {"name": "eve", "kids": [{"k": "bo"}]},
+        ],
+    )
+
+
+class TestRelation:
+    def test_from_rows_converts(self):
+        rel = nested_relation()
+        assert len(rel) == 3
+        assert not rel.is_flat()
+
+    def test_flat_detection(self):
+        rel = Relation.from_rows("r", [{"a": 1}])
+        assert rel.is_flat()
+
+    def test_schema_conformance_checked(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows("r", [{"a": 1}], RecordType({"a": SetType(ATOM)}))
+
+    def test_empty_relation_needs_type(self):
+        with pytest.raises(SchemaError):
+            Relation("r", CSet())
+        rel = Relation("r", CSet(), RecordType({"a": ATOM}))
+        assert len(rel) == 0
+
+    def test_rows_must_be_records(self):
+        with pytest.raises(SchemaError):
+            Relation("r", CSet([1]))
+
+
+class TestDatabase:
+    def test_from_dict(self):
+        db = Database.from_dict({"r": [{"a": 1}], "s": [{"b": 2}]})
+        assert db.names() == ("r", "s")
+        assert "r" in db and "t" not in db
+
+    def test_missing_relation_raises(self):
+        db = Database.from_dict({"r": [{"a": 1}]})
+        with pytest.raises(SchemaError):
+            db["nope"]
+
+    def test_duplicate_names_rejected(self):
+        r = Relation.from_rows("r", [{"a": 1}])
+        with pytest.raises(SchemaError):
+            Database([r, r])
+
+    def test_require_flat(self):
+        db = Database([nested_relation()])
+        assert not db.is_flat()
+        with pytest.raises(SchemaError):
+            db.require_flat()
+
+    def test_active_domain(self):
+        db = Database.from_dict({"r": [{"a": 1, "b": "x"}]})
+        assert set(db.active_domain()) == {1, "x"}
+
+    def test_active_domain_sees_nested_atoms(self):
+        db = Database([nested_relation()])
+        assert "bo" in db.active_domain()
+
+    def test_with_relation(self):
+        db = Database.from_dict({"r": [{"a": 1}]})
+        db2 = db.with_relation(Relation.from_rows("s", [{"b": 2}]))
+        assert "s" in db2 and "s" not in db
+
+    def test_empty_relation_via_schema(self):
+        db = Database.from_dict({}, schema={"r": RecordType({"a": ATOM})})
+        assert len(db["r"]) == 0
+
+
+class TestIndexEncoding:
+    def test_roundtrip(self):
+        rel = nested_relation()
+        tables = encode_relation(rel)
+        assert set(tables) == {"emp", "emp__kids"}
+        assert all(t.is_flat() for t in tables.values())
+        decoded = decode_relation("emp", tables)
+        assert decoded.rows == rel.rows
+
+    def test_equal_inner_sets_share_index(self):
+        rel = Relation.from_rows(
+            "r", [{"a": 1, "s": [7]}, {"a": 2, "s": [7]}, {"a": 3, "s": [8]}]
+        )
+        tables = encode_relation(rel)
+        indexes = {row["s"] for row in tables["r"]}
+        assert len(indexes) == 2
+
+    def test_empty_sets_get_index_with_no_rows(self):
+        rel = Relation.from_rows("r", [{"a": 1, "s": []}])
+        tables = encode_relation(rel)
+        assert len(tables["r__s"]) == 0
+        decoded = decode_relation("r", tables)
+        assert decoded.rows == rel.rows
+
+    def test_two_level_nesting_roundtrip(self):
+        rel = Relation.from_rows(
+            "r",
+            [
+                {"a": 1, "s": [{"b": 2, "t": [{"c": 3}]}, {"b": 4, "t": []}]},
+                {"a": 5, "s": []},
+            ],
+        )
+        tables = encode_relation(rel)
+        assert set(tables) == {"r", "r__s", "r__s__t"}
+        decoded = decode_relation("r", tables)
+        assert decoded.rows == rel.rows
+
+    def test_atomic_element_sets(self):
+        rel = Relation.from_rows("r", [{"a": 1, "s": [10, 20]}])
+        tables = encode_relation(rel)
+        decoded = decode_relation("r", tables)
+        assert decoded.rows == rel.rows
+
+    def test_encode_database_passes_flat_through(self):
+        db = Database.from_dict({"flat": [{"a": 1}]})
+        assert encode_database(db)["flat"].rows == db["flat"].rows
+
+    def test_encode_database_flattens_nested(self):
+        db = Database([nested_relation()])
+        flat = encode_database(db)
+        assert flat.is_flat()
+        assert "emp__kids" in flat

@@ -1,0 +1,123 @@
+"""Unit tests for complex-object types and the Hoare containment order."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.objects import (
+    Record,
+    CSet,
+    AtomType,
+    RecordType,
+    SetType,
+    ATOM,
+    infer_type,
+    conforms,
+    join_types,
+    dominated,
+    hoare_equivalent,
+)
+from repro.objects.types import EMPTY_SET, EmptySetType
+
+
+class TestTypes:
+    def test_atom_type_singleton(self):
+        assert AtomType() is ATOM
+
+    def test_infer_atom(self):
+        assert infer_type(3) == ATOM
+
+    def test_infer_record(self):
+        t = infer_type(Record(a=1, b="x"))
+        assert t == RecordType({"a": ATOM, "b": ATOM})
+
+    def test_infer_set(self):
+        t = infer_type(CSet([Record(a=1)]))
+        assert t == SetType(RecordType({"a": ATOM}))
+
+    def test_infer_empty_set(self):
+        assert infer_type(CSet()) == EMPTY_SET
+
+    def test_infer_set_with_empty_inner(self):
+        t = infer_type(CSet([Record(a=CSet()), Record(a=CSet([1]))]))
+        assert t == SetType(RecordType({"a": SetType(ATOM)}))
+
+    def test_incompatible_set_elements_raise(self):
+        with pytest.raises(TypeCheckError):
+            infer_type(CSet([1, Record(a=2)]))
+
+    def test_join_empty_with_set(self):
+        assert join_types(EMPTY_SET, SetType(ATOM)) == SetType(ATOM)
+        assert join_types(SetType(ATOM), EMPTY_SET) == SetType(ATOM)
+
+    def test_join_mismatched_records(self):
+        with pytest.raises(TypeCheckError):
+            join_types(RecordType({"a": ATOM}), RecordType({"b": ATOM}))
+
+    def test_conforms(self):
+        t = SetType(RecordType({"a": ATOM, "kids": SetType(ATOM)}))
+        value = CSet([Record(a=1, kids=CSet([2]))])
+        assert conforms(value, t)
+        assert conforms(CSet([Record(a=1, kids=CSet())]), t)
+        assert not conforms(CSet([Record(a=CSet(), kids=CSet())]), t)
+
+    def test_record_type_accessors(self):
+        t = RecordType({"a": ATOM, "b": SetType(ATOM)})
+        assert t.atomic_attrs() == ("a",)
+        assert t.set_attrs() == ("b",)
+
+
+class TestHoareOrder:
+    def test_atoms(self):
+        assert dominated(1, 1)
+        assert not dominated(1, 2)
+
+    def test_flat_sets_are_subset(self):
+        assert dominated(CSet([1]), CSet([1, 2]))
+        assert not dominated(CSet([1, 2]), CSet([1]))
+
+    def test_empty_set_below_everything(self):
+        assert dominated(CSet(), CSet())
+        assert dominated(CSet(), CSet([1]))
+
+    def test_records_componentwise(self):
+        low = Record(a=1, s=CSet([1]))
+        high = Record(a=1, s=CSet([1, 2]))
+        assert dominated(low, high)
+        assert not dominated(high, low)
+
+    def test_mismatched_records_incomparable(self):
+        assert not dominated(Record(a=1), Record(b=1))
+
+    def test_nested_sets(self):
+        low = CSet([CSet([1])])
+        high = CSet([CSet([1, 2])])
+        assert dominated(low, high)
+        assert not dominated(high, low)
+
+    def test_preorder_not_antisymmetric(self):
+        # The classic example: mutual domination without equality.
+        left = CSet([CSet([1]), CSet([1, 2])])
+        right = CSet([CSet([1, 2])])
+        assert hoare_equivalent(left, right)
+        assert left != right
+
+    def test_kind_mismatch_incomparable(self):
+        assert not dominated(1, CSet([1]))
+        assert not dominated(CSet([1]), Record(a=1))
+
+    def test_reflexive_on_samples(self):
+        samples = [
+            1,
+            "x",
+            Record(a=1),
+            CSet([Record(a=CSet([1, 2]))]),
+            CSet([CSet([]), CSet([1])]),
+        ]
+        for value in samples:
+            assert dominated(value, value)
+
+    def test_transitive_on_chain(self):
+        a = CSet([])
+        b = CSet([Record(x=1, s=CSet([]))])
+        c = CSet([Record(x=1, s=CSet([2])), Record(x=3, s=CSet([]))])
+        assert dominated(a, b) and dominated(b, c) and dominated(a, c)

@@ -1,0 +1,115 @@
+"""Unit tests for complex-object values (Record, CSet, atoms)."""
+
+import pytest
+
+from repro.errors import ValueConstructionError
+from repro.objects import Record, CSet, is_atom, is_complex_object, sort_key
+
+
+class TestAtoms:
+    def test_scalars_are_atoms(self):
+        for value in ("x", 3, 2.5, True):
+            assert is_atom(value)
+
+    def test_collections_are_not_atoms(self):
+        assert not is_atom([1])
+        assert not is_atom(Record(a=1))
+        assert not is_atom(CSet([1]))
+
+
+class TestRecord:
+    def test_attribute_access(self):
+        r = Record(name="ann", age=7)
+        assert r["name"] == "ann"
+        assert r["age"] == 7
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(KeyError):
+            Record(a=1)["b"]
+
+    def test_get_with_default(self):
+        assert Record(a=1).get("b", 9) == 9
+
+    def test_equality_ignores_order(self):
+        assert Record(a=1, b=2) == Record(b=2, a=1)
+
+    def test_hashable(self):
+        assert hash(Record(a=1)) == hash(Record(a=1))
+
+    def test_keys_sorted(self):
+        assert Record(b=1, a=2).keys() == ("a", "b")
+
+    def test_nested_components(self):
+        r = Record(a=CSet([Record(b=1)]))
+        assert isinstance(r["a"], CSet)
+
+    def test_replace(self):
+        r = Record(a=1, b=2).replace(b=3, c=4)
+        assert r == Record(a=1, b=3, c=4)
+
+    def test_project(self):
+        assert Record(a=1, b=2).project(["a"]) == Record(a=1)
+
+    def test_immutable(self):
+        r = Record(a=1)
+        with pytest.raises(AttributeError):
+            r.x = 1
+
+    def test_invalid_component_rejected(self):
+        with pytest.raises(ValueConstructionError):
+            Record(a=object())
+
+    def test_invalid_attr_name_rejected(self):
+        with pytest.raises(ValueConstructionError):
+            Record({1: "x"})
+
+    def test_contains(self):
+        assert "a" in Record(a=1)
+        assert "b" not in Record(a=1)
+
+
+class TestCSet:
+    def test_deduplication(self):
+        assert len(CSet([1, 1, 2])) == 2
+
+    def test_equality(self):
+        assert CSet([1, 2]) == CSet([2, 1])
+
+    def test_nested_sets(self):
+        s = CSet([CSet([1]), CSet([])])
+        assert len(s) == 2
+
+    def test_membership(self):
+        assert Record(a=1) in CSet([Record(a=1)])
+
+    def test_union_intersection(self):
+        assert CSet([1]) | CSet([2]) == CSet([1, 2])
+        assert CSet([1, 2]) & CSet([2, 3]) == CSet([2])
+
+    def test_subset(self):
+        assert CSet([1]) <= CSet([1, 2])
+        assert not (CSet([3]) <= CSet([1, 2]))
+
+    def test_iteration_deterministic(self):
+        s = CSet(["b", "a", "c"])
+        assert list(s) == list(s) == ["a", "b", "c"]
+
+    def test_invalid_element_rejected(self):
+        with pytest.raises(ValueConstructionError):
+            CSet([object()])
+
+    def test_immutable(self):
+        s = CSet([1])
+        with pytest.raises(AttributeError):
+            s.x = 1
+
+
+class TestWellFormedness:
+    def test_nested_value_is_complex_object(self):
+        value = CSet([Record(a=1, b=CSet([Record(c="x")]))])
+        assert is_complex_object(value)
+
+    def test_sort_key_total_on_mixed(self):
+        values = [CSet([1]), Record(a=1), "z", 3, CSet([])]
+        ordered = sorted(values, key=sort_key)
+        assert sorted(ordered, key=sort_key) == ordered

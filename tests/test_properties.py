@@ -1,0 +1,275 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+* the Hoare order is a preorder with the right algebraic laws;
+* the index encoding is lossless;
+* conjunctive-query evaluation is monotone and containment verdicts
+  respect it;
+* minimization preserves equivalence;
+* simulation is reflexive and transitive;
+* the COQL pipeline (normalize + encode) agrees with the interpreter.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.objects import (
+    Record,
+    CSet,
+    Relation,
+    Database,
+    dominated,
+    encode_relation,
+    decode_relation,
+)
+from repro.cq import contains, equivalent, minimize, evaluate
+from repro.cq.query import ConjunctiveQuery
+from repro.grouping import is_simulated
+from repro.workloads import (
+    random_cq,
+    random_flat_database,
+    random_grouping_query,
+    random_coql,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+atoms = st.one_of(st.integers(0, 5), st.sampled_from(["x", "y", "z"]))
+
+
+def _values(max_depth=3):
+    return st.recursive(
+        atoms,
+        lambda inner: st.one_of(
+            st.dictionaries(
+                st.sampled_from(["a", "b"]), inner, min_size=1, max_size=2
+            ).map(Record),
+            st.lists(inner, max_size=3).map(CSet),
+        ),
+        max_leaves=8,
+    )
+
+
+values = _values()
+
+#: Rows of a small nested relation: records over a fixed attribute set.
+nested_rows = st.lists(
+    st.fixed_dictionaries(
+        {
+            "k": st.integers(0, 3),
+            "s": st.lists(
+                st.fixed_dictionaries({"v": st.integers(0, 3)}).map(Record),
+                max_size=3,
+            ).map(CSet),
+        }
+    ).map(Record),
+    min_size=0,
+    max_size=5,
+)
+
+
+# ---------------------------------------------------------------------------
+# Hoare order laws
+# ---------------------------------------------------------------------------
+
+
+class TestHoareOrderProperties:
+    @given(values)
+    @settings(max_examples=80, deadline=None)
+    def test_reflexive(self, value):
+        assert dominated(value, value)
+
+    @given(st.lists(values, min_size=3, max_size=3))
+    @settings(max_examples=80, deadline=None)
+    def test_transitive_when_applicable(self, triple):
+        a, b, c = triple
+        if dominated(a, b) and dominated(b, c):
+            assert dominated(a, c)
+
+    @given(st.lists(values, max_size=4), st.lists(values, max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_union_is_upper_bound(self, left, right):
+        try:
+            ls, rs = CSet(left), CSet(right)
+        except Exception:
+            return
+        union = ls | rs
+        assert dominated(ls, union)
+        assert dominated(rs, union)
+
+    @given(st.lists(values, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_empty_set_is_bottom(self, elements):
+        assert dominated(CSet(), CSet(elements))
+
+    @given(st.lists(values, max_size=3), st.lists(values, max_size=3))
+    @settings(max_examples=80, deadline=None)
+    def test_subset_implies_domination(self, left, extra):
+        ls = CSet(left)
+        bigger = ls | CSet(extra)
+        assert dominated(ls, bigger)
+
+
+# ---------------------------------------------------------------------------
+# Index encoding
+# ---------------------------------------------------------------------------
+
+
+class TestEncodingProperties:
+    @given(nested_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, rows):
+        if not rows:
+            return
+        relation = Relation("t", CSet(rows))
+        tables = encode_relation(relation)
+        assert all(rel.is_flat() for rel in tables.values())
+        decoded = decode_relation("t", tables)
+        assert decoded.rows == relation.rows
+
+    @given(nested_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_value_based_indexing_is_functional(self, rows):
+        """Equal inner sets must share an index (so row counts match the
+        number of distinct rows after encoding)."""
+        if not rows:
+            return
+        relation = Relation("t", CSet(rows))
+        tables = encode_relation(relation)
+        index_of = {}
+        for row in tables["t"]:
+            index_of.setdefault(row["s"], set())
+        assert len(index_of) <= len({row["s"] for row in relation.rows})
+
+
+# ---------------------------------------------------------------------------
+# Conjunctive queries
+# ---------------------------------------------------------------------------
+
+SCHEMA = {"r": 2, "s": 1}
+
+
+class TestCQProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_contains_reflexive(self, seed):
+        q = random_cq(SCHEMA, atoms=3, variables=3, head_arity=1, seed=seed)
+        assert contains(q, q)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_preserves_equivalence(self, seed):
+        q = random_cq(SCHEMA, atoms=4, variables=3, head_arity=1, seed=seed)
+        assert equivalent(q, minimize(q))
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_containment_implies_answer_inclusion(self, seed, db_seed):
+        q1 = random_cq(SCHEMA, atoms=3, variables=3, head_arity=1, seed=seed)
+        q2 = random_cq(SCHEMA, atoms=2, variables=3, head_arity=1, seed=seed + 1)
+        if len(q1.head) != len(q2.head) or not contains(q2, q1):
+            return
+        db = random_flat_database(SCHEMA, rows=4, domain=3, seed=db_seed)
+        assert evaluate(q1, db) <= evaluate(q2, db)
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_evaluation_monotone(self, seed, db_seed):
+        q = random_cq(SCHEMA, atoms=3, variables=3, head_arity=1, seed=seed)
+        small = random_flat_database(SCHEMA, rows=3, domain=3, seed=db_seed)
+        rng = random.Random(db_seed + 1)
+        big = small
+        extra = random_flat_database(SCHEMA, rows=2, domain=3, seed=db_seed + 7)
+        merged = {}
+        for name in SCHEMA:
+            merged[name] = Relation(
+                name, CSet(list(small[name].rows) + list(extra[name].rows))
+            )
+        big = Database(merged.values())
+        assert evaluate(q, small) <= evaluate(q, big)
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_containment_transitive(self, seed):
+        qs = [
+            random_cq(SCHEMA, atoms=2 + i, variables=3, head_arity=1,
+                      seed=seed + i)
+            for i in range(3)
+        ]
+        a, b, c = qs
+        if len({len(q.head) for q in qs}) != 1:
+            return
+        if contains(b, a) and contains(c, b):
+            assert contains(c, a)
+
+
+# ---------------------------------------------------------------------------
+# Simulation
+# ---------------------------------------------------------------------------
+
+GSCHEMA = {"r": 2, "s": 2}
+
+
+class TestSimulationProperties:
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_reflexive(self, seed):
+        q = random_grouping_query(GSCHEMA, seed=seed, depth=2)
+        assert is_simulated(q, q)
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_invariant_under_renaming(self, seed):
+        q = random_grouping_query(GSCHEMA, seed=seed, depth=2)
+        renamed = q.rename_apart("_z")
+        assert is_simulated(q, renamed)
+        assert is_simulated(renamed, q)
+
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=10, deadline=None)
+    def test_transitive(self, seed):
+        qs = [
+            random_grouping_query(GSCHEMA, seed=seed + i * 1000, depth=2)
+            for i in range(3)
+        ]
+        a, b, c = qs
+        if a.shape() != b.shape() or b.shape() != c.shape():
+            return
+        if is_simulated(a, b) and is_simulated(b, c):
+            assert is_simulated(a, c)
+
+
+# ---------------------------------------------------------------------------
+# COQL pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestCoqlPipelineProperties:
+    @given(st.integers(0, 5_000), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_encoder_matches_interpreter(self, seed, db_seed):
+        from repro.coql import parse_coql, evaluate_coql
+        from repro.coql.containment import prepare
+        from repro.coql.encode import reconstruct_value
+        from repro.grouping.semantics import node_groups
+
+        schema = {"r": ("a", "b"), "s": ("k", "b")}
+        text = random_coql(seed=seed, depth=2)
+        encoded = prepare(text, schema)
+        if encoded.is_empty:
+            return
+        rng = random.Random(db_seed)
+        db = Database.from_dict(
+            {
+                name: [
+                    {attr: rng.randrange(3) for attr in attrs}
+                    for __ in range(4)
+                ]
+                for name, attrs in schema.items()
+            }
+        )
+        direct = evaluate_coql(parse_coql(text), db)
+        rebuilt = reconstruct_value(encoded, node_groups(encoded.query, db))
+        assert rebuilt == direct

@@ -1,0 +1,169 @@
+"""Randomized end-to-end validation sweeps.
+
+Each sweep pits a decision procedure against semantics on randomized
+instances: positive verdicts must hold on every sampled database;
+negative verdicts are probed for witnesses.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import IncomparableQueriesError, UnsupportedQueryError
+from repro.cq.terms import Var, Atom
+from repro.objects import Database
+from repro.objects.types import RecordType, ATOM
+from repro.aggregates import (
+    AggregateQuery,
+    aggregate_contained,
+    evaluate_symbolic,
+)
+from repro.algebra import Pipeline, pipelines_equivalent
+from repro.coql import contains
+from repro.workloads import random_flat_database, random_coql
+
+
+class TestAggregateContainmentRandomized:
+    BODIES = [
+        ("r(G, V)",),
+        ("r(G, V)", "r(G, W)"),
+        ("r(G, V)", "s(G)"),
+        ("r(G, V)", "s(V)"),
+        ("r(G, V)", "r(W, V)", "s(W)"),
+        ("r(G, V)", "t(G, V)"),
+    ]
+
+    def _query(self, body_texts):
+        from repro.cq.parser import parse_atom
+
+        return AggregateQuery(
+            tuple(parse_atom(t) for t in body_texts), (Var("G"),), "f", Var("V")
+        )
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_containment_soundness(self, seed):
+        rng = random.Random(seed)
+        q1 = self._query(rng.choice(self.BODIES))
+        q2 = self._query(rng.choice(self.BODIES))
+        if not aggregate_contained(q2, q1):
+            return
+        # q1 ⊑ q2: q1's symbolic result rows must appear in q2's.
+        for db_seed in range(8):
+            db = random_flat_database(
+                {"r": 2, "s": 1, "t": 2}, rows=5, domain=3, seed=db_seed
+            )
+            assert evaluate_symbolic(q1, db) <= evaluate_symbolic(q2, db), (
+                q1,
+                q2,
+                db_seed,
+            )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_refutations_witnessed(self, seed):
+        rng = random.Random(seed + 500)
+        q1 = self._query(rng.choice(self.BODIES))
+        q2 = self._query(rng.choice(self.BODIES))
+        if aggregate_contained(q2, q1):
+            return
+        witnessed = any(
+            not (
+                evaluate_symbolic(q1, db) <= evaluate_symbolic(q2, db)
+            )
+            for db in (
+                random_flat_database(
+                    {"r": 2, "s": 1, "t": 2}, rows=5, domain=2, seed=s
+                )
+                for s in range(30)
+            )
+        )
+        assert witnessed, (q1, q2)
+
+
+class TestNestUnnestRandomized:
+    SCHEMA = {"r": RecordType({"a": ATOM, "b": ATOM, "c": ATOM})}
+
+    def _random_pipeline(self, seed, steps):
+        """A random valid nest/unnest pipeline over r(a,b,c).
+
+        Tracks flat attributes and live set labels.  A nest must include
+        every live label among the nested attributes (otherwise a
+        set-valued attribute would govern the grouping — the footnote-3
+        restriction); an unnest re-exposes the label's contents.
+        """
+        rng = random.Random(seed)
+        flat = ["a", "b", "c"]
+        live = {}  # label -> (flat attrs inside, labels inside)
+        out = []
+        counter = 0
+        for __ in range(steps):
+            if live and (rng.random() < 0.5 or len(flat) < 2):
+                label = rng.choice(sorted(live))
+                inner_flat, inner_labels = live.pop(label)
+                out.append(("unnest", label))
+                flat.extend(inner_flat)
+                live.update(inner_labels)
+            elif len(flat) >= 2:
+                count = rng.randint(1, len(flat) - 1)
+                chosen = sorted(rng.sample(flat, count))
+                attrs = tuple(chosen) + tuple(sorted(live))
+                label = "g%d" % counter
+                counter += 1
+                for attr in chosen:
+                    flat.remove(attr)
+                nested_labels = dict(live)
+                live = {label: (chosen, nested_labels)}
+                out.append(("nest", attrs, label))
+        return Pipeline("r", out)
+
+    def _random_db(self, seed):
+        rng = random.Random(seed)
+        rows = [
+            {"a": rng.randrange(2), "b": rng.randrange(2), "c": rng.randrange(2)}
+            for __ in range(rng.randint(1, 5))
+        ]
+        return Database.from_dict({"r": rows})
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_equivalence_matches_evaluation(self, seed):
+        p1 = self._random_pipeline(seed, steps=3)
+        p2 = self._random_pipeline(seed + 700, steps=3)
+        try:
+            verdict = pipelines_equivalent(p1, p2, self.SCHEMA)
+        except (IncomparableQueriesError, UnsupportedQueryError):
+            return
+        agree = all(
+            p1.evaluate(self._random_db(s)) == p2.evaluate(self._random_db(s))
+            for s in range(10)
+        )
+        if verdict:
+            assert agree, (p1, p2)
+        else:
+            # probe harder for a witness before accepting a refutation
+            witnessed = any(
+                p1.evaluate(self._random_db(s)) != p2.evaluate(self._random_db(s))
+                for s in range(40)
+            )
+            assert witnessed, (p1, p2)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_self_equivalence(self, seed):
+        pipeline = self._random_pipeline(seed, steps=4)
+        assert pipelines_equivalent(pipeline, pipeline, self.SCHEMA)
+
+
+class TestCoqlContainmentTransitivity:
+    SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_transitive(self, seed):
+        qs = [
+            random_coql(seed=seed + i * 1111, depth=2) for i in range(3)
+        ]
+        a, b, c = qs
+        try:
+            ab = contains(b, a, self.SCHEMA)
+            bc = contains(c, b, self.SCHEMA)
+            if ab and bc:
+                assert contains(c, a, self.SCHEMA), (a, b, c)
+        except IncomparableQueriesError:
+            return

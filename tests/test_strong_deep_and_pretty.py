@@ -1,0 +1,93 @@
+"""Strong simulation at depth 3, and the grouping pretty-printer."""
+
+import pytest
+
+from repro.grouping import (
+    is_strongly_simulated,
+    semantic_strongly_simulates,
+    simulation_certificate,
+)
+from repro.grouping.pretty import format_grouping, format_certificate
+from repro.grouping.build import node, grouping_query
+from repro.workloads import (
+    chain_grouping_query,
+    random_grouping_query,
+    random_flat_database,
+)
+
+SCHEMA = {"r": 2, "s": 2}
+
+
+class TestStrongSimulationDepth3:
+    def test_reflexive_chain(self):
+        q = chain_grouping_query(3)
+        assert is_strongly_simulated(q, q.rename_apart("_p"))
+
+    def test_random_soundness(self):
+        checked = 0
+        for seed in range(8):
+            q = random_grouping_query(
+                SCHEMA, seed=seed, depth=3, atoms_per_node=1, variables=4
+            )
+            other = q.rename_apart("_p")
+            if not is_strongly_simulated(q, other, witnesses=2):
+                continue
+            for db_seed in range(3):
+                db = random_flat_database(SCHEMA, rows=3, domain=2, seed=db_seed)
+                assert semantic_strongly_simulates(q, other, db)
+            checked += 1
+        assert checked >= 5
+
+    def test_unlinked_leaf_not_strong(self):
+        tight = grouping_query(
+            node(
+                "",
+                ["r(X, W)"],
+                {"a": "X"},
+                children=[
+                    node(
+                        "m",
+                        ["s(X, Y)"],
+                        {"b": "Y"},
+                        index=["X"],
+                        children=[node("l", ["s(Y, Z)"], {"c": "Z"}, index=["Y"])],
+                    )
+                ],
+            )
+        )
+        loose = grouping_query(
+            node(
+                "",
+                ["r(X, W)"],
+                {"a": "X"},
+                children=[
+                    node(
+                        "m",
+                        ["s(X, Y)"],
+                        {"b": "Y"},
+                        index=["X"],
+                        children=[node("l", ["s(U, Z)"], {"c": "Z"}, index=[])],
+                    )
+                ],
+            )
+        )
+        assert not is_strongly_simulated(tight, loose)
+        # the inclusion direction does hold
+        from repro.grouping import is_simulated
+
+        assert is_simulated(tight, loose)
+
+
+class TestPretty:
+    def test_format_grouping_mentions_every_node(self):
+        q = chain_grouping_query(3)
+        text = format_grouping(q)
+        assert "(root)" in text
+        assert text.count(":-") == 3
+
+    def test_format_certificate(self):
+        q = chain_grouping_query(2)
+        cert = simulation_certificate(q, q.rename_apart("_p"))
+        text = format_certificate(cert)
+        assert "witnesses per node" in text
+        assert "↦" in text

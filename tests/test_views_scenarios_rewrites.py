@@ -1,0 +1,203 @@
+"""Tests for view catalogues, scenarios, aggregate rewrites, and
+grouping-level minimization."""
+
+import pytest
+
+from repro.cq.parser import parse_atom
+from repro.cq.terms import Var
+from repro.coql import ViewCatalog, contains, weakly_equivalent, evaluate_coql, parse_coql
+from repro.objects import dominated
+from repro.grouping import minimize_grouping, simulation_equivalent
+from repro.grouping.build import node, grouping_query
+from repro.aggregates import (
+    AggregateQuery,
+    verify_rewrite,
+    eliminate_redundant_atoms,
+    RewriteError,
+)
+from repro.workloads import company_scenario, orders_scenario
+
+
+class TestViewCatalog:
+    def catalog(self):
+        scenario = orders_scenario()
+        return ViewCatalog(scenario.schema, scenario.queries), scenario
+
+    def test_exact_view_detected(self):
+        catalog, scenario = self.catalog()
+        reports = catalog.analyze(scenario.queries["basket_per_customer"])
+        assert reports["basket_per_customer"].exact
+
+    def test_usable_strictly_wider_view(self):
+        catalog, scenario = self.catalog()
+        reports = catalog.analyze(scenario.queries["gold_baskets"])
+        assert reports["basket_per_customer"].usable
+        assert not reports["basket_per_customer"].exact
+
+    def test_unusable_view(self):
+        catalog, scenario = self.catalog()
+        reports = catalog.analyze(scenario.queries["basket_per_customer"])
+        assert not reports["gold_baskets"].usable
+        assert not reports["catalogued_baskets"].usable
+
+    def test_best_views_order(self):
+        catalog, scenario = self.catalog()
+        best = catalog.best_views(scenario.queries["gold_baskets"])
+        assert best[0] == "gold_baskets"  # exact first
+        assert "basket_per_customer" in best
+
+    def test_counterexamples_on_request(self):
+        catalog, scenario = self.catalog()
+        reports = catalog.analyze(
+            scenario.queries["basket_per_customer"], with_counterexamples=True
+        )
+        bad = reports["catalogued_baskets"]
+        assert not bad.usable
+        assert bad.counterexample is not None
+
+    def test_incomparable_view(self):
+        scenario = orders_scenario()
+        catalog = ViewCatalog(
+            scenario.schema, {"flat": "select [c: o.cust] from o in orders"}
+        )
+        reports = catalog.analyze(scenario.queries["basket_per_customer"])
+        assert not reports["flat"].comparable
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("factory", [company_scenario, orders_scenario])
+    def test_queries_typecheck_and_run(self, factory):
+        scenario = factory()
+        db = scenario.database(scale=1, seed=3)
+        for name, text in scenario.queries.items():
+            answer = evaluate_coql(parse_coql(text), db)
+            assert answer is not None
+
+    def test_company_relationships(self):
+        scenario = company_scenario()
+        q = scenario.queries
+        assert weakly_equivalent(
+            q["staff_by_dept"], q["staff_by_dept_renamed"], scenario.schema
+        )
+        assert contains(
+            q["staff_by_dept"], q["staffed_depts_only"], scenario.schema
+        )
+        assert not contains(
+            q["staffed_depts_only"], q["staff_by_dept"], scenario.schema
+        )
+        assert contains(
+            q["all_staff_under_dept"], q["staff_by_dept"], scenario.schema
+        )
+
+    def test_verdicts_hold_on_generated_data(self):
+        scenario = company_scenario()
+        q = scenario.queries
+        for seed in range(4):
+            db = scenario.database(scale=1, seed=seed)
+            lhs = evaluate_coql(parse_coql(q["staffed_depts_only"]), db)
+            rhs = evaluate_coql(parse_coql(q["staff_by_dept"]), db)
+            assert dominated(lhs, rhs)
+
+    def test_scale_grows_database(self):
+        scenario = orders_scenario()
+        small = scenario.database(scale=1, seed=0)
+        big = scenario.database(scale=3, seed=0)
+        assert len(big["orders"]) >= len(small["orders"])
+
+
+class TestAggregateRewrites:
+    def test_eliminate_redundant_atoms(self):
+        query = AggregateQuery(
+            (parse_atom("r(G, V)"), parse_atom("r(G, W)")),
+            (Var("G"),),
+            "sum",
+            Var("V"),
+        )
+        slim = eliminate_redundant_atoms(query)
+        assert len(slim.body) == 1
+
+    def test_keeps_group_shrinking_atoms(self):
+        query = AggregateQuery(
+            (parse_atom("r(G, V)"), parse_atom("p(V)")),
+            (Var("G"),),
+            "sum",
+            Var("V"),
+        )
+        slim = eliminate_redundant_atoms(query)
+        assert len(slim.body) == 2
+
+    def test_verify_rewrite_accepts_sound(self):
+        original = AggregateQuery(
+            (parse_atom("r(G, V)"), parse_atom("r(G, W)")),
+            (Var("G"),),
+            "sum",
+            Var("V"),
+        )
+        rewritten = AggregateQuery(
+            (parse_atom("r(G, V)"),), (Var("G"),), "sum", Var("V")
+        )
+        assert verify_rewrite(original, rewritten) is rewritten
+
+    def test_verify_rewrite_rejects_unsound(self):
+        original = AggregateQuery(
+            (parse_atom("r(G, V)"),), (Var("G"),), "sum", Var("V")
+        )
+        bogus = AggregateQuery(
+            (parse_atom("r(G, V)"), parse_atom("p(V)")),
+            (Var("G"),),
+            "sum",
+            Var("V"),
+        )
+        with pytest.raises(RewriteError):
+            verify_rewrite(original, bogus)
+
+
+class TestGroupingMinimization:
+    def test_drops_redundant_atom(self):
+        query = grouping_query(
+            node(
+                "",
+                ["r(Xa)", "r(Zb)"],
+                {"a": "Xa"},
+                children=[node("kids", ["s(Xa, Yb)"], {"b": "Yb"}, index=["Xa"])],
+            )
+        )
+        minimized = minimize_grouping(query)
+        assert len(minimized.root.own_atoms) == 1
+        assert simulation_equivalent(query, minimized)
+
+    def test_keeps_linking_atoms(self):
+        query = grouping_query(
+            node(
+                "",
+                ["r(Xa)"],
+                {"a": "Xa"},
+                children=[node("kids", ["s(Xa, Yb)"], {"b": "Yb"}, index=["Xa"])],
+            )
+        )
+        minimized = minimize_grouping(query)
+        assert minimized == query
+
+    def test_minimizes_child_bodies(self):
+        query = grouping_query(
+            node(
+                "",
+                ["r(Xa)"],
+                {"a": "Xa"},
+                children=[
+                    node(
+                        "kids",
+                        ["s(Xa, Yb)", "s(Xa, Wc)"],
+                        {"b": "Yb"},
+                        index=["Xa"],
+                    )
+                ],
+            )
+        )
+        minimized = minimize_grouping(query)
+        child = minimized.root.children[0]
+        assert len(child.own_atoms) == 1
+
+    def test_atom_binding_value_protected(self):
+        query = grouping_query(node("", ["r(Xa)"], {"a": "Xa"}))
+        assert minimize_grouping(query) == query
