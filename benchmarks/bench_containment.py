@@ -82,6 +82,73 @@ def test_random_pair_throughput(benchmark, pairs):
     record(benchmark, experiment="E1", pairs=pairs, positives=positives)
 
 
+@pytest.mark.parametrize("cached", [False, True], ids=["cold", "warm"])
+def test_repeated_checks_engine_cache(benchmark, cached):
+    """The same checks repeated: the engine cache short-circuits
+    prepare and the simulation obligations (cold = caching disabled)."""
+    from repro.engine import ContainmentEngine
+
+    base = _query_with_generators(1)
+    queries = [_query_with_generators(n) for n in (1, 2, 3)]
+    if cached:
+        engine = ContainmentEngine()
+    else:
+        engine = ContainmentEngine(prepare_cache_size=0, verdict_cache_size=0)
+
+    def run():
+        verdicts = []
+        for __ in range(5):
+            for query in queries:
+                verdicts.append(engine.contains(base, query, SCHEMA))
+        return all(verdicts)
+
+    verdict = benchmark(run)
+    stats = engine.stats()
+    record(
+        benchmark,
+        experiment="E1",
+        cached=cached,
+        verdict=verdict,
+        obligation_cache_hits=stats.counter("obligation_cache_hits"),
+        obligations_checked=stats.counter("obligations_checked"),
+        prepare_hits=stats.counter("prepare_hits"),
+        homomorphism_nodes=stats.search.nodes,
+    )
+    assert verdict
+    if cached:
+        assert stats.counter("obligation_cache_hits") > 0
+        assert stats.counter("prepare_hits") > 0
+    else:
+        assert stats.counter("obligation_cache_hits") == 0
+
+
+def test_batched_matrix_engine(benchmark):
+    """The N×N view-reuse matrix through the batch API: every query is
+    prepared once and shared obligations are decided once."""
+    from repro.engine import ContainmentEngine
+    from repro.workloads import company_scenario
+
+    scenario = company_scenario()
+    engine = ContainmentEngine()
+
+    def run():
+        names, matrix = scenario.containment_matrix(engine=engine)
+        return sum(1 for row in matrix for v in row if v)
+
+    positives = benchmark(run)
+    stats = engine.stats()
+    record(
+        benchmark,
+        experiment="E1",
+        positives=positives,
+        prepare_hits=stats.counter("prepare_hits"),
+        obligation_cache_hits=stats.counter("obligation_cache_hits"),
+        homomorphism_nodes=stats.search.nodes,
+    )
+    assert positives >= len(scenario.queries)  # the diagonal at least
+    assert stats.counter("obligation_cache_hits") > 0
+
+
 def test_verdict_semantic_gate(benchmark):
     """Positive verdicts imply Hoare domination on a spot database."""
     q1 = (

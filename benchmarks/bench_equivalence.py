@@ -62,6 +62,45 @@ def test_emptiness_blowup(benchmark, components, linked):
         assert obligations == 2 ** components
 
 
+@pytest.mark.parametrize("cached", [False, True], ids=["cold", "warm"])
+def test_equivalence_batch_engine_cache(benchmark, cached):
+    """Repeated weak-equivalence over a batch: with the engine cache on,
+    the second direction of each check and every repeat are answered
+    from the obligation memo, so the 2^s obligations are decided once."""
+    from repro.engine import ContainmentEngine
+
+    queries = [_query_with_children(c, linked=False) for c in (1, 2, 3)]
+    if cached:
+        engine = ContainmentEngine()
+    else:
+        engine = ContainmentEngine(prepare_cache_size=0, verdict_cache_size=0)
+
+    def run():
+        positives = 0
+        for __ in range(3):
+            for query in queries:
+                if engine.weakly_equivalent(query, query, SCHEMA):
+                    positives += 1
+        return positives
+
+    positives = benchmark(run)
+    stats = engine.stats()
+    record(
+        benchmark,
+        experiment="E2",
+        cached=cached,
+        positives=positives,
+        obligation_cache_hits=stats.counter("obligation_cache_hits"),
+        obligations_checked=stats.counter("obligations_checked"),
+        homomorphism_nodes=stats.search.nodes,
+    )
+    assert positives == 9
+    if cached:
+        assert stats.counter("obligation_cache_hits") > 0
+    else:
+        assert stats.counter("obligation_cache_hits") == 0
+
+
 @pytest.mark.parametrize("components", [2, 3])
 def test_negative_weak_equivalence(benchmark, components):
     """Inequivalent pair (one component unlinked) — the decision must

@@ -36,25 +36,38 @@ def _parse_schema(text):
     return schema
 
 
+def _print_stats(engine):
+    print("--- engine stats ---", file=sys.stderr)
+    print(engine.stats().format(), file=sys.stderr)
+
+
 def _cmd_contain(args):
-    from repro.coql import contains
+    from repro.engine import ContainmentEngine
 
     schema = _parse_schema(args.schema)
-    verdict = contains(args.sup, args.sub, schema)
+    engine = ContainmentEngine()
+    verdict = engine.contains(args.sup, args.sub, schema, method=args.method)
     print("contained" if verdict else "NOT contained")
+    if args.stats:
+        _print_stats(engine)
     return 0 if verdict else 1
 
 
 def _cmd_equiv(args):
-    from repro.coql import weakly_equivalent, equivalent
+    from repro.engine import ContainmentEngine
 
     schema = _parse_schema(args.schema)
+    engine = ContainmentEngine()
     if args.weak:
-        verdict = weakly_equivalent(args.q1, args.q2, schema)
+        verdict = engine.weakly_equivalent(
+            args.q1, args.q2, schema, method=args.method
+        )
         print("weakly equivalent" if verdict else "NOT weakly equivalent")
     else:
-        verdict = equivalent(args.q1, args.q2, schema)
+        verdict = engine.equivalent(args.q1, args.q2, schema, method=args.method)
         print("equivalent" if verdict else "NOT equivalent")
+    if args.stats:
+        _print_stats(engine)
     return 0 if verdict else 1
 
 
@@ -99,6 +112,14 @@ def build_parser():
 
     p = sub.add_parser("contain", help="decide SUB ⊑ SUP for COQL queries")
     p.add_argument("--schema", required=True)
+    p.add_argument("--method", choices=("certificate", "canonical"),
+                   default="certificate",
+                   help="decision procedure (canonical: the slow "
+                        "cross-validation path)")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine statistics (cache hits, obligation "
+                        "and homomorphism-search counts, stage times) to "
+                        "stderr")
     p.add_argument("sup", help="the containing query")
     p.add_argument("sub", help="the contained query")
     p.set_defaults(func=_cmd_contain)
@@ -107,6 +128,11 @@ def build_parser():
     p.add_argument("--schema", required=True)
     p.add_argument("--weak", action="store_true",
                    help="decide weak equivalence (always decidable)")
+    p.add_argument("--method", choices=("certificate", "canonical"),
+                   default="certificate",
+                   help="decision procedure for both directions")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine statistics to stderr")
     p.add_argument("q1")
     p.add_argument("q2")
     p.set_defaults(func=_cmd_equiv)

@@ -20,6 +20,13 @@ The decision procedure (Section 5):
 coincides with equivalence whenever both queries are empty-set free,
 which is what :func:`equivalent` decides (the general equivalence
 question is the open problem the paper answers only partially).
+
+The module-level entry points delegate to the process-wide
+:class:`repro.engine.ContainmentEngine` (see :mod:`repro.engine`), which
+memoizes prepared queries and simulation verdicts; the uncached
+reference pipeline (:func:`prepare`, :func:`_contains_encoded`) is kept
+here both as the specification the engine must agree with and for
+callers that need a cold path.
 """
 
 import itertools
@@ -88,9 +95,11 @@ def contains(sup, sub, schema, witnesses=None, method="certificate"):
         condition over the canonical database family — an independent
         implementation kept for cross-validation and pedagogy; slower).
     """
-    sub_encoded = prepare(sub, schema, "sub")
-    sup_encoded = prepare(sup, schema, "sup")
-    return _contains_encoded(sup_encoded, sub_encoded, witnesses, method)
+    from repro.engine import default_engine
+
+    return default_engine().contains(
+        sup, sub, schema, witnesses=witnesses, method=method
+    )
 
 
 def _contains_encoded(sup_encoded, sub_encoded, witnesses=None,
@@ -118,6 +127,9 @@ def _contains_encoded(sup_encoded, sub_encoded, witnesses=None,
         )
     else:
         raise UnsupportedQueryError("unknown method %r" % (method,))
+    # After paired_encoding the two queries have identical path sets, so
+    # patterns derived from sub_query are valid truncations of sup_query
+    # as well; GroupingQuery.truncate rejects any pattern that is not.
     for pattern in _obligation_patterns(sub_query):
         sub_t = sub_query.truncate(pattern)
         sup_t = sup_query.truncate(pattern)
@@ -126,16 +138,22 @@ def _contains_encoded(sup_encoded, sub_encoded, witnesses=None,
     return True
 
 
-def _obligation_patterns(query):
+def _obligation_patterns(query, is_nonempty=None):
     """Yield the truncation patterns whose simulation obligations are not
     implied by a larger pattern.
 
     A pattern may prune a set node only when the node is *not* provably
     non-empty (pruning a provably non-empty node is implied by keeping
     it).  Patterns are prefix-closed path sets containing the root.
+
+    :param is_nonempty: optional ``(query, path) -> bool`` replacing
+        :func:`_provably_nonempty` (the engine injects its memoized
+        version here).
     """
+    if is_nonempty is None:
+        is_nonempty = _provably_nonempty
     paths = [p for p in query.paths() if p]
-    optional = [p for p in paths if not _provably_nonempty(query, p)]
+    optional = [p for p in paths if not is_nonempty(query, p)]
     all_paths = set(query.paths())
     seen = set()
     for pruned in _subsets(optional):
@@ -170,12 +188,16 @@ def _provably_nonempty(query, path):
     return find_homomorphism(child_body, target, fixed=fixed) is not None
 
 
-def weakly_equivalent(q1, q2, schema, witnesses=None):
-    """True iff ``Q1 ⊑ Q2`` and ``Q2 ⊑ Q1`` (decidable in general)."""
-    first = prepare(q1, schema, "q1")
-    second = prepare(q2, schema, "q2")
-    return _contains_encoded(second, first, witnesses) and _contains_encoded(
-        first, second, witnesses
+def weakly_equivalent(q1, q2, schema, witnesses=None, method="certificate"):
+    """True iff ``Q1 ⊑ Q2`` and ``Q2 ⊑ Q1`` (decidable in general).
+
+    *method* selects the decision procedure for **both** directions,
+    exactly as in :func:`contains`.
+    """
+    from repro.engine import default_engine
+
+    return default_engine().weakly_equivalent(
+        q1, q2, schema, witnesses=witnesses, method=method
     )
 
 
@@ -185,19 +207,12 @@ def empty_set_free(query, schema):
     Sufficient syntactic condition: no always-empty components, and every
     nested set node is provably non-empty for each parent row.
     """
-    encoded = prepare(query, schema)
-    if encoded.is_empty:
-        return False
-    if encoded.empty_paths:
-        return False
-    return all(
-        _provably_nonempty(encoded.query, p)
-        for p in encoded.query.paths()
-        if p
-    )
+    from repro.engine import default_engine
+
+    return default_engine().empty_set_free(query, schema)
 
 
-def equivalent(q1, q2, schema, witnesses=None):
+def equivalent(q1, q2, schema, witnesses=None, method="certificate"):
     """Decide equivalence for empty-set-free queries.
 
     By the paper's theorem, weak equivalence coincides with equivalence
@@ -206,11 +221,11 @@ def equivalent(q1, q2, schema, witnesses=None):
     the general equivalence question is the open problem the paper
     answers only partially, and this function raises
     :class:`UnsupportedQueryError` — use :func:`weakly_equivalent`.
+
+    *method* is threaded through to both containment directions.
     """
-    if not empty_set_free(q1, schema) or not empty_set_free(q2, schema):
-        raise UnsupportedQueryError(
-            "equivalence is decided for empty-set-free queries only "
-            "(weak equivalence is decidable in general: use "
-            "weakly_equivalent)"
-        )
-    return weakly_equivalent(q1, q2, schema, witnesses)
+    from repro.engine import default_engine
+
+    return default_engine().equivalent(
+        q1, q2, schema, witnesses=witnesses, method=method
+    )

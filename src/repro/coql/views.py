@@ -9,8 +9,8 @@ weakly equivalent to Q (V answers Q exactly, up to the Hoare preorder),
 and which are unusable — with counterexample evidence on request.
 """
 
-from repro.errors import IncomparableQueriesError, UnsupportedQueryError
-from repro.coql.containment import contains, weakly_equivalent, as_schema
+from repro.errors import ReproError
+from repro.coql.containment import as_schema
 from repro.coql.explain import explain_containment
 
 __all__ = ["ViewCatalog", "ViewReport"]
@@ -48,9 +48,20 @@ class ViewReport:
 
 
 class ViewCatalog:
-    """A named collection of COQL views over one flat schema."""
+    """A named collection of COQL views over one flat schema.
 
-    def __init__(self, schema, views=None):
+    Each catalog owns a :class:`repro.engine.ContainmentEngine` (or
+    shares the one passed as *engine*): views are parsed and encoded
+    once no matter how many queries are analyzed, and simulation
+    obligations shared across queries are decided once.
+    """
+
+    def __init__(self, schema, views=None, engine=None):
+        if engine is None:
+            from repro.engine import ContainmentEngine
+
+            engine = ContainmentEngine()
+        self._engine = engine
         self._schema = as_schema(schema)
         self._views = {}
         for name, text in (views or {}).items():
@@ -66,33 +77,55 @@ class ViewCatalog:
     def schema(self):
         return dict(self._schema)
 
+    def engine(self):
+        """The catalog's containment engine (for stats and cache control)."""
+        return self._engine
+
     def analyze(self, query, with_counterexamples=False, witnesses=None):
         """Report every view's usability for *query*.
 
         :returns: ``{view name: ViewReport}``.
         """
+        names = self.names()
+        usable_verdicts = self._engine.contains_many(
+            [(self._views[name], query) for name in names],
+            self._schema,
+            witnesses=witnesses,
+            on_error="capture",
+        )
         reports = {}
-        for name in self.names():
-            view = self._views[name]
-            try:
-                usable = contains(view, query, self._schema, witnesses)
-            except IncomparableQueriesError:
-                reports[name] = ViewReport(name, False, False, False)
-                continue
-            except UnsupportedQueryError:
+        for name, usable in zip(names, usable_verdicts):
+            if isinstance(usable, ReproError):
                 reports[name] = ViewReport(name, False, False, False)
                 continue
             exact = False
             if usable:
-                exact = contains(query, view, self._schema, witnesses)
+                exact = self._engine.contains(
+                    query, self._views[name], self._schema, witnesses
+                )
             counterexample = None
             if not usable and with_counterexamples:
                 explanation = explain_containment(
-                    view, query, self._schema, witnesses
+                    self._views[name], query, self._schema, witnesses
                 )
                 counterexample = explanation.counterexample
             reports[name] = ViewReport(name, usable, exact, True, counterexample)
         return reports
+
+    def containment_matrix(self, witnesses=None):
+        """The pairwise containment matrix of the registered views.
+
+        :returns: ``(names, matrix)`` with ``matrix[i][j]`` True iff
+            ``views[names[j]] ⊑ views[names[i]]`` (None when the pair is
+            incomparable or outside the decidable fragment).
+        """
+        names = self.names()
+        matrix = self._engine.pairwise_matrix(
+            [self._views[name] for name in names],
+            self._schema,
+            witnesses=witnesses,
+        )
+        return names, matrix
 
     def usable_views(self, query, witnesses=None):
         """The names of views that can answer *query*, sorted."""

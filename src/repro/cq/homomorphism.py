@@ -22,7 +22,50 @@ __all__ = [
     "find_all_homomorphisms",
     "count_homomorphisms",
     "ground_atoms_of_query",
+    "SearchCounters",
+    "install_search_counters",
 ]
+
+
+class SearchCounters:
+    """Tallies of backtracking-search effort.
+
+    ``nodes`` counts candidate-row extensions applied (search-tree nodes
+    visited); ``backtracks`` counts extensions undone.  Install an
+    instance with :func:`install_search_counters` to have every search
+    in the process report into it; the :class:`repro.engine.core.\
+ContainmentEngine` does this around each decision.
+    """
+
+    __slots__ = ("nodes", "backtracks")
+
+    def __init__(self):
+        self.nodes = 0
+        self.backtracks = 0
+
+    def reset(self):
+        self.nodes = 0
+        self.backtracks = 0
+
+    def __repr__(self):
+        return "SearchCounters(nodes=%d, backtracks=%d)" % (
+            self.nodes,
+            self.backtracks,
+        )
+
+
+_counters = None
+
+
+def install_search_counters(counters):
+    """Set the active :class:`SearchCounters` sink (or None to disable).
+
+    Returns the previously installed sink so callers can restore it.
+    """
+    global _counters
+    previous = _counters
+    _counters = counters
+    return previous
 
 
 def ground_atoms_of_query(query, tag=""):
@@ -158,10 +201,14 @@ def _search_static(remaining, index, binding, allowed):
         atom, index.get((atom.pred, atom.arity), ()), binding, allowed
     )
     for extension in rows:
+        if _counters is not None:
+            _counters.nodes += 1
         binding.update(extension)
         yield from _search_static(remaining[1:], index, binding, allowed)
         for var in extension:
             del binding[var]
+        if _counters is not None:
+            _counters.backtracks += 1
 
 
 def _search(remaining, index, binding, allowed):
@@ -181,7 +228,11 @@ def _search(remaining, index, binding, allowed):
     atom = remaining[best_index]
     rest = remaining[:best_index] + remaining[best_index + 1:]
     for extension in best_rows:
+        if _counters is not None:
+            _counters.nodes += 1
         binding.update(extension)
         yield from _search(rest, index, binding, allowed)
         for var in extension:
             del binding[var]
+        if _counters is not None:
+            _counters.backtracks += 1

@@ -1,0 +1,40 @@
+"""The containment engine: memoized, instrumented decision services.
+
+:class:`ContainmentEngine` wraps the COQL containment pipeline
+(:mod:`repro.coql.containment`) with memoization of prepared queries,
+simulation-obligation verdicts, and provably-non-empty tests, plus an
+:class:`EngineStats` instrumentation layer (cache hits, obligation
+counts, homomorphism search effort, per-stage wall time).
+
+The module-level functions :func:`repro.coql.contains`,
+:func:`repro.coql.weakly_equivalent`, :func:`repro.coql.equivalent`,
+and :func:`repro.coql.empty_set_free` delegate to a process-wide
+:func:`default_engine`, so every caller shares its caches; construct a
+private :class:`ContainmentEngine` for isolated caching or stats.
+"""
+
+from repro.engine.core import ContainmentEngine
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "ContainmentEngine",
+    "EngineStats",
+    "default_engine",
+    "reset_default_engine",
+]
+
+_default = None
+
+
+def default_engine():
+    """The process-wide engine behind the :mod:`repro.coql` functions."""
+    global _default
+    if _default is None:
+        _default = ContainmentEngine()
+    return _default
+
+
+def reset_default_engine():
+    """Replace the process-wide engine with a fresh one (for tests)."""
+    global _default
+    _default = None

@@ -1,0 +1,397 @@
+"""The containment engine: a memoized, instrumented decision pipeline.
+
+Every module-level call to :func:`repro.coql.contains` re-parses,
+re-typechecks, re-normalizes and re-encodes both queries, and the
+exponential truncation-obligation loop re-decides identical simulation
+subproblems.  :class:`ContainmentEngine` puts a caching layer at exactly
+those boundaries:
+
+* :meth:`prepare` results are memoized per *(canonical query AST,
+  schema, role)* — textual queries are parsed first, so a query text and
+  its parsed AST share one cache entry;
+* simulation verdicts are memoized per truncated *(sub, sup)* obligation
+  pair (plus witnesses and method), so obligations shared across
+  truncation patterns — and across both directions of an equivalence
+  check, or across the N×N matrix of a view catalog — are decided once;
+* the provably-non-empty test is memoized per *(grouping query, path)*,
+  shared between obligation enumeration and :meth:`empty_set_free`.
+
+Memoization safety: every cached object (:class:`Expr`,
+:class:`EncodedQuery`'s :class:`GroupingQuery`, verdict booleans) is
+immutable, so cached results may be returned to any number of callers.
+
+Batch entry points (:meth:`contains_many`, :meth:`pairwise_matrix`) feed
+the view-reuse analysis and the workload scenarios; everything the
+engine does is tallied in an :class:`repro.engine.stats.EngineStats`
+available via :meth:`stats`.
+"""
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from time import perf_counter
+
+from repro.errors import (
+    IncomparableQueriesError,
+    UnsupportedQueryError,
+    TypeCheckError,
+)
+from repro.coql.ast import Expr
+from repro.coql.parser import parse_coql
+from repro.coql.typecheck import typecheck
+from repro.coql.normalize import normalize
+from repro.coql.encode import encode_query, paired_encoding, shapes_compatible
+from repro.coql.containment import (
+    as_schema,
+    _obligation_patterns,
+    _provably_nonempty,
+)
+from repro.grouping.simulation import is_simulated
+from repro.cq import homomorphism
+from repro.engine.stats import EngineStats
+
+__all__ = ["ContainmentEngine"]
+
+
+_MISSING = object()
+
+
+class _LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``maxsize=0`` disables the cache entirely (every lookup misses and
+    nothing is stored) — used by the benchmarks to measure the engine
+    with caching off.  ``maxsize=None`` means unbounded.
+    """
+
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize):
+        self.maxsize = maxsize
+        self._data = OrderedDict()
+
+    def lookup(self, key):
+        if self.maxsize == 0:
+            return _MISSING
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self._data.move_to_end(key)
+        return value
+
+    def store(self, key, value):
+        if self.maxsize == 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.maxsize is not None and len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self):
+        self._data.clear()
+
+    def __len__(self):
+        return len(self._data)
+
+
+class ContainmentEngine:
+    """Memoized containment, equivalence, and emptiness decisions.
+
+    Drop-in superset of the module-level API of
+    :mod:`repro.coql.containment` (which delegates to a process-wide
+    default instance): same arguments, same verdicts, same exceptions —
+    plus caching across calls and :meth:`stats`.
+
+    :param witnesses: default witness-copy count for simulation searches
+        (None = the incremental strategy).
+    :param method: default decision method, ``"certificate"`` or
+        ``"canonical"``.
+    :param prepare_cache_size: entries in the prepared-query cache
+        (0 disables, None unbounded).
+    :param verdict_cache_size: entries in the obligation-verdict and
+        provably-non-empty caches (0 disables, None unbounded).
+    """
+
+    def __init__(self, witnesses=None, method="certificate",
+                 prepare_cache_size=512, verdict_cache_size=8192):
+        self._default_witnesses = witnesses
+        self._default_method = method
+        self._prepare_cache = _LRUCache(prepare_cache_size)
+        self._verdict_cache = _LRUCache(verdict_cache_size)
+        self._nonempty_cache = _LRUCache(verdict_cache_size)
+        self._stats = EngineStats()
+
+    # -- instrumentation ----------------------------------------------
+
+    def stats(self):
+        """The engine's :class:`EngineStats` (live, cumulative)."""
+        return self._stats
+
+    def reset_stats(self):
+        """Zero all counters and timers; caches are kept."""
+        self._stats.reset()
+
+    def clear_caches(self):
+        """Drop every memoized result (stats are kept)."""
+        self._prepare_cache.clear()
+        self._verdict_cache.clear()
+        self._nonempty_cache.clear()
+
+    def cache_sizes(self):
+        """Current entry counts: ``{cache name: entries}``."""
+        return {
+            "prepare": len(self._prepare_cache),
+            "obligation_verdicts": len(self._verdict_cache),
+            "nonempty": len(self._nonempty_cache),
+        }
+
+    @contextmanager
+    def _stage(self, name):
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self._stats.add_time(name, perf_counter() - start)
+
+    @contextmanager
+    def _instrumented(self):
+        previous = homomorphism.install_search_counters(self._stats.search)
+        try:
+            yield
+        finally:
+            homomorphism.install_search_counters(previous)
+
+    # -- the pipeline --------------------------------------------------
+
+    def prepare(self, query, schema, name="q"):
+        """Parse, type-check, normalize, and encode *query* — memoized.
+
+        The cache key is the parsed AST (so equal texts and equal
+        :class:`Expr` trees share one entry), the normalized schema, and
+        the role *name* given to the resulting grouping query.
+        """
+        schema = as_schema(schema)
+        if isinstance(query, str):
+            with self._stage("parse"):
+                query = parse_coql(query)
+        if not isinstance(query, Expr):
+            raise TypeCheckError("not a COQL query: %r" % (query,))
+        key = (query, tuple(sorted(schema.items())), name)
+        cached = self._prepare_cache.lookup(key)
+        if cached is not _MISSING:
+            self._stats.tally("prepare_hits")
+            return cached
+        self._stats.tally("prepare_misses")
+        with self._stage("typecheck"):
+            typecheck(query, schema)
+        with self._stage("normalize"):
+            nf = normalize(query)
+        with self._stage("encode"):
+            encoded = encode_query(nf, schema, name)
+        self._prepare_cache.store(key, encoded)
+        return encoded
+
+    def _provably_nonempty(self, query, path):
+        key = (query, path)
+        cached = self._nonempty_cache.lookup(key)
+        if cached is not _MISSING:
+            self._stats.tally("nonempty_hits")
+            return cached
+        self._stats.tally("nonempty_misses")
+        verdict = _provably_nonempty(query, path)
+        self._nonempty_cache.store(key, verdict)
+        return verdict
+
+    def _decider(self, method, witnesses):
+        if method == "certificate":
+            return lambda a, b: is_simulated(
+                a, b, witnesses=witnesses, stats=self._stats
+            )
+        if method == "canonical":
+            from repro.grouping.bruteforce import check_simulation_on_canonical
+
+            return lambda a, b: check_simulation_on_canonical(
+                a, b, max_witnesses=witnesses
+            )
+        raise UnsupportedQueryError("unknown method %r" % (method,))
+
+    def _decide_obligation(self, sub_query, sup_query, pattern, witnesses,
+                           method, decide):
+        sub_t = sub_query.truncate(pattern)
+        sup_t = sup_query.truncate(pattern)
+        key = (sub_t, sup_t, witnesses, method)
+        cached = self._verdict_cache.lookup(key)
+        if cached is not _MISSING:
+            self._stats.tally("obligation_cache_hits")
+            return cached
+        self._stats.tally("obligation_cache_misses")
+        with self._stage("simulation"):
+            verdict = decide(sub_t, sup_t)
+        self._stats.tally("obligations_checked")
+        self._verdict_cache.store(key, verdict)
+        return verdict
+
+    def _contains_encoded(self, sup_encoded, sub_encoded, witnesses, method):
+        if not sub_encoded.is_empty and not sup_encoded.is_empty:
+            if not shapes_compatible(sub_encoded.shape, sup_encoded.shape):
+                raise IncomparableQueriesError(
+                    "queries have different output shapes: %r vs %r"
+                    % (sub_encoded.shape, sup_encoded.shape)
+                )
+        sub_query, sup_query, verdict = paired_encoding(
+            sub_encoded, sup_encoded
+        )
+        if verdict is not None:
+            return verdict
+        if sub_query is None:
+            raise IncomparableQueriesError(
+                "queries have incompatible nested structure"
+            )
+        decide = self._decider(method, witnesses)
+        with self._stage("obligations"):
+            patterns = list(
+                _obligation_patterns(
+                    sub_query, is_nonempty=self._provably_nonempty
+                )
+            )
+        nonroot = sum(1 for p in sub_query.paths() if p)
+        self._stats.tally(
+            "obligations_skipped_implied", 2 ** nonroot - len(patterns)
+        )
+        for pattern in patterns:
+            if not self._decide_obligation(
+                sub_query, sup_query, pattern, witnesses, method, decide
+            ):
+                return False
+        return True
+
+    # -- public decisions ----------------------------------------------
+
+    def contains(self, sup, sub, schema, witnesses=None, method=None):
+        """True iff ``sub ⊑ sup`` on every database (Theorem 4.1)."""
+        if witnesses is None:
+            witnesses = self._default_witnesses
+        if method is None:
+            method = self._default_method
+        with self._instrumented():
+            self._stats.tally("contains_calls")
+            sub_encoded = self.prepare(sub, schema)
+            sup_encoded = self.prepare(sup, schema)
+            return self._contains_encoded(
+                sup_encoded, sub_encoded, witnesses, method
+            )
+
+    def weakly_equivalent(self, q1, q2, schema, witnesses=None, method=None):
+        """True iff ``Q1 ⊑ Q2`` and ``Q2 ⊑ Q1`` (decidable in general).
+
+        Both directions use the same *method* and share the engine's
+        obligation cache, so a self-equivalence check decides each
+        obligation once.
+        """
+        if witnesses is None:
+            witnesses = self._default_witnesses
+        if method is None:
+            method = self._default_method
+        with self._instrumented():
+            self._stats.tally("equivalence_calls")
+            first = self.prepare(q1, schema)
+            second = self.prepare(q2, schema)
+            return self._contains_encoded(
+                second, first, witnesses, method
+            ) and self._contains_encoded(first, second, witnesses, method)
+
+    def empty_set_free(self, query, schema):
+        """True when the query provably never produces an empty set."""
+        with self._instrumented():
+            encoded = self.prepare(query, schema)
+            if encoded.is_empty:
+                return False
+            if encoded.empty_paths:
+                return False
+            with self._stage("obligations"):
+                return all(
+                    self._provably_nonempty(encoded.query, p)
+                    for p in encoded.query.paths()
+                    if p
+                )
+
+    def equivalent(self, q1, q2, schema, witnesses=None, method=None):
+        """Decide equivalence for empty-set-free queries (else raise)."""
+        if not self.empty_set_free(q1, schema) or not self.empty_set_free(
+            q2, schema
+        ):
+            raise UnsupportedQueryError(
+                "equivalence is decided for empty-set-free queries only "
+                "(weak equivalence is decidable in general: use "
+                "weakly_equivalent)"
+            )
+        return self.weakly_equivalent(
+            q1, q2, schema, witnesses=witnesses, method=method
+        )
+
+    # -- batch entry points --------------------------------------------
+
+    def contains_many(self, pairs, schema, witnesses=None, method=None,
+                      on_error="raise"):
+        """Decide ``sub ⊑ sup`` for every ``(sup, sub)`` pair.
+
+        :param pairs: iterable of ``(sup, sub)`` queries.
+        :param on_error: ``"raise"`` propagates
+            :class:`IncomparableQueriesError` /
+            :class:`UnsupportedQueryError`; ``"capture"`` places the
+            exception instance in the result list instead, so one bad
+            pair does not abort the batch.
+        :returns: a list of verdicts (and, under ``"capture"``,
+            exception instances), one per pair, in order.
+        """
+        if on_error not in ("raise", "capture"):
+            raise UnsupportedQueryError(
+                "on_error must be 'raise' or 'capture', got %r" % (on_error,)
+            )
+        self._stats.tally("batch_calls")
+        out = []
+        for sup, sub in pairs:
+            try:
+                out.append(
+                    self.contains(
+                        sup, sub, schema, witnesses=witnesses, method=method
+                    )
+                )
+            except (IncomparableQueriesError, UnsupportedQueryError) as exc:
+                if on_error == "raise":
+                    raise
+                out.append(exc)
+        return out
+
+    def pairwise_matrix(self, queries, schema, witnesses=None, method=None):
+        """The N×N containment matrix of *queries*.
+
+        ``matrix[i][j]`` is True iff ``queries[j] ⊑ queries[i]``, and
+        None when the pair is incomparable or outside the decidable
+        fragment.  Thanks to the prepare and obligation caches each
+        query is encoded once and shared obligations are decided once
+        across the whole matrix.
+        """
+        queries = list(queries)
+        self._stats.tally("batch_calls")
+        matrix = []
+        for sup in queries:
+            row = []
+            for sub in queries:
+                try:
+                    row.append(
+                        self.contains(
+                            sup, sub, schema,
+                            witnesses=witnesses, method=method,
+                        )
+                    )
+                except (IncomparableQueriesError, UnsupportedQueryError):
+                    row.append(None)
+            matrix.append(row)
+        return matrix
+
+    def __repr__(self):
+        sizes = self.cache_sizes()
+        return "ContainmentEngine(prepared=%d, verdicts=%d, nonempty=%d)" % (
+            sizes["prepare"],
+            sizes["obligation_verdicts"],
+            sizes["nonempty"],
+        )

@@ -1,0 +1,104 @@
+"""Instrumentation for the containment engine.
+
+:class:`EngineStats` aggregates everything a :class:`repro.engine.core.\
+ContainmentEngine` observes while deciding containment questions:
+
+* **cache counters** — ``prepare_hits``/``prepare_misses``,
+  ``obligation_cache_hits``/``obligation_cache_misses``,
+  ``nonempty_hits``/``nonempty_misses``;
+* **obligation counters** — ``obligations_checked`` (simulation
+  subproblems actually decided) and ``obligations_skipped_implied``
+  (truncation patterns never materialized because they prune a provably
+  non-empty node and are therefore implied by a larger pattern);
+* **search effort** — homomorphism search nodes and backtracks, reported
+  by :class:`repro.cq.homomorphism.SearchCounters`, plus
+  ``certificate_searches`` and ``witness_escalations`` from
+  :mod:`repro.grouping.simulation`;
+* **per-stage wall time** — seconds spent in ``parse``, ``typecheck``,
+  ``normalize``, ``encode``, ``obligations`` (pattern enumeration,
+  including the provably-non-empty tests) and ``simulation``.
+
+The object is cheap, mutable, and additive: engines keep one for their
+lifetime; :meth:`snapshot` / :meth:`as_dict` produce plain dictionaries
+for logging, the CLI ``--stats`` flag, and the benchmark harness.
+"""
+
+from repro.cq.homomorphism import SearchCounters
+
+__all__ = ["EngineStats"]
+
+
+class EngineStats:
+    """Counters and timers accumulated by a containment engine."""
+
+    __slots__ = ("counters", "timers", "search")
+
+    def __init__(self):
+        self.counters = {}
+        self.timers = {}
+        self.search = SearchCounters()
+
+    # -- recording -----------------------------------------------------
+
+    def tally(self, name, amount=1):
+        """Add *amount* to the counter *name* (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_time(self, stage, seconds):
+        """Add wall time to the *stage* timer."""
+        self.timers[stage] = self.timers.get(stage, 0.0) + seconds
+
+    def reset(self):
+        """Zero every counter and timer (the engine's caches survive)."""
+        self.counters.clear()
+        self.timers.clear()
+        self.search.reset()
+
+    # -- reading -------------------------------------------------------
+
+    def counter(self, name):
+        """The current value of counter *name* (0 when never tallied)."""
+        return self.counters.get(name, 0)
+
+    def time(self, stage):
+        """Accumulated seconds in *stage* (0.0 when never timed)."""
+        return self.timers.get(stage, 0.0)
+
+    def as_dict(self):
+        """Everything as one flat ``{name: number}`` dictionary.
+
+        Timers are prefixed ``time_``; the homomorphism tallies appear
+        as ``homomorphism_nodes`` and ``homomorphism_backtracks``.
+        """
+        out = dict(self.counters)
+        out["homomorphism_nodes"] = self.search.nodes
+        out["homomorphism_backtracks"] = self.search.backtracks
+        for stage in sorted(self.timers):
+            out["time_" + stage] = self.timers[stage]
+        return out
+
+    snapshot = as_dict
+
+    def format(self):
+        """A human-readable multi-line report (used by ``--stats``)."""
+        lines = []
+        data = self.as_dict()
+        width = max((len(k) for k in data), default=0)
+        for name in sorted(data):
+            value = data[name]
+            if isinstance(value, float):
+                lines.append("%-*s  %.6fs" % (width, name, value))
+            else:
+                lines.append("%-*s  %d" % (width, name, value))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            "EngineStats(obligations_checked=%d, cache_hits=%d, "
+            "hom_nodes=%d)"
+            % (
+                self.counter("obligations_checked"),
+                self.counter("obligation_cache_hits"),
+                self.search.nodes,
+            )
+        )

@@ -274,13 +274,30 @@ class GroupingQuery:
     def truncate(self, kept_paths):
         """Prune every set node whose path is not in *kept_paths*.
 
-        *kept_paths* must be prefix-closed and contain the root path
-        ``()``.  Used by the COQL containment test to generate the
-        per-emptiness-pattern simulation obligations.
+        *kept_paths* must be prefix-closed, contain the root path ``()``,
+        and name only paths of this query — a kept path absent from the
+        query, or one whose parent is pruned, would otherwise be dropped
+        silently, turning a caller-side mismatch into a wrong truncation
+        (and hence a wrong containment obligation).  Used by the COQL
+        containment test to generate the per-emptiness-pattern
+        simulation obligations.
         """
         kept = set(kept_paths)
         if () not in kept:
             raise ReproError("kept_paths must contain the root path ()")
+        own_paths = set(self.paths())
+        unknown = kept - own_paths
+        if unknown:
+            raise ReproError(
+                "kept_paths name set nodes absent from query %s: %r"
+                % (self.name, sorted(unknown))
+            )
+        for path in kept:
+            if path and path[:-1] not in kept:
+                raise ReproError(
+                    "kept_paths are not prefix-closed: %r is kept but its "
+                    "parent %r is pruned" % (path, path[:-1])
+                )
 
         def walk(node, path):
             children = tuple(

@@ -147,13 +147,18 @@ def _value_of_sub_term(term):
     return _generic_value(term) if is_var(term) else term.value
 
 
-def simulation_certificate(sub, sup, witnesses=None):
+def simulation_certificate(sub, sup, witnesses=None, stats=None):
     """Find a certificate that ``sub ⊴ sup``, or return None.
 
     :param sub: the simulated :class:`GroupingQuery` (the "smaller").
     :param sup: the simulating query (the "larger").
     :param witnesses: witness copies per node; defaults to
         ``max(1, |vars(sup)|)``, the completeness bound.
+    :param stats: optional sink with a ``tally(name, amount=1)`` method
+        (e.g. :class:`repro.engine.EngineStats`); receives
+        ``certificate_searches`` per concrete search and
+        ``witness_escalations`` when the incremental strategy falls back
+        to the completeness bound.
     """
     sub.require_same_shape(sup)
     if witnesses is None:
@@ -161,12 +166,16 @@ def simulation_certificate(sub, sup, witnesses=None):
         # valid in a larger one, so try one witness copy first and fall
         # back to the completeness bound only when needed.
         bound = max(1, len(sup.variables()))
-        certificate = simulation_certificate(sub, sup, witnesses=1)
+        certificate = simulation_certificate(sub, sup, witnesses=1, stats=stats)
         if certificate is not None or bound == 1:
             return certificate
-        return simulation_certificate(sub, sup, witnesses=bound)
+        if stats is not None:
+            stats.tally("witness_escalations")
+        return simulation_certificate(sub, sup, witnesses=bound, stats=stats)
     if witnesses < 0:
         raise ReproError("witnesses must be non-negative")
+    if stats is not None:
+        stats.tally("certificate_searches")
 
     target_atoms, available = build_simulation_target(sub, witnesses)
 
@@ -216,7 +225,10 @@ def simulation_certificate(sub, sup, witnesses=None):
     return SimulationCertificate(mapping, witnesses, index_choice)
 
 
-def is_simulated(sub, sup, witnesses=None):
+def is_simulated(sub, sup, witnesses=None, stats=None):
     """True iff ``sub ⊴ sup`` (every group of sub lies in a group of sup,
     on every database)."""
-    return simulation_certificate(sub, sup, witnesses=witnesses) is not None
+    return (
+        simulation_certificate(sub, sup, witnesses=witnesses, stats=stats)
+        is not None
+    )

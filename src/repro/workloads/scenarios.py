@@ -28,6 +28,27 @@ class Scenario:
         """A reproducible database at the given scale factor."""
         return self._generator(scale, seed)
 
+    def containment_matrix(self, engine=None, witnesses=None):
+        """Pairwise containment of the scenario's named queries.
+
+        :param engine: a :class:`repro.engine.ContainmentEngine` to
+            reuse (a fresh one is created otherwise).
+        :returns: ``(names, matrix)`` where ``matrix[i][j]`` is True iff
+            ``queries[names[j]] ⊑ queries[names[i]]``, and None when the
+            pair is incomparable or outside the decidable fragment.
+        """
+        if engine is None:
+            from repro.engine import ContainmentEngine
+
+            engine = ContainmentEngine()
+        names = tuple(sorted(self.queries))
+        matrix = engine.pairwise_matrix(
+            [self.queries[name] for name in names],
+            self.schema,
+            witnesses=witnesses,
+        )
+        return names, matrix
+
     def __repr__(self):
         return "Scenario(%s, %d queries)" % (self.name, len(self.queries))
 
