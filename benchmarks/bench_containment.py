@@ -149,6 +149,71 @@ def test_batched_matrix_engine(benchmark):
     assert stats.counter("obligation_cache_hits") > 0
 
 
+@pytest.mark.parametrize("mode", ["sequential", "parallel"])
+def test_batch_matrix_parallel_vs_sequential(benchmark, mode, jobs_option):
+    """The batched N×N matrix, sequential vs sharded across a worker
+    pool: the parallel row records its speedup over a same-process
+    sequential reference pass (pool spin-up excluded — the pool is
+    warmed in setup, matching a long-lived service engine)."""
+    import time
+
+    from repro.engine import ContainmentEngine, ParallelContainmentEngine
+    from repro.workloads import random_coql_deep
+
+    queries = [random_coql_deep(seed=s, depth=4) for s in range(12)]
+    jobs = 1 if mode == "sequential" else jobs_option
+    engines = []
+
+    def setup():
+        if mode == "sequential":
+            engine = ContainmentEngine()
+        else:
+            engine = ParallelContainmentEngine(jobs=jobs)
+            # Warm the pool (fork + worker engine construction) so the
+            # measurement covers steady-state sharding only.
+            engine.contains_many(
+                [(queries[0], queries[0])] * jobs, SCHEMA, on_error="capture"
+            )
+        engines.append(engine)
+        return (engine,), {}
+
+    def run(engine):
+        return engine.pairwise_matrix(queries, SCHEMA)
+
+    matrix = benchmark.pedantic(run, setup=setup, rounds=3)
+    positives = sum(1 for row in matrix for v in row if v is True)
+    info = dict(
+        experiment="E1",
+        mode=mode,
+        jobs=jobs,
+        queries=len(queries),
+        checks=len(queries) ** 2,
+        positives=positives,
+    )
+    if mode == "parallel":
+        reference = ContainmentEngine()
+        start = time.perf_counter()
+        sequential_matrix = reference.pairwise_matrix(queries, SCHEMA)
+        sequential_s = time.perf_counter() - start
+        assert sequential_matrix == matrix  # verdict parity, every cell
+        info["sequential_reference_s"] = sequential_s
+        try:
+            parallel_s = benchmark.stats.stats.min
+        except AttributeError:
+            parallel_s = None
+        if parallel_s:
+            info["parallel_s"] = parallel_s
+            info["speedup_vs_sequential"] = sequential_s / parallel_s
+        stats = engines[-1].stats()
+        info["worker_cache_hits"] = stats.counter("worker_cache_hits")
+        info["chunks_dispatched"] = stats.counter("chunks_dispatched")
+    for engine in engines:
+        if hasattr(engine, "close"):
+            engine.close()
+    record(benchmark, **info)
+    assert positives >= len(queries)  # the diagonal at least
+
+
 def test_verdict_semantic_gate(benchmark):
     """Positive verdicts imply Hoare domination on a spot database."""
     q1 = (

@@ -5,9 +5,34 @@ Every benchmark module reproduces one experiment of EXPERIMENTS.md
 size of the instance, counts of obligations, …) in
 ``benchmark.extra_info`` so the generated table doubles as the
 experiment's result table.
+
+``--jobs N`` selects the worker-process count for the parallel-engine
+rows (default: one per CPU); the sequential rows ignore it.
 """
 
+import os
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=None,
+        help="worker processes for parallel benchmark rows "
+             "(default: os.cpu_count())",
+    )
+
+
+@pytest.fixture
+def jobs_option(request):
+    """The ``--jobs`` value, defaulting to the machine's CPU count."""
+    value = request.config.getoption("--jobs")
+    if value is None:
+        value = os.cpu_count() or 1
+    return max(1, value)
 
 
 def record(benchmark, **info):

@@ -2,7 +2,8 @@
 
 Usage::
 
-    python -m repro contain  --schema 'r:a,b;s:k,b' SUP SUB
+    python -m repro contain  --schema 'r:a,b;s:k,b' SUP SUB [--jobs N --timeout-s T]
+    python -m repro matrix   --schema 'r:a,b' Q1 Q2 Q3 [--jobs N --timeout-s T]
     python -m repro equiv    --schema 'r:a,b' Q1 Q2 [--weak]
     python -m repro eval     --schema 'r:a,b' --data db.json QUERY
     python -m repro minimize --schema 'r:a,b' QUERY
@@ -42,15 +43,53 @@ def _print_stats(engine):
 
 
 def _cmd_contain(args):
-    from repro.engine import ContainmentEngine
+    from repro.engine import UNDECIDED, ContainmentEngine, ParallelContainmentEngine
 
     schema = _parse_schema(args.schema)
-    engine = ContainmentEngine()
-    verdict = engine.contains(args.sup, args.sub, schema, method=args.method)
-    print("contained" if verdict else "NOT contained")
+    if args.jobs is not None or args.timeout_s is not None:
+        engine = ParallelContainmentEngine(
+            jobs=args.jobs, timeout_s=args.timeout_s, method=args.method
+        )
+        with engine:
+            verdict = engine.contains(args.sup, args.sub, schema)
+    else:
+        engine = ContainmentEngine()
+        verdict = engine.contains(args.sup, args.sub, schema, method=args.method)
+    if verdict is UNDECIDED:
+        print("UNDECIDED (timed out after %gs)" % args.timeout_s)
+    else:
+        print("contained" if verdict else "NOT contained")
     if args.stats:
         _print_stats(engine)
+    if verdict is UNDECIDED:
+        return 3
     return 0 if verdict else 1
+
+
+_MATRIX_CELLS = {True: "+", False: "-", None: "!"}
+
+
+def _cmd_matrix(args):
+    from repro.engine import ParallelContainmentEngine
+
+    schema = _parse_schema(args.schema)
+    engine = ParallelContainmentEngine(
+        jobs=args.jobs, timeout_s=args.timeout_s, method=args.method
+    )
+    with engine:
+        matrix = engine.pairwise_matrix(args.queries, schema)
+    names = ["q%d" % i for i in range(len(args.queries))]
+    width = max(len(n) for n in names)
+    print("%*s  %s" % (width, "", " ".join("%*s" % (width, n) for n in names)))
+    for name, row in zip(names, matrix):
+        cells = (_MATRIX_CELLS.get(v, "?") for v in row)
+        print("%*s  %s" % (width, name,
+                           " ".join("%*s" % (width, c) for c in cells)))
+    print("(+ contained  - not contained  ! incomparable  ? timed out;"
+          " cell [i][j]: qj ⊑ qi)")
+    if args.stats:
+        _print_stats(engine)
+    return 0
 
 
 def _cmd_equiv(args):
@@ -120,9 +159,31 @@ def build_parser():
                    help="print engine statistics (cache hits, obligation "
                         "and homomorphism-search counts, stage times) to "
                         "stderr")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the parallel engine "
+                        "(default: in-process)")
+    p.add_argument("--timeout-s", type=float, default=None, dest="timeout_s",
+                   help="per-check wall-clock budget in seconds; a "
+                        "timed-out check prints UNDECIDED and exits 3")
     p.add_argument("sup", help="the containing query")
     p.add_argument("sub", help="the contained query")
     p.set_defaults(func=_cmd_contain)
+
+    p = sub.add_parser("matrix",
+                       help="pairwise containment matrix of COQL queries, "
+                            "sharded across worker processes")
+    p.add_argument("--schema", required=True)
+    p.add_argument("--method", choices=("certificate", "canonical"),
+                   default="certificate")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: one per CPU)")
+    p.add_argument("--timeout-s", type=float, default=None, dest="timeout_s",
+                   help="per-check wall-clock budget in seconds; "
+                        "timed-out cells print '?'")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine statistics to stderr")
+    p.add_argument("queries", nargs="+", help="two or more COQL queries")
+    p.set_defaults(func=_cmd_matrix)
 
     p = sub.add_parser("equiv", help="decide equivalence of COQL queries")
     p.add_argument("--schema", required=True)

@@ -20,6 +20,7 @@ All nodes are immutable and hashable.
 
 from repro.errors import ReproError
 from repro.objects.values import is_atom
+from repro.pickling import PicklableSlots
 
 __all__ = [
     "Expr",
@@ -35,7 +36,7 @@ __all__ = [
 ]
 
 
-class Expr:
+class Expr(PicklableSlots):
     """Base class for COQL expressions."""
 
     __slots__ = ()

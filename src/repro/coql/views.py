@@ -112,19 +112,33 @@ class ViewCatalog:
             reports[name] = ViewReport(name, usable, exact, True, counterexample)
         return reports
 
-    def containment_matrix(self, witnesses=None):
+    def containment_matrix(self, witnesses=None, jobs=None, timeout_s=None):
         """The pairwise containment matrix of the registered views.
 
+        :param jobs: when given (> 1), shard the matrix across a
+            :class:`repro.engine.ParallelContainmentEngine` worker pool
+            (sharing this catalog's engine for in-process work and
+            stats); *timeout_s* bounds each check, and timed-out entries
+            appear as :data:`repro.engine.UNDECIDED`.
         :returns: ``(names, matrix)`` with ``matrix[i][j]`` True iff
             ``views[names[j]] ⊑ views[names[i]]`` (None when the pair is
             incomparable or outside the decidable fragment).
         """
         names = self.names()
-        matrix = self._engine.pairwise_matrix(
-            [self._views[name] for name in names],
-            self._schema,
-            witnesses=witnesses,
-        )
+        queries = [self._views[name] for name in names]
+        if jobs is not None or timeout_s is not None:
+            from repro.engine import ParallelContainmentEngine
+
+            with ParallelContainmentEngine(
+                jobs=jobs, timeout_s=timeout_s, engine=self._engine
+            ) as parallel:
+                matrix = parallel.pairwise_matrix(
+                    queries, self._schema, witnesses=witnesses
+                )
+        else:
+            matrix = self._engine.pairwise_matrix(
+                queries, self._schema, witnesses=witnesses
+            )
         return names, matrix
 
     def usable_views(self, query, witnesses=None):

@@ -11,6 +11,7 @@ containment test [11].
 
 from repro.errors import ReproError, SchemaError
 from repro.cq.terms import Var, Const, Atom, is_var
+from repro.pickling import PicklableSlots
 
 __all__ = ["ConjunctiveQuery", "freeze", "frozen_constant", "is_frozen_constant"]
 
@@ -35,7 +36,7 @@ def is_frozen_constant(value):
     )
 
 
-class ConjunctiveQuery:
+class ConjunctiveQuery(PicklableSlots):
     """``q(t̄) :- body``.
 
     >>> from repro.cq.parser import parse_query

@@ -7,11 +7,12 @@ hashable.
 
 from repro.errors import ReproError
 from repro.objects.values import is_atom as _is_atomic_value
+from repro.pickling import PicklableSlots
 
 __all__ = ["Var", "Const", "Atom", "is_var", "is_const", "substitute_term"]
 
 
-class Var:
+class Var(PicklableSlots):
     """A query variable, identified by name.
 
     >>> Var("X") == Var("X")
@@ -43,7 +44,7 @@ class Var:
         return self.name
 
 
-class Const:
+class Const(PicklableSlots):
     """A constant (an atomic complex-object value).
 
     >>> Const(3) == Const(3)
@@ -84,7 +85,7 @@ def is_const(term):
     return isinstance(term, Const)
 
 
-class Atom:
+class Atom(PicklableSlots):
     """A relational atom ``pred(t1, ..., tn)``.
 
     >>> Atom("r", (Var("X"), Const(1))).pred

@@ -6,6 +6,10 @@ simulation-obligation verdicts, and provably-non-empty tests, plus an
 :class:`EngineStats` instrumentation layer (cache hits, obligation
 counts, homomorphism search effort, per-stage wall time).
 
+:class:`ParallelContainmentEngine` (:mod:`repro.engine.parallel`)
+shards the batch entry points across a process pool with per-check
+timeouts; timed-out checks report the :data:`UNDECIDED` verdict.
+
 The module-level functions :func:`repro.coql.contains`,
 :func:`repro.coql.weakly_equivalent`, :func:`repro.coql.equivalent`,
 and :func:`repro.coql.empty_set_free` delegate to a process-wide
@@ -15,10 +19,13 @@ private :class:`ContainmentEngine` for isolated caching or stats.
 
 from repro.engine.core import ContainmentEngine
 from repro.engine.stats import EngineStats
+from repro.engine.parallel import ParallelContainmentEngine, UNDECIDED
 
 __all__ = [
     "ContainmentEngine",
     "EngineStats",
+    "ParallelContainmentEngine",
+    "UNDECIDED",
     "default_engine",
     "reset_default_engine",
 ]

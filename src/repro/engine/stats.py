@@ -54,6 +54,28 @@ class EngineStats:
         self.timers.clear()
         self.search.reset()
 
+    def merge(self, other):
+        """Add every tally of *other* into this object; return ``self``.
+
+        Counters and search tallies add; timers add (they are cumulative
+        wall time, so merging worker stats yields total CPU-seconds
+        across processes, which can exceed elapsed wall time).  Used by
+        the parallel engine to fold worker-side stats back into the
+        parent's — additive on every field, so no counter introduced by
+        a worker is ever silently dropped.
+        """
+        if not isinstance(other, EngineStats):
+            raise TypeError(
+                "can only merge EngineStats, got %r" % (type(other).__name__,)
+            )
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for stage, seconds in other.timers.items():
+            self.timers[stage] = self.timers.get(stage, 0.0) + seconds
+        self.search.nodes += other.search.nodes
+        self.search.backtracks += other.search.backtracks
+        return self
+
     # -- reading -------------------------------------------------------
 
     def counter(self, name):

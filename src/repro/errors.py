@@ -15,6 +15,7 @@ __all__ = [
     "EvaluationError",
     "UnsupportedQueryError",
     "IncomparableQueriesError",
+    "ContainmentTimeout",
 ]
 
 
@@ -53,3 +54,13 @@ class UnsupportedQueryError(ReproError):
 
 class IncomparableQueriesError(ReproError):
     """Two queries cannot be compared because their output types differ."""
+
+
+class ContainmentTimeout(ReproError):
+    """A containment check exceeded its wall-clock budget.
+
+    Simulation of grouping queries is NP-complete (Theorem 5.1), so
+    individual checks can be pathologically slow; the parallel engine
+    bounds each check with ``timeout_s`` and raises (or converts to the
+    ``UNDECIDED`` verdict, per policy) instead of hanging a batch.
+    """

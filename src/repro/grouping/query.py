@@ -28,11 +28,12 @@ fresh atomic value naming an inner set.
 from repro.errors import ReproError, IncomparableQueriesError
 from repro.cq.terms import Var, Const, Atom, is_var
 from repro.cq.query import ConjunctiveQuery
+from repro.pickling import PicklableSlots
 
 __all__ = ["GroupingNode", "GroupingQuery"]
 
 
-class GroupingNode:
+class GroupingNode(PicklableSlots):
     """One set node of a grouping-query tree.  Immutable."""
 
     __slots__ = ("label", "own_atoms", "values", "index", "children", "_hash")
@@ -115,7 +116,7 @@ class GroupingNode:
         )
 
 
-class GroupingQuery:
+class GroupingQuery(PicklableSlots):
     """A grouping-query tree with validation and traversal helpers."""
 
     __slots__ = ("name", "root")

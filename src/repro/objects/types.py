@@ -10,6 +10,7 @@ inference uses a bottom element :data:`EMPTY_SET` joined with
 
 from repro.errors import TypeCheckError, ValueConstructionError
 from repro.objects.values import Record, CSet, is_atom
+from repro.pickling import PicklableSlots
 
 __all__ = [
     "AtomType",
@@ -49,7 +50,7 @@ class AtomType:
 ATOM = AtomType()
 
 
-class RecordType:
+class RecordType(PicklableSlots):
     """The type of records; maps attribute names to component types."""
 
     __slots__ = ("_fields", "_hash")
@@ -105,7 +106,7 @@ class RecordType:
         return "[%s]" % inner
 
 
-class SetType:
+class SetType(PicklableSlots):
     """The type of finite sets with a given element type."""
 
     __slots__ = ("element", "_hash")

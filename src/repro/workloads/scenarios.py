@@ -28,24 +28,38 @@ class Scenario:
         """A reproducible database at the given scale factor."""
         return self._generator(scale, seed)
 
-    def containment_matrix(self, engine=None, witnesses=None):
+    def containment_matrix(self, engine=None, witnesses=None, jobs=None,
+                           timeout_s=None):
         """Pairwise containment of the scenario's named queries.
 
-        :param engine: a :class:`repro.engine.ContainmentEngine` to
-            reuse (a fresh one is created otherwise).
+        :param engine: a :class:`repro.engine.ContainmentEngine` (or
+            :class:`repro.engine.ParallelContainmentEngine`) to reuse
+            (a fresh one is created otherwise).
+        :param jobs: when given (> 1), shard across a worker pool via
+            :class:`repro.engine.ParallelContainmentEngine`; *timeout_s*
+            bounds each check and timed-out entries appear as
+            :data:`repro.engine.UNDECIDED`.
         :returns: ``(names, matrix)`` where ``matrix[i][j]`` is True iff
             ``queries[names[j]] ⊑ queries[names[i]]``, and None when the
             pair is incomparable or outside the decidable fragment.
         """
+        names = tuple(sorted(self.queries))
+        queries = [self.queries[name] for name in names]
+        if jobs is not None or timeout_s is not None:
+            from repro.engine import ParallelContainmentEngine
+
+            with ParallelContainmentEngine(
+                jobs=jobs, timeout_s=timeout_s, engine=engine
+            ) as parallel:
+                return names, parallel.pairwise_matrix(
+                    queries, self.schema, witnesses=witnesses
+                )
         if engine is None:
             from repro.engine import ContainmentEngine
 
             engine = ContainmentEngine()
-        names = tuple(sorted(self.queries))
         matrix = engine.pairwise_matrix(
-            [self.queries[name] for name in names],
-            self.schema,
-            witnesses=witnesses,
+            queries, self.schema, witnesses=witnesses
         )
         return names, matrix
 

@@ -172,6 +172,56 @@ class TestInstrumentation:
         assert "homomorphism_nodes" in text
 
 
+class TestEngineStatsMerge:
+    def test_merge_adds_every_field(self):
+        left = EngineStats()
+        left.tally("obligations_checked", 3)
+        left.tally("only_left", 1)
+        left.add_time("simulation", 0.25)
+        left.search.nodes = 10
+        left.search.backtracks = 2
+        right = EngineStats()
+        right.tally("obligations_checked", 4)
+        right.tally("only_right", 7)
+        right.add_time("simulation", 0.5)
+        right.add_time("parse", 0.125)
+        right.search.nodes = 5
+        right.search.backtracks = 1
+        result = left.merge(right)
+        assert result is left
+        assert left.counter("obligations_checked") == 7
+        assert left.counter("only_left") == 1
+        assert left.counter("only_right") == 7  # worker-only counters kept
+        assert left.time("simulation") == 0.75
+        assert left.time("parse") == 0.125
+        assert left.search.nodes == 15
+        assert left.search.backtracks == 3
+
+    def test_merge_leaves_other_untouched(self):
+        left, right = EngineStats(), EngineStats()
+        right.tally("x", 2)
+        left.merge(right)
+        left.tally("x", 100)
+        assert right.counter("x") == 2
+
+    def test_merge_rejects_non_stats(self):
+        with pytest.raises(TypeError):
+            EngineStats().merge({"x": 1})
+
+    def test_merge_of_real_engine_stats_matches_sum(self):
+        one, two = ContainmentEngine(), ContainmentEngine()
+        one.contains(WIDER, UNLINKED, SCHEMA)
+        two.contains(FLAT, FLAT_RESTRICTED, SCHEMA)
+        expected_obligations = (
+            one.stats().counter("obligations_checked")
+            + two.stats().counter("obligations_checked")
+        )
+        expected_nodes = one.stats().search.nodes + two.stats().search.nodes
+        one.stats().merge(two.stats())
+        assert one.stats().counter("obligations_checked") == expected_obligations
+        assert one.stats().search.nodes == expected_nodes
+
+
 class TestMethodThreadingBugfix:
     """`weakly_equivalent`/`equivalent` used to ignore method=."""
 

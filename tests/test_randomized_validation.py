@@ -3,8 +3,14 @@
 Each sweep pits a decision procedure against semantics on randomized
 instances: positive verdicts must hold on every sampled database;
 negative verdicts are probed for witnesses.
+
+Set ``REPRO_SLOW_TESTS=1`` to widen every sweep (more seeds, deeper
+queries) — batches are cheap now that the engine shards them, so the
+extended sweeps run in CI's nightly/slow legs while the default case
+counts keep ordinary runs fast.
 """
 
+import os
 import random
 
 import pytest
@@ -21,6 +27,14 @@ from repro.aggregates import (
 from repro.algebra import Pipeline, pipelines_equivalent
 from repro.coql import contains
 from repro.workloads import random_flat_database, random_coql
+
+#: Sweep-width multiplier: 1 by default, larger under REPRO_SLOW_TESTS=1.
+SWEEP = 4 if os.environ.get("REPRO_SLOW_TESTS") == "1" else 1
+
+
+def seeds(count, start=0):
+    """``count`` seeds by default, ``SWEEP * count`` in slow mode."""
+    return range(start, start + SWEEP * count)
 
 
 class TestAggregateContainmentRandomized:
@@ -40,7 +54,7 @@ class TestAggregateContainmentRandomized:
             tuple(parse_atom(t) for t in body_texts), (Var("G"),), "f", Var("V")
         )
 
-    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("seed", seeds(15))
     def test_containment_soundness(self, seed):
         rng = random.Random(seed)
         q1 = self._query(rng.choice(self.BODIES))
@@ -58,7 +72,7 @@ class TestAggregateContainmentRandomized:
                 db_seed,
             )
 
-    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("seed", seeds(10))
     def test_refutations_witnessed(self, seed):
         rng = random.Random(seed + 500)
         q1 = self._query(rng.choice(self.BODIES))
@@ -123,7 +137,7 @@ class TestNestUnnestRandomized:
         ]
         return Database.from_dict({"r": rows})
 
-    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("seed", seeds(15))
     def test_equivalence_matches_evaluation(self, seed):
         p1 = self._random_pipeline(seed, steps=3)
         p2 = self._random_pipeline(seed + 700, steps=3)
@@ -145,16 +159,57 @@ class TestNestUnnestRandomized:
             )
             assert witnessed, (p1, p2)
 
-    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("seed", seeds(10))
     def test_self_equivalence(self, seed):
         pipeline = self._random_pipeline(seed, steps=4)
         assert pipelines_equivalent(pipeline, pipeline, self.SCHEMA)
 
 
+class TestBatchedCoqlSweep:
+    """Batch-path validation: the engine's sharded batch must agree with
+    per-pair module-level decisions on a seeded random sweep.  Depth and
+    pair counts widen under REPRO_SLOW_TESTS=1 (the parallel engine
+    makes wide sweeps cheap on multi-core machines)."""
+
+    SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+    def _pairs(self):
+        from repro.workloads import random_coql_deep
+
+        depths = (2, 3) if SWEEP == 1 else (2, 3, 4)
+        pairs = []
+        for depth in depths:
+            pairs.extend(
+                (
+                    random_coql_deep(seed=seed, depth=depth),
+                    random_coql_deep(seed=seed + 12345, depth=depth),
+                )
+                for seed in seeds(10)
+            )
+        return pairs
+
+    def test_batch_agrees_with_singles(self):
+        from repro.engine import ParallelContainmentEngine
+        from repro.errors import ReproError
+
+        pairs = self._pairs()
+        with ParallelContainmentEngine(jobs=2) as engine:
+            batch = engine.contains_many(pairs, self.SCHEMA, on_error="capture")
+        for (sup, sub), verdict in zip(pairs, batch):
+            try:
+                expected = contains(sup, sub, self.SCHEMA)
+            except ReproError as exc:
+                expected = exc
+            if isinstance(expected, ReproError):
+                assert type(verdict) is type(expected)
+            else:
+                assert verdict == expected, (sup, sub)
+
+
 class TestCoqlContainmentTransitivity:
     SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
 
-    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("seed", seeds(8))
     def test_transitive(self, seed):
         qs = [
             random_coql(seed=seed + i * 1111, depth=2) for i in range(3)
