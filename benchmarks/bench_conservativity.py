@@ -9,7 +9,6 @@ the overhead of the COQL front-end over the bare CQ test.
 
 import pytest
 
-from repro.errors import IncomparableQueriesError
 from repro.coql import contains as coql_contains
 from repro.cq import parse_query, contains as cq_contains
 from repro.workloads import random_coql
@@ -56,10 +55,13 @@ def test_overhead(benchmark, engine):
     coql_sub, cq_sub = PAIRS[1]
     coql_sup, cq_sup = PAIRS[0]
     if engine == "coql":
-        run = lambda: coql_contains(coql_sup, coql_sub, SCHEMA)
+        def run():
+            return coql_contains(coql_sup, coql_sub, SCHEMA)
     else:
         sup, sub = parse_query(cq_sup), parse_query(cq_sub)
-        run = lambda: cq_contains(sup, sub)
+
+        def run():
+            return cq_contains(sup, sub)
     verdict = benchmark(run)
     record(benchmark, experiment="E8", engine=engine, verdict=verdict)
     assert verdict

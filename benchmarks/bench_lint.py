@@ -1,0 +1,138 @@
+"""E10 — static-analysis cost: the lint pass is cheap next to deciding
+containment.
+
+The analyzer (``repro.analysis``) runs the non-expensive rules
+(COQL001–004, COQL007) over one query; the engine's opt-in pre-check
+(``ContainmentEngine(analyze=True)``) runs that pass over both sides of
+every ``contains`` call.  The guard here: on a truncation-heavy
+instance, the analyzer's per-query cost is **< 5 %** of one cold
+containment check, so wiring the pre-check into a pipeline does not
+change its cost profile.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze
+from repro.coql import parse_coql
+from repro.engine import ContainmentEngine
+
+from conftest import record
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b"), "t": ("k", "c")}
+
+# Sibling nested subqueries make optional paths: every one doubles the
+# number of truncation patterns the containment check must discharge,
+# while the lint pass stays a single walk over the AST.
+NESTED_PATHS = 6
+
+
+def _query(paths, extra=""):
+    parts = ", ".join(
+        "g%d: select [b: y%d.b] from y%d in s where y%d.k = x.a"
+        % (i, i, i, i)
+        for i in range(paths)
+    )
+    return "select [a: x.a, %s] from x in r%s" % (parts, extra)
+
+
+SUP = _query(NESTED_PATHS)
+SUB = _query(NESTED_PATHS, ", z in t where z.k = x.a")
+
+
+def _cold_contains_s(analyze_flag=False, rounds=5):
+    """min wall time of one containment check on a fresh engine."""
+    best = float("inf")
+    for __ in range(rounds):
+        engine = ContainmentEngine(analyze=analyze_flag)
+        start = time.perf_counter()
+        assert engine.contains(SUP, SUB, SCHEMA)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_analyzer_overhead_vs_cold_containment(benchmark):
+    """The per-query rule pass, against a cold containment check.
+
+    This is the marginal cost the engine pre-check adds per query once
+    the engine's prepare cache is shared (the pre-check and the check
+    itself prepare the same queries).  The < 5 % bound is the
+    documented guard.
+    """
+    engine = ContainmentEngine()
+    config = AnalysisConfig(expensive=False)
+    query = parse_coql(SUB)
+    analyze(query, SCHEMA, engine=engine, config=config)  # warm prepare
+
+    diagnostics = benchmark(
+        lambda: analyze(query, SCHEMA, engine=engine, config=config)
+    )
+    cold_s = _cold_contains_s()
+    try:
+        analyzer_s = benchmark.stats.stats.min
+    except AttributeError:  # pragma: no cover - harness variation
+        analyzer_s = None
+    record(
+        benchmark,
+        experiment="E10",
+        nested_paths=NESTED_PATHS,
+        diagnostics=len(diagnostics),
+        cold_containment_s=cold_s,
+        overhead_ratio=(analyzer_s / cold_s) if analyzer_s else None,
+    )
+    if analyzer_s is not None:
+        assert analyzer_s < 0.05 * cold_s
+
+
+def test_engine_precheck_end_to_end(benchmark):
+    """A cold ``contains`` with the pre-check on, vs. off.
+
+    Records the full end-to-end ratio (both queries analyzed, parse
+    shared with the check itself) next to the per-query guard above.
+    Verdict parity with the plain engine is asserted.
+    """
+
+    def run():
+        engine = ContainmentEngine(analyze=True)
+        verdict = engine.contains(SUP, SUB, SCHEMA)
+        return verdict, engine.stats().counter("analysis_runs")
+
+    (verdict, runs) = benchmark(run)
+    assert verdict is ContainmentEngine().contains(SUP, SUB, SCHEMA) is True
+    assert runs == 1
+    plain_s = _cold_contains_s(analyze_flag=False)
+    try:
+        analyzed_s = benchmark.stats.stats.min
+    except AttributeError:  # pragma: no cover - harness variation
+        analyzed_s = None
+    record(
+        benchmark,
+        experiment="E10",
+        nested_paths=NESTED_PATHS,
+        plain_cold_s=plain_s,
+        end_to_end_ratio=(analyzed_s / plain_s) if analyzed_s else None,
+    )
+
+
+@pytest.mark.parametrize("expensive", [False, True], ids=["cheap", "full"])
+def test_rule_pass_scaling(benchmark, expensive):
+    """The lint pass alone, cheap rules vs. the full set (COQL005's
+    minimization makes the expensive pass another containment-sized
+    job — which is why the engine pre-check runs ``expensive=False``).
+    """
+    engine = ContainmentEngine()
+    config = AnalysisConfig(expensive=expensive)
+    query = parse_coql(SUB)
+    analyze(query, SCHEMA, engine=engine, config=config)
+
+    diagnostics = benchmark(
+        lambda: analyze(query, SCHEMA, engine=engine, config=config)
+    )
+    record(
+        benchmark,
+        experiment="E10",
+        expensive=expensive,
+        diagnostics=len(diagnostics),
+        codes=sorted({d.code for d in diagnostics}),
+    )

@@ -1,7 +1,7 @@
 """Shared fixtures and reporting helpers for the benchmark harness.
 
 Every benchmark module reproduces one experiment of EXPERIMENTS.md
-(E1–E9).  Benchmarks record their qualitative outcome (the verdict, the
+(E1–E10).  Benchmarks record their qualitative outcome (the verdict, the
 size of the instance, counts of obligations, …) in
 ``benchmark.extra_info`` so the generated table doubles as the
 experiment's result table.

@@ -9,7 +9,7 @@ the Hoare domination fails, with both answers evaluated on it.
 Run:  python examples/counterexamples.py
 """
 
-from repro.coql import parse_coql, evaluate_coql, explain_containment
+from repro.coql import explain_containment
 
 SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
 

@@ -16,7 +16,7 @@ strong simulation both ways.
 """
 
 from repro.errors import ReproError, UnsupportedQueryError
-from repro.cq.terms import Var, Const, Atom, is_var
+from repro.cq.terms import Atom, is_var
 from repro.grouping.query import GroupingNode, GroupingQuery
 
 __all__ = ["AggregateQuery", "NestedAggregateQuery"]

@@ -8,7 +8,6 @@ rewrites.
 """
 
 from repro.errors import ReproError
-from repro.cq.terms import Var, Atom
 from repro.aggregates.query import AggregateQuery
 from repro.aggregates.equivalence import aggregate_equivalent
 

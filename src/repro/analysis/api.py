@@ -1,0 +1,123 @@
+"""The analysis entry points: :func:`analyze` and :func:`analyze_truncation`.
+
+>>> from repro.analysis import analyze
+>>> diagnostics = analyze(
+...     "select [a: x.a] from x in r, y in r", {"r": {"a": "atom"}})
+>>> [d.code for d in diagnostics]
+['COQL001', 'COQL003']
+
+:func:`analyze` runs every registered query rule (COQL001 … COQL007)
+over one query; front-end failures — parse errors, type errors,
+queries outside the encodable fragment — come back as ``COQL000``
+diagnostics instead of exceptions, so the analyzer never raises on a
+bad *query* (it still raises :class:`ReproError` on a bad *rule code*
+in ``select``/``ignore``, which is a caller bug).
+
+The same engine-backed caches serve analysis and containment: pass the
+engine you will run checks on and the analyzer's ``prepare`` /
+provably-non-empty work is work the checks no longer do.
+"""
+
+from repro.analysis.context import AnalysisConfig, AnalysisContext
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+from repro.analysis.registry import get_rule, select_rules
+from repro.coql.ast import Expr
+from repro.coql.containment import as_schema
+from repro.coql.parser import parse_coql
+from repro.errors import ParseError, ReproError, TypeCheckError
+
+__all__ = ["analyze", "analyze_truncation"]
+
+
+def analyze(query, schema, engine=None, config=None, select=None,
+            ignore=None):
+    """Run the static-analysis rules over one COQL query.
+
+    :param query: COQL text or a :class:`repro.coql.ast.Expr`.
+    :param schema: anything :func:`repro.coql.containment.as_schema`
+        accepts.
+    :param engine: the :class:`ContainmentEngine` whose caches to share
+        (default: the process-wide :func:`repro.engine.default_engine`).
+    :param config: an :class:`AnalysisConfig` (default: stock knobs).
+    :param select: iterable of rule codes to run exclusively.
+    :param ignore: iterable of rule codes to skip.
+    :returns: a sorted, de-duplicated list of :class:`Diagnostic`.
+    :raises ReproError: on unknown rule codes in *select* / *ignore*.
+    """
+    if engine is None:
+        from repro.engine import default_engine
+
+        engine = default_engine()
+    if config is None:
+        config = AnalysisConfig()
+    # Validate codes up front: typos must be usage errors even when the
+    # query itself fails to parse.
+    rules = select_rules(
+        select, ignore, kind="query", expensive=config.expensive
+    )
+    front_end = _wanted("COQL000", select, ignore)
+
+    schema = as_schema(schema)
+    if isinstance(query, str):
+        try:
+            query = parse_coql(query)
+        except ParseError as exc:
+            return [_front_end_diagnostic(exc)] if front_end else []
+    if not isinstance(query, Expr):
+        raise ReproError("not a COQL query: %r" % (query,))
+
+    ctx = AnalysisContext(query, schema, engine, config)
+    diagnostics = []
+    if front_end:
+        ctx.encoded()
+        if ctx.front_end_error is not None:
+            diagnostics.append(_front_end_diagnostic(ctx.front_end_error))
+    for rule in rules:
+        diagnostics.extend(rule.check(ctx, rule))
+    return _finished(diagnostics)
+
+
+def analyze_truncation(query, kept_paths, select=None, ignore=None):
+    """Lint a truncation pattern for a grouping query (COQL006).
+
+    :param query: a :class:`repro.grouping.GroupingQuery`.
+    :param kept_paths: the candidate pattern — an iterable of label
+        tuples that should survive :meth:`GroupingQuery.truncate`.
+    :returns: a sorted list of :class:`Diagnostic` (empty iff
+        ``query.truncate(kept_paths)`` will succeed).
+    """
+    diagnostics = []
+    for rule in select_rules(select, ignore, kind="truncation"):
+        diagnostics.extend(rule.check(query, set(kept_paths), rule))
+    return _finished(diagnostics)
+
+
+def _wanted(code, select, ignore):
+    if ignore is not None and code in ignore:
+        return False
+    if select is not None and code not in select:
+        return False
+    return True
+
+
+def _front_end_diagnostic(exc):
+    rule = get_rule("COQL000")
+    severity = (
+        ERROR if isinstance(exc, (ParseError, TypeCheckError)) else WARNING
+    )
+    return rule.diagnostic(
+        "%s: %s" % (type(exc).__name__, exc),
+        severity=severity,
+        span=getattr(exc, "span", None),
+    )
+
+
+def _finished(diagnostics):
+    seen = set()
+    out = []
+    for diagnostic in sorted(diagnostics, key=Diagnostic.sort_key):
+        if diagnostic in seen:
+            continue
+        seen.add(diagnostic)
+        out.append(diagnostic)
+    return out

@@ -1,0 +1,143 @@
+"""Diagnostics: the findings a static-analysis run reports.
+
+A :class:`Diagnostic` is one finding of one rule: a stable rule code
+(``COQL001`` … ``COQL007``, plus ``COQL000`` for front-end failures), a
+severity, a human-readable message, and — when the query was parsed
+from text — the ``(line, col)`` source span the parser attached to the
+offending AST node (see :attr:`repro.coql.ast.Expr.span`).  ``path`` is
+a structural pointer (an AST path such as ``$.head.kids`` or a
+grouping-tree path such as ``$/kids``) for programmatically built
+queries that have no source text.
+
+Severities:
+
+* ``error`` — the query is wrong or degenerate (unbound variable,
+  unsatisfiable body, malformed truncation pattern); ``repro lint``
+  exits 1 when any error-severity finding is present;
+* ``warning`` — the query is legal but has a property that hurts the
+  decision procedures (cartesian products, empty-set hazards, search
+  spaces past the budget);
+* ``info`` — an improvement opportunity (redundant subgoals).
+"""
+
+from repro.pickling import PicklableSlots
+
+__all__ = ["Diagnostic", "ERROR", "WARNING", "INFO", "SEVERITIES", "max_severity"]
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: All severities, most severe first.
+SEVERITIES = (ERROR, WARNING, INFO)
+
+_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+def max_severity(diagnostics):
+    """The most severe severity present, or None for no findings."""
+    best = None
+    for diagnostic in diagnostics:
+        if best is None or _RANK[diagnostic.severity] < _RANK[best]:
+            best = diagnostic.severity
+    return best
+
+
+class Diagnostic(PicklableSlots):
+    """One static-analysis finding.  Immutable value object.
+
+    Attributes:
+        code: stable rule code (``COQL001`` … ``COQL007``, ``COQL000``).
+        severity: ``error`` / ``warning`` / ``info``.
+        message: the human-readable finding.
+        rule: the rule's short name (``unused-generator``, …).
+        path: structural pointer into the query (AST or grouping path),
+            or None.
+        line / col: 1-based source position, or None when the query was
+            built programmatically.
+        paper: the paper section/theorem grounding the rule, or None.
+        target: the file or label the finding belongs to (filled in by
+            batch front-ends such as ``repro lint``), or None.
+    """
+
+    __slots__ = ("code", "severity", "message", "rule", "path", "line",
+                 "col", "paper", "target")
+
+    def __init__(self, code, severity, message, rule=None, path=None,
+                 span=None, paper=None, target=None):
+        if severity not in _RANK:
+            raise ValueError("unknown severity %r" % (severity,))
+        object.__setattr__(self, "code", code)
+        object.__setattr__(self, "severity", severity)
+        object.__setattr__(self, "message", message)
+        object.__setattr__(self, "rule", rule)
+        object.__setattr__(self, "path", path)
+        line, col = span if span is not None else (None, None)
+        object.__setattr__(self, "line", line)
+        object.__setattr__(self, "col", col)
+        object.__setattr__(self, "paper", paper)
+        object.__setattr__(self, "target", target)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Diagnostic is immutable")
+
+    @property
+    def span(self):
+        """``(line, col)`` or None."""
+        if self.line is None:
+            return None
+        return (self.line, self.col)
+
+    def with_target(self, target):
+        """A copy labelled with *target* (a file name or query label)."""
+        return Diagnostic(
+            self.code, self.severity, self.message, rule=self.rule,
+            path=self.path, span=self.span, paper=self.paper, target=target,
+        )
+
+    def sort_key(self):
+        big = 1 << 30
+        return (
+            self.target or "",
+            self.line if self.line is not None else big,
+            self.col if self.col is not None else big,
+            self.code,
+            self.message,
+        )
+
+    def as_dict(self):
+        """A plain, schema-stable dictionary (the JSON wire format)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "paper": self.paper,
+        }
+
+    def format(self):
+        """One text line: ``[line:col] CODE severity: message``."""
+        prefix = ""
+        if self.line is not None:
+            prefix = "%d:%d " % (self.line, self.col)
+        elif self.path:
+            prefix = "%s " % self.path
+        return "%s%s %s: %s" % (prefix, self.code, self.severity, self.message)
+
+    def __eq__(self, other):
+        if not isinstance(other, Diagnostic):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.__slots__
+        )
+
+    def __hash__(self):
+        return hash(tuple(getattr(self, name) for name in self.__slots__))
+
+    def __repr__(self):
+        return "Diagnostic(%s %s: %s)" % (self.code, self.severity,
+                                          self.message)

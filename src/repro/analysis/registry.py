@@ -1,0 +1,121 @@
+"""The rule registry: stable codes, metadata, and rule selection.
+
+Every rule registers itself (at import of :mod:`repro.analysis.rules` /
+:mod:`repro.analysis.truncation`) under a stable ``COQLnnn`` code with a
+short name, a default severity, a one-line summary, the paper reference
+that grounds it, and a *kind*:
+
+* ``query`` — runs over a COQL query inside :func:`repro.analysis.analyze`;
+* ``truncation`` — runs over a :class:`repro.grouping.GroupingQuery`
+  plus a proposed truncation pattern
+  (:func:`repro.analysis.analyze_truncation`);
+* ``front-end`` — not directly runnable; the code the analyzer uses for
+  parse/type-check/encoding failures of the query itself.
+
+``--select``/``--ignore`` filtering is shared by the API and the CLI;
+unknown codes raise :class:`repro.errors.ReproError` so typos become
+usage errors (exit code 2), never silently-skipped rules.
+"""
+
+from repro.errors import ReproError
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "select_rules"]
+
+
+class Rule:
+    """Metadata and implementation of one analysis rule."""
+
+    __slots__ = ("code", "name", "severity", "summary", "paper", "kind",
+                 "expensive", "check")
+
+    def __init__(self, code, name, severity, summary, paper, kind="query",
+                 expensive=False, check=None):
+        self.code = code
+        self.name = name
+        self.severity = severity
+        self.summary = summary
+        self.paper = paper
+        self.kind = kind
+        self.expensive = expensive
+        self.check = check
+
+    def diagnostic(self, message, severity=None, path=None, span=None):
+        """Build a :class:`Diagnostic` carrying this rule's metadata."""
+        from repro.analysis.diagnostics import Diagnostic
+
+        return Diagnostic(
+            self.code,
+            severity or self.severity,
+            message,
+            rule=self.name,
+            path=path,
+            span=span,
+            paper=self.paper,
+        )
+
+    def __repr__(self):
+        return "Rule(%s %s, %s)" % (self.code, self.name, self.severity)
+
+
+_RULES = {}
+
+
+def register(rule):
+    """Register *rule* under its code (idempotent per code)."""
+    if rule.code in _RULES:
+        raise ReproError("duplicate rule code %s" % rule.code)
+    _RULES[rule.code] = rule
+    return rule
+
+
+def all_rules():
+    """Every registered rule, in code order."""
+    _load()
+    return tuple(_RULES[code] for code in sorted(_RULES))
+
+
+def get_rule(code):
+    """The rule registered under *code* (raises on unknown codes)."""
+    _load()
+    try:
+        return _RULES[code]
+    except KeyError:
+        raise ReproError("unknown analysis rule code %r" % (code,)) from None
+
+
+def select_rules(select=None, ignore=None, kind="query", expensive=True):
+    """The runnable rules of *kind* after ``--select``/``--ignore``.
+
+    :param select: iterable of codes to run exclusively (None = all).
+    :param ignore: iterable of codes to drop.
+    :param expensive: include rules flagged expensive (the minimization
+        rule); the engine's pre-check passes False.
+    :raises ReproError: on codes that name no registered rule.
+    """
+    _load()
+    chosen = set(_validated(select)) if select is not None else None
+    dropped = set(_validated(ignore)) if ignore is not None else set()
+    out = []
+    for rule in all_rules():
+        if rule.check is None or rule.kind != kind:
+            continue
+        if chosen is not None and rule.code not in chosen:
+            continue
+        if rule.code in dropped:
+            continue
+        if rule.expensive and not expensive:
+            continue
+        out.append(rule)
+    return tuple(out)
+
+
+def _validated(codes):
+    for code in codes:
+        get_rule(code)
+        yield code
+
+
+def _load():
+    # Rule modules self-register on import; importing here avoids a
+    # cycle (rules import the registry).
+    from repro.analysis import rules, truncation  # noqa: F401

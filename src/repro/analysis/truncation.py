@@ -1,0 +1,43 @@
+"""COQL006 — validation of truncation patterns (kind ``truncation``).
+
+Truncation patterns are the prefix-closed path sets the decision
+procedure prunes a grouping query by, one simulation obligation per
+pattern (Section 4: an element whose inner set is empty is dominated by
+any element with a matching atomic part).  A malformed pattern —
+missing root, unknown path, non-prefix-closed set — used to be dropped
+silently by :meth:`GroupingQuery.truncate`, which turned caller-side
+mismatches into wrong containment obligations; today ``truncate``
+raises, and this rule reports *all* the problems at once via the shared
+:func:`repro.grouping.query.truncation_problems` validator so callers
+building patterns by hand (tests, the bruteforce checkers, external
+tools) can lint before committing to a check.
+
+Run it through :func:`repro.analysis.analyze_truncation`.
+"""
+
+from repro.analysis.diagnostics import ERROR
+from repro.analysis.registry import Rule, register
+from repro.grouping.query import truncation_problems
+
+__all__ = ["check_truncation"]
+
+
+def check_truncation(query, kept_paths, rule):
+    """One error diagnostic per problem ``truncate`` would raise on."""
+    out = []
+    for message, path in truncation_problems(query, kept_paths):
+        pointer = None
+        if path is not None:
+            pointer = "$" + "".join("/" + label for label in path)
+        out.append(rule.diagnostic(message, path=pointer))
+    return out
+
+
+register(Rule(
+    "COQL006", "bad-truncation-pattern", ERROR,
+    "a truncation pattern is malformed: missing root, unknown set-node "
+    "path, or not prefix-closed",
+    paper="Section 4 (truncation patterns / obligations)",
+    kind="truncation",
+    check=check_truncation,
+))

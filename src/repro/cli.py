@@ -5,12 +5,25 @@ Usage::
     python -m repro contain  --schema 'r:a,b;s:k,b' SUP SUB [--jobs N --timeout-s T]
     python -m repro matrix   --schema 'r:a,b' Q1 Q2 Q3 [--jobs N --timeout-s T]
     python -m repro equiv    --schema 'r:a,b' Q1 Q2 [--weak]
+    python -m repro lint     --schema 'r:a,b' QUERY_OR_FILE... [--format json]
     python -m repro eval     --schema 'r:a,b' --data db.json QUERY
     python -m repro minimize --schema 'r:a,b' QUERY
     python -m repro cq-contain 'q(X) :- r(X,Y)' 'q(X) :- r(X,Y), s(Y)'
 
 Schemas are written ``name:attr,attr;name:attr`` (attributes atomic).
 Databases for ``eval`` are JSON files ``{"relation": [{"attr": value}]}``.
+``lint`` targets are inline queries or ``.coql`` files (``#`` comments;
+a ``# schema: r:a,b`` directive overrides ``--schema``).
+
+Exit codes, uniform across the decision subcommands (see docs/API.md):
+
+* **0** — positive verdict: contained / equivalent / every matrix cell
+  decided / no error-severity lint findings;
+* **1** — negative verdict: not contained / not equivalent / an
+  undecided or incomparable matrix cell / error-severity lint findings;
+* **2** — usage error: bad flags, bad schema, a query that does not
+  parse (``lint`` reports parse errors as COQL000 findings instead);
+* **3** — UNDECIDED: a ``contain --timeout-s`` check timed out.
 """
 
 import argparse
@@ -89,7 +102,12 @@ def _cmd_matrix(args):
           " cell [i][j]: qj ⊑ qi)")
     if args.stats:
         _print_stats(engine)
-    return 0
+    # 0 only when every cell was decided; an incomparable (None) or
+    # timed-out (UNDECIDED) cell is a negative outcome, like exit 1 of
+    # `contain`/`equiv` — scripts can trust a zero exit to mean a fully
+    # decided matrix.
+    decided = all(cell is True or cell is False for row in matrix for cell in row)
+    return 0 if decided else 1
 
 
 def _cmd_equiv(args):
@@ -108,6 +126,102 @@ def _cmd_equiv(args):
     if args.stats:
         _print_stats(engine)
     return 0 if verdict else 1
+
+
+def _codes(text):
+    if text is None:
+        return None
+    return tuple(code.strip() for code in text.split(",") if code.strip())
+
+
+def _read_coql_file(text):
+    """Split a ``.coql`` file into (query text, schema or None).
+
+    ``#`` lines are comments; a ``# schema: r:a,b;s:k`` directive names
+    the schema the file is linted against.  Comment lines are blanked,
+    not removed, so diagnostic line numbers match the file.
+    """
+    schema = None
+    lines = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            directive = stripped.lstrip("#").strip()
+            if directive.lower().startswith("schema:"):
+                schema = _parse_schema(directive[len("schema:"):])
+            lines.append("")
+            continue
+        lines.append(line)
+    return "\n".join(lines), schema
+
+
+def _cmd_lint(args):
+    import os
+
+    from repro.analysis import ERROR, AnalysisConfig, analyze
+    from repro.engine import ContainmentEngine
+
+    engine = ContainmentEngine()
+    config = AnalysisConfig(
+        complexity_budget=args.budget, expensive=not args.no_minimize
+    )
+    base_schema = _parse_schema(args.schema) if args.schema else None
+    results = []
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for target in args.targets:
+        if target.endswith(".coql") or os.path.exists(target):
+            with open(target) as handle:
+                query, schema = _read_coql_file(handle.read())
+            schema = schema or base_schema
+        else:
+            query, schema = target, base_schema
+        if schema is None:
+            raise ReproError(
+                "no schema for %r: pass --schema or a '# schema: ...' "
+                "directive" % (target,)
+            )
+        diagnostics = [
+            d.with_target(target)
+            for d in analyze(
+                query, schema, engine=engine, config=config,
+                select=_codes(args.select), ignore=_codes(args.ignore),
+            )
+        ]
+        for diagnostic in diagnostics:
+            counts[diagnostic.severity] += 1
+        results.append((target, diagnostics))
+
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "targets": [
+                {"target": target,
+                 "diagnostics": [d.as_dict() for d in diagnostics]}
+                for target, diagnostics in results
+            ],
+            "summary": {
+                "targets": len(results),
+                "errors": counts["error"],
+                "warnings": counts["warning"],
+                "infos": counts["info"],
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for target, diagnostics in results:
+            if not diagnostics:
+                print("%s: ok" % target)
+                continue
+            for diagnostic in diagnostics:
+                print("%s: %s" % (target, diagnostic.format()))
+        print(
+            "%d target(s): %d error(s), %d warning(s), %d info(s)"
+            % (len(results), counts["error"], counts["warning"],
+               counts["info"])
+        )
+    if args.stats:
+        _print_stats(engine)
+    return 1 if counts[ERROR] else 0
 
 
 def _cmd_eval(args):
@@ -197,6 +311,32 @@ def build_parser():
     p.add_argument("q1")
     p.add_argument("q2")
     p.set_defaults(func=_cmd_equiv)
+
+    p = sub.add_parser(
+        "lint",
+        help="static-analysis lint of COQL queries (rules COQL001-COQL007)",
+    )
+    p.add_argument("--schema", default=None,
+                   help="schema for targets without a '# schema:' directive")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (json is schema-stable: "
+                        "{version, targets, summary})")
+    p.add_argument("--select", default=None, metavar="CODES",
+                   help="comma-separated rule codes to run exclusively "
+                        "(e.g. COQL002,COQL004)")
+    p.add_argument("--ignore", default=None, metavar="CODES",
+                   help="comma-separated rule codes to skip")
+    p.add_argument("--budget", type=int, default=10**8,
+                   help="COQL007 search-space budget "
+                        "(default: %(default)s)")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip the expensive COQL005 minimization rule")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine statistics to stderr")
+    p.add_argument("targets", nargs="+", metavar="QUERY_OR_FILE",
+                   help="COQL query text, or a .coql file (# comments; "
+                        "'# schema: r:a,b' directive)")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("eval", help="evaluate a COQL query over a JSON db")
     p.add_argument("--schema", required=False, default="")

@@ -39,10 +39,34 @@ __all__ = [
 class Expr(PicklableSlots):
     """Base class for COQL expressions."""
 
-    __slots__ = ()
+    __slots__ = ("_span",)
 
     def __setattr__(self, name, value):
         raise AttributeError("%s is immutable" % type(self).__name__)
+
+    @property
+    def span(self):
+        """``(line, column)`` of the expression's first token (1-based).
+
+        Only the parser fills this in; programmatically built nodes
+        report None.  The span never participates in equality or
+        hashing, so positioned and unpositioned copies of one query
+        share caches.
+        """
+        try:
+            return object.__getattribute__(self, "_span")
+        except AttributeError:
+            return None
+
+    def with_span(self, span):
+        """Attach a ``(line, column)`` source position; returns ``self``.
+
+        Used by :mod:`repro.coql.parser`; safe on the otherwise
+        immutable nodes because the span is metadata, invisible to
+        ``__eq__``/``__hash__``.
+        """
+        object.__setattr__(self, "_span", span)
+        return self
 
     def children(self):
         """Immediate sub-expressions (for generic traversals)."""
@@ -291,7 +315,9 @@ class Select(Expr):
 
     def __repr__(self):
         gens = ", ".join("%s in %r" % (v, e) for v, e in self.generators)
-        conds = " and ".join("%r = %r" % (l, r) for l, r in self.conditions)
+        conds = " and ".join(
+            "%r = %r" % (lhs, rhs) for lhs, rhs in self.conditions
+        )
         text = "select %r from %s" % (self.head, gens)
         if conds:
             text += " where " + conds

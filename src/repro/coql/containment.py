@@ -118,13 +118,13 @@ def _contains_encoded(sup_encoded, sub_encoded, witnesses=None,
             "queries have incompatible nested structure"
         )
     if method == "certificate":
-        decide = lambda a, b: is_simulated(a, b, witnesses=witnesses)
+        def decide(a, b):
+            return is_simulated(a, b, witnesses=witnesses)
     elif method == "canonical":
         from repro.grouping.bruteforce import check_simulation_on_canonical
 
-        decide = lambda a, b: check_simulation_on_canonical(
-            a, b, max_witnesses=witnesses
-        )
+        def decide(a, b):
+            return check_simulation_on_canonical(a, b, max_witnesses=witnesses)
     else:
         raise UnsupportedQueryError("unknown method %r" % (method,))
     # After paired_encoding the two queries have identical path sets, so

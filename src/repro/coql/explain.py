@@ -21,8 +21,6 @@ canonical family is augmented with its sub-databases.
 from repro.errors import IncomparableQueriesError
 from repro.objects.values import CSet
 from repro.objects.order import dominated
-from repro.coql.parser import parse_coql
-from repro.coql.ast import Expr
 from repro.coql.containment import prepare, _obligation_patterns, as_schema
 from repro.coql.encode import paired_encoding, reconstruct_value, shapes_compatible
 from repro.grouping.simulation import simulation_certificate

@@ -175,7 +175,7 @@ class NFSet(NFValue):
             "%s in %s" % (v, s if isinstance(s, str) else repr(s))
             for v, s in self.gens
         )
-        conds = ", ".join("%r = %r" % (l, r) for l, r in self.conds)
+        conds = ", ".join("%r = %r" % (lhs, rhs) for lhs, rhs in self.conds)
         parts = ", ".join(p for p in (gens, conds) if p)
         return "{%r | %s}" % (self.head, parts)
 

@@ -18,7 +18,6 @@ from repro.objects.types import (
     SetType,
     EmptySetType,
     EMPTY_SET,
-    join_types,
 )
 from repro.coql.ast import (
     Const,
@@ -35,6 +34,14 @@ from repro.coql.ast import (
 __all__ = ["typecheck"]
 
 
+def _at(expr):
+    """`` (line L, col C)`` suffix for parsed nodes, else empty."""
+    span = expr.span
+    if span is None:
+        return ""
+    return " (line %d, col %d)" % span
+
+
 def typecheck(expr, schema, env=None):
     """Infer the type of *expr* under *schema* (``{rel: RecordType}``).
 
@@ -48,11 +55,17 @@ def _infer(expr, schema, env):
         return ATOM
     if isinstance(expr, VarRef):
         if expr.name not in env:
-            raise TypeCheckError("unbound variable %s" % expr.name)
+            raise TypeCheckError(
+                "unbound variable %s%s" % (expr.name, _at(expr)),
+                span=expr.span,
+            )
         return env[expr.name]
     if isinstance(expr, RelRef):
         if expr.name not in schema:
-            raise TypeCheckError("unknown relation %s" % expr.name)
+            raise TypeCheckError(
+                "unknown relation %s%s" % (expr.name, _at(expr)),
+                span=expr.span,
+            )
         row = schema[expr.name]
         if not isinstance(row, RecordType):
             raise TypeCheckError(
@@ -64,11 +77,15 @@ def _infer(expr, schema, env):
         base = _infer(expr.expr, schema, env)
         if not isinstance(base, RecordType):
             raise TypeCheckError(
-                "projection .%s applied to non-record type %r" % (expr.attr, base)
+                "projection .%s applied to non-record type %r%s"
+                % (expr.attr, base, _at(expr)),
+                span=expr.span,
             )
         if expr.attr not in base:
             raise TypeCheckError(
-                "record type %r has no attribute %s" % (base, expr.attr)
+                "record type %r has no attribute %s%s"
+                % (base, expr.attr, _at(expr)),
+                span=expr.span,
             )
         return base[expr.attr]
     if isinstance(expr, RecordExpr):
@@ -82,13 +99,18 @@ def _infer(expr, schema, env):
         if isinstance(outer, EmptySetType):
             return EMPTY_SET
         if not isinstance(outer, SetType):
-            raise TypeCheckError("flatten applied to non-set type %r" % (outer,))
+            raise TypeCheckError(
+                "flatten applied to non-set type %r%s" % (outer, _at(expr)),
+                span=expr.span,
+            )
         inner = outer.element
         if isinstance(inner, EmptySetType):
             return EMPTY_SET
         if not isinstance(inner, SetType):
             raise TypeCheckError(
-                "flatten applied to a set of non-sets (%r)" % (outer,)
+                "flatten applied to a set of non-sets (%r)%s"
+                % (outer, _at(expr)),
+                span=expr.span,
             )
         return inner
     if isinstance(expr, Select):
@@ -101,8 +123,9 @@ def _infer(expr, schema, env):
                 element = source_type.element
             else:
                 raise TypeCheckError(
-                    "generator %s ranges over non-set type %r"
-                    % (var, source_type)
+                    "generator %s ranges over non-set type %r%s"
+                    % (var, source_type, _at(source)),
+                    span=source.span,
                 )
             scope[var] = element
         for left, right in expr.conditions:
@@ -111,7 +134,8 @@ def _infer(expr, schema, env):
                 if not isinstance(side_type, AtomType):
                     raise TypeCheckError(
                         "COQL conditions compare atomic expressions only; "
-                        "%r has type %r" % (side, side_type)
+                        "%r has type %r%s" % (side, side_type, _at(side)),
+                        span=side.span,
                     )
         return SetType(_infer(expr.head, schema, scope))
     raise TypeCheckError("unknown COQL expression %r" % (expr,))

@@ -81,6 +81,37 @@ class ViewCatalog:
         """The catalog's containment engine (for stats and cache control)."""
         return self._engine
 
+    def lint(self, select=None, ignore=None, config=None):
+        """Run the static analyzer over every registered view.
+
+        A catalog full of views is exactly where lint findings pay off:
+        an unsatisfiable view is unusable for every query (it is the
+        constant empty set), a cartesian-product view makes every
+        ``analyze``/matrix call against it slow, and empty-set hazards
+        decide whether :meth:`ViewReport.exact` can ever be trusted as
+        true equivalence.  Shares the catalog's engine, so linting warms
+        the same caches :meth:`analyze` uses.
+
+        :param select / ignore: rule-code filters, as in
+            :func:`repro.analysis.analyze`.
+        :param config: an :class:`repro.analysis.AnalysisConfig`.
+        :returns: ``{view name: [Diagnostic, ...]}`` with each finding's
+            ``target`` set to the view name; views with no findings map
+            to empty lists.
+        """
+        from repro.analysis import analyze as analyze_query
+
+        out = {}
+        for name in self.names():
+            out[name] = [
+                diagnostic.with_target(name)
+                for diagnostic in analyze_query(
+                    self._views[name], self._schema, engine=self._engine,
+                    config=config, select=select, ignore=ignore,
+                )
+            ]
+        return out
+
     def analyze(self, query, with_counterexamples=False, witnesses=None):
         """Report every view's usability for *query*.
 

@@ -11,7 +11,7 @@ conditions generalize them.
 """
 
 from repro.errors import IncomparableQueriesError
-from repro.cq.terms import Var, Const, is_var
+from repro.cq.terms import is_var
 from repro.cq.query import ConjunctiveQuery, frozen_constant
 from repro.cq.homomorphism import find_homomorphism, ground_atoms_of_query
 

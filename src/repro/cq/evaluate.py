@@ -10,7 +10,7 @@ matching rows under the current partial binding.
 """
 
 from repro.errors import EvaluationError, SchemaError
-from repro.cq.terms import Var, Const, is_var
+from repro.cq.terms import Const, is_var
 
 __all__ = ["evaluate", "evaluate_bindings", "relation_tuples"]
 

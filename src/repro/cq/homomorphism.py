@@ -15,7 +15,7 @@ ordering and per-predicate indexing, which keeps typical instances fast.
 """
 
 from repro.errors import ReproError
-from repro.cq.terms import Var, Const, Atom
+from repro.cq.terms import Var, Const
 
 __all__ = [
     "find_homomorphism",

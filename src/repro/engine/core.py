@@ -108,16 +108,29 @@ class ContainmentEngine:
         (0 disables, None unbounded).
     :param verdict_cache_size: entries in the obligation-verdict and
         provably-non-empty caches (0 disables, None unbounded).
+    :param analyze: opt-in static-analysis pre-check: every
+        :meth:`contains` call first runs :func:`repro.analysis.analyze`
+        over both queries (cheap rules only, sharing this engine's
+        caches), attaches the findings to :meth:`stats` (labelled
+        ``sub`` / ``sup``), and short-circuits to True when the
+        subquery's body is unsatisfiable (a constant-empty subquery is
+        contained in everything).
+    :param analysis_config: the :class:`repro.analysis.AnalysisConfig`
+        the pre-check uses (default: stock knobs with expensive rules
+        off).
     """
 
     def __init__(self, witnesses=None, method="certificate",
-                 prepare_cache_size=512, verdict_cache_size=8192):
+                 prepare_cache_size=512, verdict_cache_size=8192,
+                 analyze=False, analysis_config=None):
         self._default_witnesses = witnesses
         self._default_method = method
         self._prepare_cache = _LRUCache(prepare_cache_size)
         self._verdict_cache = _LRUCache(verdict_cache_size)
         self._nonempty_cache = _LRUCache(verdict_cache_size)
         self._stats = EngineStats()
+        self._analyze = bool(analyze)
+        self._analysis_config = analysis_config
 
     # -- instrumentation ----------------------------------------------
 
@@ -265,6 +278,51 @@ class ContainmentEngine:
 
     # -- public decisions ----------------------------------------------
 
+    def _pre_analyze(self, sup, sub, schema):
+        """The opt-in lint pre-check; returns ``(verdict, sup, sub)``.
+
+        Runs the cheap analysis rules over both queries against this
+        engine's caches, labels the findings ``sub``/``sup``, and
+        records them on :meth:`stats`.  When the subquery is found to
+        be the constant empty set (error-severity COQL002) the
+        containment verdict is True regardless of the superquery's
+        content — the superquery is still prepared first so malformed
+        superqueries raise exactly as without the pre-check.
+
+        Query texts are parsed once here and the parsed forms are
+        returned, so :meth:`contains` does not parse a second time and
+        the pre-check's marginal cost is the rule passes alone.
+        """
+        from repro.analysis import ERROR, AnalysisConfig, analyze
+
+        config = self._analysis_config
+        if config is None:
+            config = AnalysisConfig(expensive=False)
+        if isinstance(sup, str):
+            with self._stage("parse"):
+                sup = parse_coql(sup)
+        if isinstance(sub, str):
+            with self._stage("parse"):
+                sub = parse_coql(sub)
+        found = []
+        with self._stage("analysis"):
+            for role, query in (("sub", sub), ("sup", sup)):
+                found.extend(
+                    d.with_target(role)
+                    for d in analyze(query, schema, engine=self, config=config)
+                )
+        self._stats.tally("analysis_runs")
+        self._stats.add_diagnostics(found)
+        sub_is_empty = any(
+            d.code == "COQL002" and d.severity == ERROR and d.target == "sub"
+            for d in found
+        )
+        if sub_is_empty:
+            self.prepare(sup, schema)
+            self._stats.tally("analysis_short_circuits")
+            return True, sup, sub
+        return None, sup, sub
+
     def contains(self, sup, sub, schema, witnesses=None, method=None):
         """True iff ``sub ⊑ sup`` on every database (Theorem 4.1)."""
         if witnesses is None:
@@ -273,6 +331,10 @@ class ContainmentEngine:
             method = self._default_method
         with self._instrumented():
             self._stats.tally("contains_calls")
+            if self._analyze:
+                verdict, sup, sub = self._pre_analyze(sup, sub, schema)
+                if verdict is not None:
+                    return verdict
             sub_encoded = self.prepare(sub, schema)
             sup_encoded = self.prepare(sup, schema)
             return self._contains_encoded(
@@ -312,6 +374,17 @@ class ContainmentEngine:
                     for p in encoded.query.paths()
                     if p
                 )
+
+    def provably_nonempty(self, query, path):
+        """True when the group at *path* is non-empty for every parent row.
+
+        Memoized public wrapper over the sufficient syntactic test of
+        :func:`repro.coql.containment._provably_nonempty`; *query* is a
+        :class:`GroupingQuery` (e.g. ``prepare(...).query``).  Shared
+        with obligation enumeration, :meth:`empty_set_free`, and the
+        COQL004/COQL007 analysis rules, so asking never repeats work.
+        """
+        return self._provably_nonempty(query, path)
 
     def equivalent(self, q1, q2, schema, witnesses=None, method=None):
         """Decide equivalence for empty-set-free queries (else raise)."""

@@ -31,12 +31,13 @@ __all__ = ["EngineStats"]
 class EngineStats:
     """Counters and timers accumulated by a containment engine."""
 
-    __slots__ = ("counters", "timers", "search")
+    __slots__ = ("counters", "timers", "search", "diagnostics")
 
     def __init__(self):
         self.counters = {}
         self.timers = {}
         self.search = SearchCounters()
+        self.diagnostics = []
 
     # -- recording -----------------------------------------------------
 
@@ -48,11 +49,22 @@ class EngineStats:
         """Add wall time to the *stage* timer."""
         self.timers[stage] = self.timers.get(stage, 0.0) + seconds
 
+    def add_diagnostics(self, diagnostics):
+        """Record :class:`repro.analysis.Diagnostic` findings.
+
+        The engine's opt-in pre-check (``ContainmentEngine(analyze=
+        True)``) attaches what the analyzer found to the stats, so batch
+        callers can collect lint findings alongside verdicts without a
+        second pass over the queries.
+        """
+        self.diagnostics.extend(diagnostics)
+
     def reset(self):
         """Zero every counter and timer (the engine's caches survive)."""
         self.counters.clear()
         self.timers.clear()
         self.search.reset()
+        del self.diagnostics[:]
 
     def merge(self, other):
         """Add every tally of *other* into this object; return ``self``.
@@ -74,6 +86,7 @@ class EngineStats:
             self.timers[stage] = self.timers.get(stage, 0.0) + seconds
         self.search.nodes += other.search.nodes
         self.search.backtracks += other.search.backtracks
+        self.diagnostics.extend(other.diagnostics)
         return self
 
     # -- reading -------------------------------------------------------
@@ -95,6 +108,8 @@ class EngineStats:
         out = dict(self.counters)
         out["homomorphism_nodes"] = self.search.nodes
         out["homomorphism_backtracks"] = self.search.backtracks
+        if self.diagnostics:
+            out["analysis_diagnostics"] = len(self.diagnostics)
         for stage in sorted(self.timers):
             out["time_" + stage] = self.timers[stage]
         return out

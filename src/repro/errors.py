@@ -20,7 +20,17 @@ __all__ = [
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    :param span: optional ``(line, column)`` source position (1-based)
+        of the offending construct, when the failing input was parsed
+        from text.  Exposed so diagnostics (:mod:`repro.analysis`) can
+        point at real spans; None when unknown.
+    """
+
+    def __init__(self, *args, span=None):
+        super().__init__(*args)
+        self.span = span
 
 
 class ValueConstructionError(ReproError):

@@ -19,7 +19,7 @@ at nesting depth ``d``, both decidable and NP-complete.
   evaluation of the quantifier alternation).
 """
 
-from repro.grouping.query import GroupingNode, GroupingQuery
+from repro.grouping.query import GroupingNode, GroupingQuery, truncation_problems
 from repro.grouping.semantics import evaluate_grouping, node_groups
 from repro.grouping.simulation import (
     simulation_certificate,
@@ -39,6 +39,7 @@ from repro.grouping.bruteforce import (
 __all__ = [
     "GroupingNode",
     "GroupingQuery",
+    "truncation_problems",
     "evaluate_grouping",
     "node_groups",
     "simulation_certificate",

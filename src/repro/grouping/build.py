@@ -7,8 +7,6 @@
 ... )                                                    # doctest: +SKIP
 """
 
-import re
-
 from repro.errors import ParseError
 from repro.cq.terms import Var, Const
 from repro.cq.parser import parse_atom, _parse_term

@@ -30,7 +30,7 @@ from repro.cq.terms import Var, Const, Atom, is_var
 from repro.cq.query import ConjunctiveQuery
 from repro.pickling import PicklableSlots
 
-__all__ = ["GroupingNode", "GroupingQuery"]
+__all__ = ["GroupingNode", "GroupingQuery", "truncation_problems"]
 
 
 class GroupingNode(PicklableSlots):
@@ -284,21 +284,9 @@ class GroupingQuery(PicklableSlots):
         simulation obligations.
         """
         kept = set(kept_paths)
-        if () not in kept:
-            raise ReproError("kept_paths must contain the root path ()")
-        own_paths = set(self.paths())
-        unknown = kept - own_paths
-        if unknown:
-            raise ReproError(
-                "kept_paths name set nodes absent from query %s: %r"
-                % (self.name, sorted(unknown))
-            )
-        for path in kept:
-            if path and path[:-1] not in kept:
-                raise ReproError(
-                    "kept_paths are not prefix-closed: %r is kept but its "
-                    "parent %r is pruned" % (path, path[:-1])
-                )
+        problems = truncation_problems(self, kept)
+        if problems:
+            raise ReproError(problems[0][0])
 
         def walk(node, path):
             children = tuple(
@@ -326,3 +314,41 @@ class GroupingQuery(PicklableSlots):
             self.depth(),
             len(self.nodes()),
         )
+
+
+def truncation_problems(query, kept_paths):
+    """Validate a truncation pattern without raising.
+
+    Returns a list of ``(message, path)`` problems — *path* is the
+    offending kept path (or None for a missing root).  Empty list means
+    ``query.truncate(kept_paths)`` will succeed.  :meth:`truncate`
+    raises the first problem; the COQL006 analysis rule reports all of
+    them as diagnostics.  The checks, in order:
+
+    * the root path ``()`` must be kept (pruning the root is not a
+      truncation pattern);
+    * every kept path must name a set node of *query* — unknown paths
+      would otherwise be dropped silently, turning a caller-side
+      mismatch into a wrong containment obligation;
+    * the kept set must be prefix-closed — a kept node below a pruned
+      parent is unreachable in the truncated tree.
+    """
+    kept = set(kept_paths)
+    problems = []
+    if () not in kept:
+        problems.append(("kept_paths must contain the root path ()", None))
+    own_paths = set(query.paths())
+    for path in sorted(kept - own_paths):
+        problems.append((
+            "kept_paths name set nodes absent from query %s: %r"
+            % (query.name, [path]),
+            path,
+        ))
+    for path in sorted(kept):
+        if path and path[:-1] not in kept:
+            problems.append((
+                "kept_paths are not prefix-closed: %r is kept but its "
+                "parent %r is pruned" % (path, path[:-1]),
+                path,
+            ))
+    return problems

@@ -37,7 +37,7 @@ The procedures here are validated against independent semantic checks in
 """
 
 from repro.errors import ReproError
-from repro.cq.terms import Var, Const, Atom, is_var
+from repro.cq.terms import Const, is_var
 from repro.cq.query import frozen_constant
 from repro.cq.homomorphism import find_homomorphism
 

@@ -37,7 +37,7 @@ accepts when any passes every reverse check.
 
 from repro.errors import ReproError
 from repro.cq.terms import Var, Const, is_var
-from repro.cq.query import ConjunctiveQuery, frozen_constant
+from repro.cq.query import ConjunctiveQuery
 from repro.cq.homomorphism import find_all_homomorphisms
 from repro.cq.containment import contains as cq_contains
 from repro.grouping.simulation import (

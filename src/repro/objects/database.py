@@ -12,14 +12,10 @@ assumption checkable.
 from repro.errors import SchemaError
 from repro.objects.values import Record, CSet
 from repro.objects.types import (
-    RecordType,
-    SetType,
     AtomType,
     infer_type,
     join_types,
     conforms,
-    EMPTY_SET,
-    EmptySetType,
 )
 
 __all__ = ["Relation", "Database"]

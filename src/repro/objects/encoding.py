@@ -14,7 +14,7 @@ same index (value-based indexing), so decoding is exact:
 """
 
 from repro.errors import SchemaError
-from repro.objects.values import Record, CSet, sort_key
+from repro.objects.values import Record, CSet
 from repro.objects.types import AtomType, RecordType, SetType, EmptySetType, ATOM
 
 __all__ = ["encode_relation", "encode_database", "decode_relation", "INDEX_ATTR"]

@@ -26,7 +26,10 @@ class PicklableSlots:
         state = {}
         for klass in type(self).__mro__:
             for name in getattr(klass, "__slots__", ()):
-                state[name] = getattr(self, name)
+                # Optional slots (e.g. the parser-attached source span)
+                # may never have been filled in.
+                if hasattr(self, name):
+                    state[name] = getattr(self, name)
         return state
 
     def __setstate__(self, state):

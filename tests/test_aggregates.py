@@ -8,7 +8,7 @@ nested case against grouping-tree evaluation.
 import pytest
 
 from repro.errors import IncomparableQueriesError
-from repro.cq import parse_query, Var
+from repro.cq import Var
 from repro.cq.parser import parse_atom
 from repro.aggregates import (
     AggregateQuery,

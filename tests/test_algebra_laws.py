@@ -11,12 +11,11 @@ The classical nest/unnest identities, checked on random data:
 * the algebra-to-COQL translation commutes with evaluation.
 """
 
-import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.objects import Database, Record, CSet
-from repro.objects.types import RecordType, SetType, ATOM
+from repro.objects import Database, CSet
+from repro.objects.types import RecordType, ATOM
 from repro.coql import evaluate_coql
 from repro.algebra import (
     BaseRel,

@@ -1,0 +1,472 @@
+"""Tests for the static analyzer (:mod:`repro.analysis`).
+
+Every rule COQL001 … COQL007 gets at least one positive (fires) and one
+negative (stays silent) case, plus the two cross-validations the
+analyzer's semantics promise:
+
+* COQL002 reports an *error* exactly for queries that are the constant
+  empty set — i.e. exactly when ``contains(sup, q)`` holds for an
+  arbitrary superquery;
+* COQL004 is silent exactly when
+  :meth:`ContainmentEngine.empty_set_free` holds.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisConfig,
+    Diagnostic,
+    all_rules,
+    analyze,
+    analyze_truncation,
+    get_rule,
+    max_severity,
+    select_rules,
+)
+from repro.analysis.registry import Rule, register
+from repro.coql.ast import Proj, RecordExpr, RelRef, Select, VarRef
+from repro.coql.views import ViewCatalog
+from repro.engine import ContainmentEngine
+from repro.errors import ReproError, TypeCheckError
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+CLEAN = "select [v: x.a] from x in r"
+UNSAT = "select [v: x.a] from x in r where x.a = 1 and x.a = 2"
+UNSAT_CHAIN = (
+    "select [v: x.a] from x in r "
+    "where x.a = 1 and x.b = x.a and x.b = 2"
+)
+UNUSED_GEN = "select [v: x.a] from x in r, y in r"
+NESTED_HAZARD = (
+    "select [a: x.a, kids: (select [w: y.b] from y in s where y.k = x.a)]"
+    " from x in r"
+)
+NESTED_SAFE = (
+    "select [a: x.a, kids: (select [w: y.b] from y in r where y.a = x.a)]"
+    " from x in r"
+)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+# -- COQL001 -----------------------------------------------------------
+
+
+class TestUnboundOrUnused:
+    def test_unbound_variable_fires(self):
+        query = Select(
+            RecordExpr({"v": Proj(VarRef("z"), "a")}), [("x", RelRef("r"))]
+        )
+        found = [d for d in analyze(query, SCHEMA) if d.code == "COQL001"]
+        unbound = [d for d in found if d.severity == ERROR]
+        assert len(unbound) == 1
+        assert "z" in unbound[0].message
+        assert unbound[0].path.startswith("$.head")
+
+    def test_unused_generator_fires_as_warning(self):
+        found = [d for d in analyze(UNUSED_GEN, SCHEMA) if d.code == "COQL001"]
+        assert len(found) == 1
+        assert found[0].severity == WARNING
+        assert "'y'" in found[0].message
+        assert found[0].line == 1 and found[0].col is not None
+
+    def test_silent_on_clean_query(self):
+        assert "COQL001" not in codes(analyze(CLEAN, SCHEMA))
+
+    def test_generator_used_only_in_condition_counts(self):
+        query = "select [v: x.a] from x in r, y in r where y.a = x.a"
+        assert "COQL001" not in codes(analyze(query, SCHEMA))
+
+
+# -- COQL002 -----------------------------------------------------------
+
+
+class TestUnsatisfiable:
+    def test_contradiction_is_error(self):
+        found = [d for d in analyze(UNSAT, SCHEMA) if d.code == "COQL002"]
+        assert max_severity(found) == ERROR
+
+    def test_transitive_contradiction_is_error(self):
+        found = [d for d in analyze(UNSAT_CHAIN, SCHEMA)
+                 if d.code == "COQL002"]
+        assert max_severity(found) == ERROR
+
+    def test_nested_contradiction_is_warning_only(self):
+        query = (
+            "select [a: x.a, kids: (select [w: y.b] from y in s"
+            " where y.k = 1 and y.k = 2)] from x in r"
+        )
+        found = [d for d in analyze(query, SCHEMA) if d.code == "COQL002"]
+        assert found
+        assert max_severity(found) == WARNING
+
+    def test_silent_on_satisfiable_conditions(self):
+        query = "select [v: x.a] from x in r where x.a = 1 and x.b = 2"
+        assert "COQL002" not in codes(analyze(query, SCHEMA))
+
+    def test_error_iff_contained_in_arbitrary_superquery(self):
+        # The error-severity finding must fire exactly when the query is
+        # the constant empty set — equivalently, when it is contained in
+        # a superquery it shares nothing with (here: over relation s).
+        engine = ContainmentEngine()
+        arbitrary_sup = "select [v: y.k] from y in s"
+        for query in (CLEAN, UNSAT, UNSAT_CHAIN, UNUSED_GEN):
+            reported = any(
+                d.code == "COQL002" and d.severity == ERROR
+                for d in analyze(query, SCHEMA, engine=engine)
+            )
+            vacuous = engine.contains(arbitrary_sup, query, SCHEMA)
+            assert reported == vacuous, query
+
+
+# -- COQL003 -----------------------------------------------------------
+
+
+class TestCartesian:
+    def test_unjoined_generators_fire(self):
+        found = [d for d in analyze(UNUSED_GEN, SCHEMA) if d.code == "COQL003"]
+        assert len(found) == 1
+        assert found[0].severity == WARNING
+        assert "{x}" in found[0].message and "{y}" in found[0].message
+
+    def test_silent_when_joined(self):
+        query = "select [v: x.a] from x in r, y in s where x.a = y.k"
+        assert "COQL003" not in codes(analyze(query, SCHEMA))
+
+    def test_join_through_shared_constant_counts(self):
+        query = "select [v: x.a] from x in r, y in s where x.a = 1 and y.k = 1"
+        assert "COQL003" not in codes(analyze(query, SCHEMA))
+
+    def test_three_way_chain_is_connected(self):
+        query = (
+            "select [v: x.a] from x in r, y in r, z in r"
+            " where x.a = y.a and y.b = z.b"
+        )
+        assert "COQL003" not in codes(analyze(query, SCHEMA))
+
+    def test_single_generator_never_fires(self):
+        assert "COQL003" not in codes(analyze(CLEAN, SCHEMA))
+
+
+# -- COQL004 -----------------------------------------------------------
+
+
+class TestEmptySetHazard:
+    def test_possibly_empty_nested_component_fires(self):
+        found = [d for d in analyze(NESTED_HAZARD, SCHEMA)
+                 if d.code == "COQL004"]
+        assert len(found) == 1
+        assert found[0].severity == WARNING
+        assert found[0].path == "$/kids"
+
+    def test_always_empty_query_fires(self):
+        found = [d for d in analyze(UNSAT, SCHEMA) if d.code == "COQL004"]
+        assert found and "always the empty set" in found[0].message
+
+    def test_silent_on_provably_nonempty_nesting(self):
+        assert "COQL004" not in codes(analyze(NESTED_SAFE, SCHEMA))
+
+    def test_silent_iff_empty_set_free(self):
+        engine = ContainmentEngine()
+        for query in (CLEAN, UNSAT, NESTED_HAZARD, NESTED_SAFE, UNUSED_GEN):
+            silent = "COQL004" not in codes(
+                analyze(query, SCHEMA, engine=engine, select=["COQL004"])
+            )
+            assert silent == engine.empty_set_free(query, SCHEMA), query
+
+
+# -- COQL005 -----------------------------------------------------------
+
+
+class TestRedundant:
+    def test_redundant_generator_fires(self):
+        found = [d for d in analyze(UNUSED_GEN, SCHEMA) if d.code == "COQL005"]
+        assert len(found) == 1
+        assert found[0].severity == INFO
+        assert "1 fewer generator" in found[0].message
+
+    def test_silent_on_minimal_query(self):
+        assert "COQL005" not in codes(analyze(CLEAN, SCHEMA))
+
+    def test_skipped_when_expensive_rules_disabled(self):
+        config = AnalysisConfig(expensive=False)
+        assert "COQL005" not in codes(
+            analyze(UNUSED_GEN, SCHEMA, config=config)
+        )
+        # ... but the cheap rules still run.
+        assert "COQL003" in codes(analyze(UNUSED_GEN, SCHEMA, config=config))
+
+
+# -- COQL006 -----------------------------------------------------------
+
+
+class TestTruncationRule:
+    def grouping(self):
+        return ContainmentEngine().prepare(NESTED_HAZARD, SCHEMA).query
+
+    def test_malformed_patterns_fire(self):
+        query = self.grouping()
+        found = analyze_truncation(query, [("kids",)])
+        assert codes(found) == ["COQL006", "COQL006"]
+        assert all(d.severity == ERROR for d in found)
+        messages = " / ".join(d.message for d in found)
+        assert "root" in messages and "prefix-closed" in messages
+
+    def test_unknown_path_fires(self):
+        found = analyze_truncation(self.grouping(), [(), ("nope",)])
+        assert codes(found) == ["COQL006"]
+        assert "absent from query" in found[0].message
+        assert found[0].path == "$/nope"
+
+    def test_silent_on_valid_pattern(self):
+        query = self.grouping()
+        assert analyze_truncation(query, [()]) == []
+        assert analyze_truncation(query, [(), ("kids",)]) == []
+
+    def test_agrees_with_truncate(self):
+        query = self.grouping()
+        for pattern in ([()], [(), ("kids",)], [("kids",)], [(), ("x",)]):
+            problems = analyze_truncation(query, pattern)
+            if problems:
+                with pytest.raises(ReproError):
+                    query.truncate(pattern)
+            else:
+                query.truncate(pattern)
+
+
+# -- COQL007 -----------------------------------------------------------
+
+
+class TestComplexityBudget:
+    def test_budget_exceeded_fires(self):
+        config = AnalysisConfig(complexity_budget=0, expensive=False)
+        found = [d for d in analyze(CLEAN, SCHEMA, config=config)
+                 if d.code == "COQL007"]
+        assert len(found) == 1
+        assert found[0].severity == WARNING
+        assert "NP-complete" in found[0].message
+
+    def test_silent_under_default_budget(self):
+        assert "COQL007" not in codes(analyze(CLEAN, SCHEMA))
+
+    def test_truncation_patterns_enter_the_estimate(self):
+        # Both nested queries have the same body sizes (5 candidate
+        # assignments), but NESTED_HAZARD's possibly-empty component
+        # doubles its pattern count: estimate 10 vs 5.  A budget between
+        # the two separates them.
+        config = AnalysisConfig(complexity_budget=6, expensive=False)
+        assert "COQL007" in codes(
+            analyze(NESTED_HAZARD, SCHEMA, config=config)
+        )
+        assert "COQL007" not in codes(
+            analyze(NESTED_SAFE, SCHEMA, config=config)
+        )
+
+
+# -- COQL000 (front-end failures) --------------------------------------
+
+
+class TestFrontEnd:
+    def test_parse_error_reported_not_raised(self):
+        found = analyze("select from x in", SCHEMA)
+        assert codes(found) == ["COQL000"]
+        assert found[0].severity == ERROR
+        assert "ParseError" in found[0].message
+        assert found[0].line is not None
+
+    def test_type_error_reported_as_error(self):
+        found = [d for d in analyze("select [v: q.a] from x in r", SCHEMA)
+                 if d.code == "COQL000"]
+        assert found and found[0].severity == ERROR
+        assert "unknown relation" in found[0].message
+
+    def test_unsupported_fragment_is_warning(self):
+        # A nested condition equating two outer terms is outside the
+        # encodable fragment: legal COQL, undecidable here.
+        query = (
+            "select [a: x.a, kids: (select [w: y.b] from y in s"
+            " where x.a = x.b)] from x in r"
+        )
+        found = [d for d in analyze(query, SCHEMA) if d.code == "COQL000"]
+        assert found and found[0].severity == WARNING
+
+    def test_silent_on_good_query(self):
+        assert "COQL000" not in codes(analyze(CLEAN, SCHEMA))
+
+
+# -- registry and API plumbing -----------------------------------------
+
+
+class TestRegistry:
+    def test_all_rules_are_registered_in_order(self):
+        assert codes(all_rules())[:8] == [
+            "COQL000", "COQL001", "COQL002", "COQL003",
+            "COQL004", "COQL005", "COQL006", "COQL007",
+        ]
+
+    def test_every_rule_documents_itself(self):
+        for rule in all_rules():
+            assert rule.summary and rule.paper and rule.name
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ReproError, match="unknown analysis rule"):
+            get_rule("COQL999")
+        with pytest.raises(ReproError, match="unknown analysis rule"):
+            analyze(CLEAN, SCHEMA, select=["COQL999"])
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            register(Rule("COQL001", "clone", ERROR, "x", paper="y"))
+
+    def test_select_and_ignore(self):
+        chosen = select_rules(select=["COQL002", "COQL003"])
+        assert codes(chosen) == ["COQL002", "COQL003"]
+        remaining = select_rules(ignore=["COQL002"])
+        assert "COQL002" not in codes(remaining)
+        found = analyze(UNSAT, SCHEMA, select=["COQL002"])
+        assert set(codes(found)) == {"COQL002"}
+        found = analyze(UNSAT, SCHEMA, ignore=["COQL002", "COQL004"])
+        assert "COQL002" not in codes(found)
+
+
+class TestDiagnosticObject:
+    def diagnostic(self):
+        return Diagnostic("COQL002", ERROR, "boom", rule="unsat",
+                          path="$", span=(3, 7), paper="Section 4")
+
+    def test_immutable(self):
+        diagnostic = self.diagnostic()
+        with pytest.raises(AttributeError):
+            diagnostic.severity = WARNING
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("COQL001", "fatal", "nope")
+
+    def test_as_dict_is_schema_stable(self):
+        assert set(self.diagnostic().as_dict()) == {
+            "code", "severity", "message", "rule", "path", "line", "col",
+            "paper",
+        }
+
+    def test_format_and_span(self):
+        diagnostic = self.diagnostic()
+        assert diagnostic.span == (3, 7)
+        assert diagnostic.format() == "3:7 COQL002 error: boom"
+
+    def test_with_target_round_trip(self):
+        labelled = self.diagnostic().with_target("q1")
+        assert labelled.target == "q1"
+        assert labelled.as_dict() == self.diagnostic().as_dict()
+
+    def test_pickles(self):
+        diagnostic = self.diagnostic()
+        clone = pickle.loads(pickle.dumps(diagnostic))
+        assert clone == diagnostic and hash(clone) == hash(diagnostic)
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        assert max_severity([Diagnostic("C", WARNING, "m"),
+                             Diagnostic("C", ERROR, "m")]) == ERROR
+
+
+# -- engine wiring -----------------------------------------------------
+
+
+class TestEnginePreCheck:
+    def test_unsat_sub_short_circuits(self):
+        engine = ContainmentEngine(analyze=True)
+        assert engine.contains(CLEAN, UNSAT, SCHEMA) is True
+        stats = engine.stats()
+        assert stats.counter("analysis_runs") == 1
+        assert stats.counter("analysis_short_circuits") == 1
+        assert {d.target for d in stats.diagnostics} >= {"sub"}
+        assert any(d.code == "COQL002" and d.severity == ERROR
+                   for d in stats.diagnostics)
+
+    def test_verdicts_match_plain_engine(self):
+        plain = ContainmentEngine()
+        checked = ContainmentEngine(analyze=True)
+        pairs = [(CLEAN, UNUSED_GEN), (UNUSED_GEN, CLEAN), (CLEAN, UNSAT),
+                 (NESTED_SAFE, NESTED_SAFE)]
+        for sup, sub in pairs:
+            assert plain.contains(sup, sub, SCHEMA) == checked.contains(
+                sup, sub, SCHEMA
+            ), (sup, sub)
+
+    def test_short_circuit_still_validates_superquery(self):
+        engine = ContainmentEngine(analyze=True)
+        with pytest.raises(TypeCheckError):
+            engine.contains("select [v: q.a] from x in r", UNSAT, SCHEMA)
+
+    def test_off_by_default(self):
+        engine = ContainmentEngine()
+        engine.contains(CLEAN, UNSAT, SCHEMA)
+        assert engine.stats().counter("analysis_runs") == 0
+        assert engine.stats().diagnostics == []
+
+    def test_diagnostics_survive_stats_merge_and_reset(self):
+        from repro.engine.stats import EngineStats
+
+        left, right = EngineStats(), EngineStats()
+        right.add_diagnostics([Diagnostic("COQL003", WARNING, "m")])
+        left.merge(right)
+        assert len(left.diagnostics) == 1
+        assert left.as_dict()["analysis_diagnostics"] == 1
+        left.reset()
+        assert left.diagnostics == []
+        assert "analysis_diagnostics" not in left.as_dict()
+
+
+class TestViewCatalogLint:
+    def test_findings_per_view(self):
+        catalog = ViewCatalog(
+            SCHEMA,
+            {"clean": CLEAN, "product": UNUSED_GEN, "broken": UNSAT},
+        )
+        report = catalog.lint()
+        assert set(report) == {"clean", "product", "broken"}
+        assert report["clean"] == []
+        assert "COQL003" in codes(report["product"])
+        assert "COQL002" in codes(report["broken"])
+        for name, diagnostics in report.items():
+            assert all(d.target == name for d in diagnostics)
+
+    def test_filters_thread_through(self):
+        catalog = ViewCatalog(SCHEMA, {"product": UNUSED_GEN})
+        report = catalog.lint(select=["COQL003"])
+        assert codes(report["product"]) == ["COQL003"]
+
+
+# -- source spans ------------------------------------------------------
+
+
+class TestSpans:
+    def test_parser_attaches_positions(self):
+        from repro.coql.parser import parse_coql
+
+        query = parse_coql("select [v: x.a]\nfrom x in r\nwhere x.b = 3")
+        assert query.span == (1, 1)
+        left, __ = query.conditions[0]
+        # A projection's span is its dot token.
+        assert left.span == (3, 8)
+
+    def test_diagnostics_carry_multiline_positions(self):
+        text = "select [v: x.a]\nfrom x in r, y in r"
+        found = [d for d in analyze(text, SCHEMA) if d.code == "COQL001"]
+        assert found[0].span == (2, 19)
+
+    def test_programmatic_queries_have_no_span(self):
+        query = Select(RecordExpr({"v": Proj(VarRef("x"), "a")}),
+                       [("x", RelRef("r"))])
+        assert query.span is None
+        found = analyze(query, SCHEMA)
+        assert all(d.line is None for d in found)

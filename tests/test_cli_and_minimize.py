@@ -146,3 +146,145 @@ class TestCli:
         )
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestCliExitCodes:
+    """The documented convention: 0 positive verdict, 1 negative verdict
+    or error-severity findings, 2 usage/parse error (3: UNDECIDED)."""
+
+    CONTAINED = [
+        "contain", "--schema", "r:a,b",
+        "select [v: x.a] from x in r",
+        "select [v: x.a] from x in r where x.b = 1",
+    ]
+
+    def test_contain_parse_error_is_usage_error(self, capsys):
+        code = main(
+            ["contain", "--schema", "r:a,b", "select from x in",
+             "select [v: x.a] from x in r"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_equiv_negative_is_one(self, capsys):
+        code = main(
+            ["equiv", "--weak", "--schema", "r:a,b",
+             "select [v: x.a] from x in r",
+             "select [v: x.a] from x in r where x.b = 1"]
+        )
+        assert code == 1
+
+    def test_matrix_fully_decided_is_zero(self, capsys):
+        code = main(
+            ["matrix", "--schema", "r:a,b", "--jobs", "1",
+             "select [v: x.a] from x in r",
+             "select [v: x.a] from x in r where x.b = 1"]
+        )
+        assert code == 0
+
+    def test_matrix_incomparable_cell_is_one(self, capsys):
+        code = main(
+            ["matrix", "--schema", "r:a,b", "--jobs", "1",
+             "select [v: x.a] from x in r",
+             "select [w: x.a] from x in r"]
+        )
+        assert code == 1
+        assert "!" in capsys.readouterr().out
+
+    def test_lint_clean_is_zero(self, capsys):
+        code = main(
+            ["lint", "--schema", "r:a,b", "select [v: x.a] from x in r"]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_lint_warnings_only_is_zero(self, capsys):
+        code = main(
+            ["lint", "--schema", "r:a,b", "--no-minimize",
+             "select [v: x.a] from x in r, y in r"]
+        )
+        assert code == 0
+        assert "COQL003" in capsys.readouterr().out
+
+    def test_lint_error_findings_are_one(self, capsys):
+        code = main(
+            ["lint", "--schema", "r:a,b",
+             "select [v: x.a] from x in r where x.a = 1 and x.a = 2"]
+        )
+        assert code == 1
+        assert "COQL002" in capsys.readouterr().out
+
+    def test_lint_parse_error_is_a_finding_not_usage_error(self, capsys):
+        code = main(["lint", "--schema", "r:a,b", "select from x in"])
+        assert code == 1
+        assert "COQL000" in capsys.readouterr().out
+
+    def test_lint_unknown_rule_code_is_usage_error(self, capsys):
+        code = main(
+            ["lint", "--schema", "r:a,b", "--select", "COQL999",
+             "select [v: x.a] from x in r"]
+        )
+        assert code == 2
+
+    def test_lint_missing_schema_is_usage_error(self, capsys):
+        code = main(["lint", "select [v: x.a] from x in r"])
+        assert code == 2
+        assert "no schema" in capsys.readouterr().err
+
+
+class TestCliLint:
+    def test_json_format_is_schema_stable(self, capsys):
+        code = main(
+            ["lint", "--schema", "r:a,b", "--format", "json",
+             "--no-minimize", "select [v: x.a] from x in r, y in r"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert set(report["summary"]) == {
+            "targets", "errors", "warnings", "infos"}
+        assert report["summary"]["targets"] == 1
+        assert report["summary"]["warnings"] >= 1
+        (entry,) = report["targets"]
+        for diagnostic in entry["diagnostics"]:
+            assert set(diagnostic) == {
+                "code", "severity", "message", "rule", "path", "line",
+                "col", "paper",
+            }
+
+    def test_coql_file_with_schema_directive(self, tmp_path, capsys):
+        target = tmp_path / "query.coql"
+        target.write_text(
+            "# a comment\n"
+            "# schema: person:name,dept\n"
+            "select [who: p.name]\n"
+            "from p in person, q in person\n"
+        )
+        code = main(["lint", "--no-minimize", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "COQL003" in out
+        # Line numbers refer to the file (comments are blanked, not
+        # removed): the select starts on line 3.
+        assert "3:1" in out
+
+    def test_select_filter(self, capsys):
+        code = main(
+            ["lint", "--schema", "r:a,b", "--select", "COQL002",
+             "select [v: x.a] from x in r, y in r"]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_repo_examples_lint_clean_of_errors(self, capsys):
+        import glob
+        import os
+
+        here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        targets = sorted(glob.glob(os.path.join(here, "examples", "*.coql")))
+        assert targets, "examples/*.coql missing"
+        code = main(["lint", "--format", "json"] + targets)
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["errors"] == 0
+        assert report["summary"]["warnings"] >= 1

@@ -20,16 +20,15 @@ from repro.objects import Database, Record, CSet, dominated
 from repro.coql import (
     parse_coql,
     evaluate_coql,
-    normalize,
     contains,
     weakly_equivalent,
     equivalent,
     empty_set_free,
 )
-from repro.coql.containment import prepare, as_schema
+from repro.coql.containment import prepare
 from repro.coql.encode import reconstruct_value
 from repro.grouping.semantics import node_groups
-from repro.workloads import random_coql, COQL_SCHEMA
+from repro.workloads import random_coql
 
 SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
 

@@ -3,7 +3,6 @@ containment vs Hoare semantics at three nesting levels."""
 
 import random
 
-import pytest
 
 from repro.errors import IncomparableQueriesError
 from repro.objects import Database, dominated

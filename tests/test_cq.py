@@ -8,7 +8,6 @@ from repro.objects import Database
 from repro.cq import (
     Var,
     Const,
-    Atom,
     parse_query,
     parse_atom,
     evaluate,
@@ -19,7 +18,7 @@ from repro.cq import (
     find_homomorphism,
     count_homomorphisms,
 )
-from repro.cq.query import ConjunctiveQuery, freeze, atoms_to_database
+from repro.cq.query import freeze, atoms_to_database
 from repro.cq.homomorphism import ground_atoms_of_query
 
 

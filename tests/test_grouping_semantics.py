@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ReproError, IncomparableQueriesError
 from repro.objects import Database, Record, CSet
-from repro.cq.terms import Var
 from repro.grouping import GroupingQuery, evaluate_grouping, node_groups
 from repro.grouping.build import node, grouping_query
 from repro.grouping.semantics import reachable_keys

@@ -11,7 +11,6 @@ procedure against two independent semantic implementations:
 
 import pytest
 
-from repro.objects import Database
 from repro.cq import parse_query, contains
 from repro.grouping import (
     is_simulated,

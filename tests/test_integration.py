@@ -15,10 +15,9 @@ from repro.objects import (
     Record,
     CSet,
     encode_database,
-    dominated,
 )
 from repro.coql import parse_coql, evaluate_coql, contains, weakly_equivalent
-from repro.cq import parse_query, evaluate as cq_evaluate, contains as cq_contains
+from repro.cq import evaluate as cq_evaluate, contains as cq_contains
 from repro.algebra import BaseRel, Nest, Unnest, evaluate_algebra, algebra_to_coql
 from repro.grouping import evaluate_grouping, is_simulated
 from repro.aggregates import AggregateQuery, aggregate_equivalent

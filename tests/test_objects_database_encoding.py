@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import SchemaError
 from repro.objects import (
-    Record,
     CSet,
     Relation,
     Database,

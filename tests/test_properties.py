@@ -23,7 +23,6 @@ from repro.objects import (
     decode_relation,
 )
 from repro.cq import contains, equivalent, minimize, evaluate
-from repro.cq.query import ConjunctiveQuery
 from repro.grouping import is_simulated
 from repro.workloads import (
     random_cq,

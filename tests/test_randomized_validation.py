@@ -16,7 +16,7 @@ import random
 import pytest
 
 from repro.errors import IncomparableQueriesError, UnsupportedQueryError
-from repro.cq.terms import Var, Atom
+from repro.cq.terms import Var
 from repro.objects import Database
 from repro.objects.types import RecordType, ATOM
 from repro.aggregates import (

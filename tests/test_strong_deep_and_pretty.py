@@ -1,6 +1,5 @@
 """Strong simulation at depth 3, and the grouping pretty-printer."""
 
-import pytest
 
 from repro.grouping import (
     is_strongly_simulated,

@@ -1,0 +1,149 @@
+"""Edge cases of the type system: ``EmptySetType``, ``join_types``, and
+the :func:`repro.coql.typecheck.typecheck` error paths.
+
+The empty set is the subtle corner of the COQL type system — ``{}`` has
+a set type with an *unknown* element (the bottom set type under
+``join_types``), and the paper's containment results hinge on tracking
+exactly where such components can appear.
+"""
+
+import pytest
+
+from repro.coql.ast import (
+    Const,
+    EmptySet,
+    Flatten,
+    Proj,
+    RecordExpr,
+    RelRef,
+    Select,
+    Singleton,
+    VarRef,
+)
+from repro.coql.parser import parse_coql
+from repro.coql.typecheck import typecheck
+from repro.errors import TypeCheckError
+from repro.objects.types import (
+    ATOM,
+    EMPTY_SET,
+    EmptySetType,
+    RecordType,
+    SetType,
+    infer_type,
+    join_types,
+)
+from repro.objects.values import CSet, Record
+
+SCHEMA = {"r": RecordType({"a": ATOM, "b": ATOM})}
+
+
+class TestEmptySetType:
+    def test_singleton_instance(self):
+        assert EmptySetType() is EMPTY_SET
+        assert EmptySetType() == EmptySetType()
+        assert hash(EmptySetType()) == hash(EMPTY_SET)
+
+    def test_inferred_for_empty_cset(self):
+        assert infer_type(CSet()) == EMPTY_SET
+        nested = infer_type(CSet([CSet()]))
+        assert nested == SetType(EMPTY_SET)
+
+    def test_join_is_bottom_set_type(self):
+        element = SetType(ATOM)
+        assert join_types(EMPTY_SET, element) == element
+        assert join_types(element, EMPTY_SET) == element
+        assert join_types(EMPTY_SET, EMPTY_SET) == EMPTY_SET
+
+    def test_join_with_non_set_raises(self):
+        with pytest.raises(TypeCheckError, match="incompatible"):
+            join_types(EMPTY_SET, ATOM)
+        with pytest.raises(TypeCheckError, match="incompatible"):
+            join_types(ATOM, EMPTY_SET)
+
+    def test_join_inside_records_and_sets(self):
+        left = RecordType({"kids": EMPTY_SET})
+        right = RecordType({"kids": SetType(ATOM)})
+        assert join_types(left, right) == right
+        assert join_types(SetType(EMPTY_SET), SetType(SetType(ATOM))) == \
+            SetType(SetType(ATOM))
+
+    def test_join_mismatched_records_raises(self):
+        with pytest.raises(TypeCheckError, match="different attributes"):
+            join_types(RecordType({"a": ATOM}), RecordType({"b": ATOM}))
+
+    def test_mixed_set_inference_joins_elements(self):
+        value = CSet([Record({"kids": CSet()}),
+                      Record({"kids": CSet([1])})])
+        assert infer_type(value) == SetType(
+            RecordType({"kids": SetType(ATOM)})
+        )
+        with pytest.raises(TypeCheckError):
+            infer_type(CSet([1, Record({"a": 2})]))
+
+
+class TestTypecheckEmptySet:
+    def test_empty_literal(self):
+        assert typecheck(EmptySet(), SCHEMA) == EMPTY_SET
+        assert typecheck(Singleton(EmptySet()), SCHEMA) == SetType(EMPTY_SET)
+
+    def test_flatten_of_empty_collapses(self):
+        assert typecheck(Flatten(EmptySet()), SCHEMA) == EMPTY_SET
+        assert typecheck(
+            Flatten(Singleton(EmptySet())), SCHEMA
+        ) == EMPTY_SET
+
+    def test_generator_over_empty_set_is_vacuous(self):
+        query = parse_coql("select [v: x] from x in {}")
+        result = typecheck(query, SCHEMA)
+        assert result == SetType(RecordType({"v": EMPTY_SET}))
+
+
+class TestTypecheckErrorPaths:
+    def test_unknown_relation(self):
+        with pytest.raises(TypeCheckError, match="unknown relation nope"):
+            typecheck(RelRef("nope"), SCHEMA)
+
+    def test_non_record_schema_entry(self):
+        with pytest.raises(TypeCheckError, match="must be a RecordType"):
+            typecheck(RelRef("r"), {"r": ATOM})
+
+    def test_unbound_variable(self):
+        with pytest.raises(TypeCheckError, match="unbound variable z"):
+            typecheck(VarRef("z"), SCHEMA)
+
+    def test_projection_on_non_record(self):
+        with pytest.raises(TypeCheckError, match="non-record"):
+            typecheck(Proj(Const(1), "a"), SCHEMA)
+
+    def test_projection_missing_attribute(self):
+        query = parse_coql("select [v: x.zzz] from x in r")
+        with pytest.raises(TypeCheckError, match="no attribute zzz"):
+            typecheck(query, SCHEMA)
+
+    def test_flatten_non_set(self):
+        with pytest.raises(TypeCheckError, match="non-set"):
+            typecheck(Flatten(Const(1)), SCHEMA)
+
+    def test_flatten_set_of_non_sets(self):
+        with pytest.raises(TypeCheckError, match="set of non-sets"):
+            typecheck(Flatten(RelRef("r")), SCHEMA)
+
+    def test_generator_over_non_set(self):
+        query = Select(RecordExpr({"v": VarRef("x")}), [("x", Const(1))])
+        with pytest.raises(TypeCheckError, match="non-set type"):
+            typecheck(query, SCHEMA)
+
+    def test_condition_on_non_atomic_operands(self):
+        query = parse_coql("select [v: x.a] from x in r where x = x")
+        with pytest.raises(TypeCheckError, match="atomic expressions only"):
+            typecheck(query, SCHEMA)
+        query = parse_coql("select [v: x.a] from x in r where x.a = r")
+        with pytest.raises(TypeCheckError, match="atomic expressions only"):
+            typecheck(query, SCHEMA)
+
+    def test_errors_carry_spans_from_parsed_text(self):
+        query = parse_coql("select [v: x.zzz] from x in r")
+        with pytest.raises(TypeCheckError) as caught:
+            typecheck(query, SCHEMA)
+        assert caught.value.span == (1, 13)
+        assert "line 1" in str(caught.value)
