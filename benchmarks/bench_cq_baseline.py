@@ -3,17 +3,25 @@
 The paper positions simulation as "more complex than containment of
 conjunctive queries"; this module measures the baseline so E3/E4 have a
 reference curve.  Also ablates the homomorphism-search atom ordering
-(most-constrained-first vs static), one of the design choices DESIGN.md
-calls out.
+(E11: the constraint-propagating engine vs the legacy
+most-constrained-first and static strategies), one of the design
+choices DESIGN.md calls out, on both a chain folding and the padded
+pigeonhole adversary where component decomposition turns a
+multiplicative refutation into an additive one.
 """
 
 import pytest
 
 from repro.cq import contains, minimize
-from repro.cq.homomorphism import find_homomorphism, ground_atoms_of_query
+from repro.cq.terms import Var, Const, Atom
+from repro.cq.homomorphism import (
+    ORDERINGS,
+    find_homomorphism,
+    ground_atoms_of_query,
+)
 from repro.workloads import chain_query, star_query, random_cq
 
-from conftest import record
+from conftest import record, record_effort
 
 
 @pytest.mark.parametrize("length", [2, 4, 8, 16, 32])
@@ -54,9 +62,10 @@ def test_random_containment(benchmark, atoms):
     record(benchmark, experiment="E9", atoms=atoms, positives=positives)
 
 
-@pytest.mark.parametrize("ordering", ["adaptive", "static"])
-def test_ordering_ablation(benchmark, ordering):
-    """Most-constrained-first vs static order on a chain folding."""
+@pytest.mark.parametrize("ordering", list(ORDERINGS))
+def test_ordering_ablation(benchmark, ordering, search_effort):
+    """Propagating vs most-constrained-first vs static on a chain
+    folding."""
     short = chain_query(6)
     long = chain_query(12)
     target = ground_atoms_of_query(short)
@@ -64,9 +73,54 @@ def test_ordering_ablation(benchmark, ordering):
     def run():
         return find_homomorphism(long.body, target, ordering=ordering)
 
-    result = benchmark(run)
+    result, effort = search_effort(run)
+    benchmark(run)
     record(benchmark, experiment="E9-ablation", ordering=ordering,
            found=result is not None)
+    record_effort(benchmark, effort)
+
+
+def padded_pigeonhole(n, rays, leaves):
+    """K_n source into frozen K_{n-1}, padded with an independent star.
+
+    The clique component is pigeonhole-refuted; a search that does not
+    decompose components re-proves the refutation once per padding
+    assignment (``leaves`` choices per ray), the propagating search
+    refutes it exactly once (E11's adversarial family).
+    """
+    source = tuple(
+        Atom("e", (Var("V%d" % i), Var("V%d" % j)))
+        for i in range(n)
+        for j in range(n)
+        if i != j
+    ) + tuple(
+        Atom("p", (Var("U0"), Var("U%d" % i))) for i in range(1, rays + 1)
+    )
+    target = tuple(
+        Atom("e", (Const("c%d" % i), Const("c%d" % j)))
+        for i in range(n - 1)
+        for j in range(n - 1)
+        if i != j
+    ) + tuple(
+        Atom("p", (Const("hub"), Const("leaf%d" % j))) for j in range(leaves)
+    )
+    return source, target
+
+
+@pytest.mark.parametrize("ordering", list(ORDERINGS))
+def test_pigeonhole_adversary(benchmark, ordering, search_effort):
+    """E11 — the padded pigeonhole refutation across strategies."""
+    source, target = padded_pigeonhole(5, 2, 4)
+
+    def run():
+        return find_homomorphism(source, target, ordering=ordering)
+
+    result, effort = search_effort(run)
+    benchmark(run)
+    record(benchmark, experiment="E11", ordering=ordering, n=5, rays=2,
+           leaves=4, found=result is not None)
+    record_effort(benchmark, effort)
+    assert result is None
 
 
 @pytest.mark.parametrize("atoms", [4, 8])

@@ -6,16 +6,27 @@ Measures:
 * scaling over body size at fixed depth;
 * the witness-copy ablation (k = 1 vs the completeness bound);
 * the exponential wall on 3-colorability reductions — the hardness side
-  of the theorem (simulation generalizes containment).
+  of the theorem (simulation generalizes containment);
+* E11 — the ordering ablation: the whole decision procedure run under
+  each homomorphism-search strategy (via :func:`use_ordering`), on a
+  benign reflexive check and on the padded pigeonhole adversary where
+  the propagating engine's component decomposition wins.
 """
 
 import pytest
 
-from repro.grouping import is_simulated, simulation_certificate
+from repro.cq.terms import Var, Atom
+from repro.cq.homomorphism import ORDERINGS, use_ordering
+from repro.grouping import (
+    GroupingNode,
+    GroupingQuery,
+    is_simulated,
+    simulation_certificate,
+)
 from repro.workloads import chain_grouping_query, random_grouping_query
 from repro.complexity import coloring_to_simulation, random_graph
 
-from conftest import record
+from conftest import record, record_effort
 
 
 @pytest.mark.parametrize("depth", [1, 2, 3, 4])
@@ -68,6 +79,57 @@ def test_coloring_hardness(benchmark, nodes, edges):
     verdict = benchmark(lambda: is_simulated(sub, sup, witnesses=1))
     record(benchmark, experiment="E3", nodes=nodes, edges=len(graph),
            colorable=verdict)
+
+
+def padded_clique_grouping(n, rays, name):
+    """A flat grouping query whose body is the K_n clique padded with an
+    independent star — the E11 adversary lifted to the simulation
+    setting (K_{n+1} ⊴ K_n is pigeonhole-refuted)."""
+    atoms = tuple(
+        Atom("e", (Var("V%d" % i), Var("V%d" % j)))
+        for i in range(n)
+        for j in range(n)
+        if i != j
+    ) + tuple(
+        Atom("p", (Var("U0"), Var("U%d" % i))) for i in range(1, rays + 1)
+    )
+    return GroupingQuery(
+        GroupingNode("", atoms, {"c0": Var("V0")}, (), ()), name
+    )
+
+
+@pytest.mark.parametrize("ordering", list(ORDERINGS))
+def test_ordering_ablation_reflexive(benchmark, ordering, search_effort):
+    """E11 — a benign reflexive simulation under each strategy."""
+    query = chain_grouping_query(3)
+    other = query.rename_apart("_p")
+
+    def run():
+        with use_ordering(ordering):
+            return is_simulated(query, other)
+
+    verdict, effort = search_effort(run)
+    benchmark(run)
+    record(benchmark, experiment="E11", ordering=ordering, verdict=verdict)
+    record_effort(benchmark, effort)
+    assert verdict
+
+
+@pytest.mark.parametrize("ordering", list(ORDERINGS))
+def test_ordering_ablation_adversary(benchmark, ordering, search_effort):
+    """E11 — the padded pigeonhole adversary as a simulation check."""
+    sub = padded_clique_grouping(4, 2, "k4")
+    sup = padded_clique_grouping(5, 2, "k5")
+
+    def run():
+        with use_ordering(ordering):
+            return is_simulated(sub, sup, witnesses=1)
+
+    verdict, effort = search_effort(run)
+    benchmark(run)
+    record(benchmark, experiment="E11", ordering=ordering, verdict=verdict)
+    record_effort(benchmark, effort)
+    assert not verdict
 
 
 def test_certificate_construction(benchmark):

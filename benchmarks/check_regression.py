@@ -1,0 +1,126 @@
+"""Compare fresh BENCH_*.json trajectory files against committed seeds.
+
+Usage::
+
+    python check_regression.py --seeds seeds --fresh out [--tolerance 0.25]
+                               [--strict-time]
+
+For every seed file ``seeds/BENCH_<module>.json`` the matching fresh
+file is loaded and rows are joined by ``fullname``.  Two comparisons:
+
+* **search effort** (deterministic) — a row whose recorded ``nodes``
+  exceeds the seed's by more than the tolerance (default 25%) is a
+  **failure**; node counts do not depend on machine speed, so any growth
+  is a real algorithmic regression.  Rows below the noise floor
+  (``--floor``, default 100 nodes) are skipped: on trivial instances a
+  few nodes of jitter from e.g. a changed tie-break are meaningless.
+* **wall time** (noisy) — mean times beyond ``2x`` tolerance are
+  reported as warnings only, unless ``--strict-time`` promotes them to
+  failures (CI keeps them advisory: shared runners are too noisy).
+
+Rows present only on one side are reported (new benchmarks are fine;
+vanished ones are a failure, they usually mean a silently skipped
+case).  Exit status 0 = clean, 1 = regression.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    return {row["fullname"]: row for row in data.get("rows", [])}
+
+
+def compare_module(name, seed_rows, fresh_rows, tolerance, floor,
+                   strict_time):
+    failures = []
+    warnings = []
+    for fullname, seed in sorted(seed_rows.items()):
+        fresh = fresh_rows.get(fullname)
+        if fresh is None:
+            failures.append("%s: row vanished from fresh run" % fullname)
+            continue
+        seed_nodes = seed.get("extra", {}).get("nodes")
+        fresh_nodes = fresh.get("extra", {}).get("nodes")
+        if seed_nodes is not None and fresh_nodes is not None:
+            if seed_nodes >= floor and fresh_nodes > seed_nodes * (
+                1.0 + tolerance
+            ):
+                failures.append(
+                    "%s: search nodes regressed %d -> %d (>%d%%)"
+                    % (fullname, seed_nodes, fresh_nodes,
+                       int(tolerance * 100))
+                )
+        seed_mean = seed.get("stats", {}).get("mean")
+        fresh_mean = fresh.get("stats", {}).get("mean")
+        if seed_mean and fresh_mean and fresh_mean > 0.05:
+            if fresh_mean > seed_mean * (1.0 + tolerance) * 2.0:
+                message = "%s: mean time %.4fs -> %.4fs" % (
+                    fullname, seed_mean, fresh_mean,
+                )
+                (failures if strict_time else warnings).append(message)
+    for fullname in sorted(set(fresh_rows) - set(seed_rows)):
+        warnings.append("%s: new row (no seed; not compared)" % fullname)
+    return failures, warnings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", default="seeds",
+                        help="directory of committed seed BENCH_*.json")
+    parser.add_argument("--fresh", default=".",
+                        help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional growth (default 0.25)")
+    parser.add_argument("--floor", type=int, default=100,
+                        help="ignore rows whose seed node count is below "
+                             "this (default 100)")
+    parser.add_argument("--strict-time", action="store_true",
+                        help="treat wall-time growth as failure, not "
+                             "warning")
+    options = parser.parse_args(argv)
+
+    seed_files = sorted(
+        name
+        for name in os.listdir(options.seeds)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+    if not seed_files:
+        print("no seed files under %s" % options.seeds)
+        return 1
+
+    all_failures = []
+    for name in seed_files:
+        fresh_path = os.path.join(options.fresh, name)
+        if not os.path.exists(fresh_path):
+            all_failures.append("%s: fresh file missing" % name)
+            continue
+        failures, warnings = compare_module(
+            name,
+            load_rows(os.path.join(options.seeds, name)),
+            load_rows(fresh_path),
+            options.tolerance,
+            options.floor,
+            options.strict_time,
+        )
+        for message in warnings:
+            print("WARN  %s" % message)
+        for message in failures:
+            print("FAIL  %s" % message)
+        if not failures and not warnings:
+            print("ok    %s" % name)
+        all_failures.extend(failures)
+
+    if all_failures:
+        print("%d regression(s)" % len(all_failures))
+        return 1
+    print("no regressions against %d seed file(s)" % len(seed_files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

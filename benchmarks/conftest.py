@@ -1,18 +1,29 @@
 """Shared fixtures and reporting helpers for the benchmark harness.
 
 Every benchmark module reproduces one experiment of EXPERIMENTS.md
-(E1–E10).  Benchmarks record their qualitative outcome (the verdict, the
+(E1–E11).  Benchmarks record their qualitative outcome (the verdict, the
 size of the instance, counts of obligations, …) in
 ``benchmark.extra_info`` so the generated table doubles as the
 experiment's result table.
 
 ``--jobs N`` selects the worker-process count for the parallel-engine
 rows (default: one per CPU); the sequential rows ignore it.
+
+``--bench-out DIR`` turns on the trajectory writer: at session end every
+benchmarked module is written to ``DIR/BENCH_<module>.json`` (e.g.
+``bench_simulation.py`` → ``BENCH_simulation.json``) with one row per
+case — wall-time statistics plus everything the case recorded, including
+the deterministic :class:`SearchCounters` effort of the ``search_effort``
+fixture.  CI archives these files and ``check_regression.py`` compares
+them against the committed seeds in ``benchmarks/seeds/``.
 """
 
+import json
 import os
 
 import pytest
+
+from repro.cq.homomorphism import SearchCounters, install_search_counters
 
 
 def pytest_addoption(parser):
@@ -23,6 +34,13 @@ def pytest_addoption(parser):
         default=None,
         help="worker processes for parallel benchmark rows "
              "(default: os.cpu_count())",
+    )
+    parser.addoption(
+        "--bench-out",
+        action="store",
+        default=None,
+        help="directory to write per-module BENCH_<module>.json "
+             "trajectory files into (default: off)",
     )
 
 
@@ -39,3 +57,92 @@ def record(benchmark, **info):
     """Attach experiment metadata to a benchmark entry."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def search_effort():
+    """Measure one run's homomorphism-search effort, deterministically.
+
+    Returns a callable: ``measure(fn) -> (result, SearchCounters)``.
+    The function runs exactly once under a fresh counter sink, outside
+    the benchmark's timing rounds, so the recorded ``nodes`` /
+    ``backtracks`` / ``domain_wipeouts`` / ``components_solved`` are
+    round-count-independent — the regression gate compares these, not
+    the noisy wall times.
+    """
+
+    def measure(fn):
+        counters = SearchCounters()
+        previous = install_search_counters(counters)
+        try:
+            result = fn()
+        finally:
+            install_search_counters(previous)
+        return result, counters
+
+    return measure
+
+
+def record_effort(benchmark, counters):
+    """Attach a :class:`SearchCounters` snapshot to a benchmark entry."""
+    record(
+        benchmark,
+        nodes=counters.nodes,
+        backtracks=counters.backtracks,
+        domain_wipeouts=counters.domain_wipeouts,
+        components_solved=counters.components_solved,
+    )
+
+
+# -- the trajectory writer --------------------------------------------------
+
+_STAT_FIELDS = ("min", "max", "mean", "median", "stddev", "rounds")
+
+
+def _module_of(fullname):
+    # "bench_simulation.py::test_depth_scaling[2]" -> "bench_simulation"
+    module = fullname.split("::", 1)[0]
+    if module.endswith(".py"):
+        module = module[:-3]
+    return os.path.basename(module)
+
+
+def _bench_rows(bench):
+    stats = {}
+    for field in _STAT_FIELDS:
+        value = getattr(bench.stats, field, None)
+        if value is not None:
+            stats[field] = value
+    return {
+        "name": bench.name,
+        "fullname": bench.fullname,
+        "stats": stats,
+        "extra": dict(bench.extra_info),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out_dir = session.config.getoption("--bench-out", default=None)
+    if not out_dir:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    by_module = {}
+    for bench in bench_session.benchmarks:
+        by_module.setdefault(_module_of(bench.fullname), []).append(
+            _bench_rows(bench)
+        )
+    os.makedirs(out_dir, exist_ok=True)
+    for module, rows in sorted(by_module.items()):
+        name = module[len("bench_"):] if module.startswith("bench_") else module
+        path = os.path.join(out_dir, "BENCH_%s.json" % name)
+        with open(path, "w") as handle:
+            json.dump(
+                {"version": 1, "module": module, "rows": rows},
+                handle,
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+            handle.write("\n")

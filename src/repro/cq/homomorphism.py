@@ -10,12 +10,39 @@ simulation certificates of ``repro.grouping``, where index variables may
 only map to witness-copy values).
 
 The search is NP-complete in general (the paper leans on this for its
-hardness results); the implementation uses most-constrained-atom-first
-ordering and per-predicate indexing, which keeps typical instances fast.
+hardness results).  Three atom-selection strategies are available via
+``ordering=``:
+
+* ``"propagating"`` (the default) — the constraint-propagation engine
+  of :mod:`repro.cq.propagation`: inverted-index candidate lookup,
+  per-variable domains with AC-3-style preprocessing, forward checking,
+  and connected-component decomposition;
+* ``"adaptive"`` — most-constrained-atom-first with per-node candidate
+  rescans (the previous default, kept as an ablation baseline);
+* ``"static"`` — source order (ablation baseline).
+
+All strategies enumerate the same homomorphism *set*; orders may differ
+between strategies but are deterministic (target rows are deduplicated
+in insertion order, never hash order).  Targets may be given as atoms or
+as a precompiled :class:`repro.cq.propagation.CompiledTarget`, which
+callers deciding many questions against one target should build once
+with :func:`compile_target` (the containment engine caches these per
+simulation target).
 """
 
 from repro.errors import ReproError
 from repro.cq.terms import Var, Const
+from repro.cq.propagation import (
+    CompiledTarget,
+    SearchCounters,
+    compile_target,
+    default_ordering,
+    install_search_counters,
+    active_counters,
+    propagating_search,
+    use_ordering,
+    ORDERINGS,
+)
 
 __all__ = [
     "find_homomorphism",
@@ -24,48 +51,12 @@ __all__ = [
     "ground_atoms_of_query",
     "SearchCounters",
     "install_search_counters",
+    "CompiledTarget",
+    "compile_target",
+    "default_ordering",
+    "use_ordering",
+    "ORDERINGS",
 ]
-
-
-class SearchCounters:
-    """Tallies of backtracking-search effort.
-
-    ``nodes`` counts candidate-row extensions applied (search-tree nodes
-    visited); ``backtracks`` counts extensions undone.  Install an
-    instance with :func:`install_search_counters` to have every search
-    in the process report into it; the :class:`repro.engine.core.\
-ContainmentEngine` does this around each decision.
-    """
-
-    __slots__ = ("nodes", "backtracks")
-
-    def __init__(self):
-        self.nodes = 0
-        self.backtracks = 0
-
-    def reset(self):
-        self.nodes = 0
-        self.backtracks = 0
-
-    def __repr__(self):
-        return "SearchCounters(nodes=%d, backtracks=%d)" % (
-            self.nodes,
-            self.backtracks,
-        )
-
-
-_counters = None
-
-
-def install_search_counters(counters):
-    """Set the active :class:`SearchCounters` sink (or None to disable).
-
-    Returns the previously installed sink so callers can restore it.
-    """
-    global _counters
-    previous = _counters
-    _counters = counters
-    return previous
 
 
 def ground_atoms_of_query(query, tag=""):
@@ -80,56 +71,48 @@ def ground_atoms_of_query(query, tag=""):
     return tuple(atom.substitute(mapping) for atom in query.body)
 
 
-def _check_ground(atoms):
-    for atom in atoms:
-        for term in atom.args:
-            if isinstance(term, Var):
-                raise ReproError(
-                    "target atoms must be ground; %r is not" % (atom,)
-                )
-
-
-def _target_index(target_atoms):
-    index = {}
-    for atom in target_atoms:
-        index.setdefault((atom.pred, atom.arity), set()).add(
-            tuple(t.value for t in atom.args)
-        )
-    return index
-
-
 def find_homomorphism(
-    source_atoms, target_atoms, fixed=None, allowed=None, ordering="adaptive"
+    source_atoms, target_atoms, fixed=None, allowed=None, ordering=None
 ):
     """Find one homomorphism, or None.
 
     :param source_atoms: atoms whose variables are to be mapped.
-    :param target_atoms: ground atoms to map into.
+    :param target_atoms: ground atoms to map into, or a precompiled
+        :class:`CompiledTarget`.
     :param fixed: optional ``{Var: value}`` pinning some variables.
     :param allowed: optional ``{Var: set-of-values}`` restricting some
         variables' images (variables not listed are unrestricted).
-    :param ordering: ``"adaptive"`` (default) or ``"static"`` atom order.
+    :param ordering: ``"propagating"``, ``"adaptive"``, or ``"static"``
+        (None = the process default, normally ``"propagating"``).
     :returns: a complete ``{Var: value}`` mapping or ``None``.
     """
     for mapping in find_all_homomorphisms(
-        source_atoms, target_atoms, fixed=fixed, allowed=allowed, ordering=ordering
+        source_atoms, target_atoms, fixed=fixed, allowed=allowed,
+        ordering=ordering,
     ):
         return mapping
     return None
 
 
-def count_homomorphisms(source_atoms, target_atoms, fixed=None, allowed=None):
-    """The number of distinct homomorphisms."""
+def count_homomorphisms(
+    source_atoms, target_atoms, fixed=None, allowed=None, ordering=None
+):
+    """The number of distinct homomorphisms.
+
+    *ordering* selects the search strategy exactly as in
+    :func:`find_homomorphism`; every strategy counts the same set.
+    """
     return sum(
         1
         for __ in find_all_homomorphisms(
-            source_atoms, target_atoms, fixed=fixed, allowed=allowed
+            source_atoms, target_atoms, fixed=fixed, allowed=allowed,
+            ordering=ordering,
         )
     )
 
 
 def find_all_homomorphisms(
-    source_atoms, target_atoms, fixed=None, allowed=None, ordering="adaptive"
+    source_atoms, target_atoms, fixed=None, allowed=None, ordering=None
 ):
     """Yield every homomorphism (as ``{Var: value}`` dicts).
 
@@ -137,25 +120,37 @@ def find_all_homomorphisms(
     pin such variables should include them in *fixed* (they are then
     echoed in the result).
 
-    *ordering* selects the atom-selection strategy: ``"adaptive"``
-    (most-constrained-first, the default) or ``"static"`` (source order —
-    kept for the ablation benchmarks).
+    *ordering* selects the atom-selection strategy: ``"propagating"``
+    (constraint propagation, the default), ``"adaptive"``
+    (most-constrained-first), or ``"static"`` (source order) — the
+    legacy strategies are kept for the ablation benchmarks.  Enumeration
+    order is deterministic for each strategy: target rows are
+    deduplicated in insertion order, never hash order.
     """
     source_atoms = tuple(source_atoms)
-    target_atoms = tuple(target_atoms)
-    _check_ground(target_atoms)
-    index = _target_index(target_atoms)
+    compiled = compile_target(target_atoms)
+    if ordering is None:
+        ordering = default_ordering()
     binding = dict(fixed or {})
     if allowed:
         for var, values in allowed.items():
             if var in binding and binding[var] not in values:
                 return
-    if ordering == "adaptive":
-        yield from _search(list(source_atoms), index, binding, allowed or {})
+    if ordering == "propagating":
+        yield from propagating_search(
+            source_atoms, compiled, binding, allowed or {}
+        )
+    elif ordering == "adaptive":
+        yield from _search(list(source_atoms), compiled.rows, binding,
+                           allowed or {})
     elif ordering == "static":
-        yield from _search_static(list(source_atoms), index, binding, allowed or {})
+        yield from _search_static(list(source_atoms), compiled.rows, binding,
+                                  allowed or {})
     else:
         raise ReproError("unknown ordering %r" % (ordering,))
+
+
+# -- legacy strategies (ablation baselines) ---------------------------------
 
 
 def _candidate_rows(atom, rows, binding, allowed):
@@ -192,26 +187,28 @@ class _Unbound:
 _UNBOUND = _Unbound()
 
 
-def _search_static(remaining, index, binding, allowed):
+def _search_static(remaining, rows_by_key, binding, allowed):
+    counters = active_counters()
     if not remaining:
         yield dict(binding)
         return
     atom = remaining[0]
     rows = _candidate_rows(
-        atom, index.get((atom.pred, atom.arity), ()), binding, allowed
+        atom, rows_by_key.get((atom.pred, atom.arity), ()), binding, allowed
     )
     for extension in rows:
-        if _counters is not None:
-            _counters.nodes += 1
+        if counters is not None:
+            counters.nodes += 1
         binding.update(extension)
-        yield from _search_static(remaining[1:], index, binding, allowed)
+        yield from _search_static(remaining[1:], rows_by_key, binding, allowed)
         for var in extension:
             del binding[var]
-        if _counters is not None:
-            _counters.backtracks += 1
+        if counters is not None:
+            counters.backtracks += 1
 
 
-def _search(remaining, index, binding, allowed):
+def _search(remaining, rows_by_key, binding, allowed):
+    counters = active_counters()
     if not remaining:
         yield dict(binding)
         return
@@ -219,7 +216,7 @@ def _search(remaining, index, binding, allowed):
     best_rows = None
     for position, atom in enumerate(remaining):
         rows = _candidate_rows(
-            atom, index.get((atom.pred, atom.arity), ()), binding, allowed
+            atom, rows_by_key.get((atom.pred, atom.arity), ()), binding, allowed
         )
         if best_rows is None or len(rows) < len(best_rows):
             best_index, best_rows = position, rows
@@ -228,11 +225,11 @@ def _search(remaining, index, binding, allowed):
     atom = remaining[best_index]
     rest = remaining[:best_index] + remaining[best_index + 1:]
     for extension in best_rows:
-        if _counters is not None:
-            _counters.nodes += 1
+        if counters is not None:
+            counters.nodes += 1
         binding.update(extension)
-        yield from _search(rest, index, binding, allowed)
+        yield from _search(rest, rows_by_key, binding, allowed)
         for var in extension:
             del binding[var]
-        if _counters is not None:
-            _counters.backtracks += 1
+        if counters is not None:
+            counters.backtracks += 1

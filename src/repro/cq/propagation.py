@@ -1,0 +1,554 @@
+"""The constraint-propagating homomorphism search core.
+
+Every decision procedure in this library — Chandra–Merlin containment,
+the Theorem 4.1 simulation certificate, strong simulation, and the
+weak-equivalence truncation sweep — bottoms out in the homomorphism
+search of :mod:`repro.cq.homomorphism`, the NP-complete kernel the paper
+leans on for its hardness results (Theorem 5.1).  This module is the
+engine behind the default ``ordering="propagating"`` strategy; the
+legacy strategies (``"adaptive"``, ``"static"``) live in
+:mod:`repro.cq.homomorphism` as ablation baselines.
+
+The propagating search replaces the legacy per-node rescans with
+classic CSP machinery:
+
+* **Compiled targets** — :func:`compile_target` turns ground target
+  atoms into a :class:`CompiledTarget`: deduplicated rows in insertion
+  order (so enumeration is deterministic, independent of hash seeds)
+  plus a per-``(pred, position, value)`` inverted index, so candidate
+  rows are fetched by lookup instead of scanning.  Compiled targets are
+  reusable and cacheable — every search entry point accepts one in
+  place of raw atoms.
+* **Variable domains + AC-3 preprocessing** — every unbound variable
+  starts with the intersection, over its occurrences, of the values
+  seen at that column (further cut by the caller's ``allowed`` sets);
+  an optional arc-consistency pass (in the style of AC-3, here
+  generalized-arc-consistency over whole atoms) narrows domains to
+  values supported by some candidate row of every atom.  An empty
+  domain refutes the instance with **no search tree at all**.
+* **Forward checking** — each assignment prunes the candidate-row lists
+  of the still-unsolved atoms that share a just-bound variable, via the
+  inverted index; a pruned-to-empty list (a *domain wipeout*) backtracks
+  immediately instead of rediscovering the conflict atoms later.
+* **Component decomposition** — after ``fixed``/constant substitution
+  the source atoms split into connected components (atoms linked by
+  shared unbound variables); each component is solved independently and
+  :func:`repro.cq.homomorphism.find_all_homomorphisms` enumerates the
+  cross product lazily.  This is exactly Chandra–Merlin's argument that
+  a join of independent subqueries is decided componentwise —
+  multiplicative search cost becomes additive.
+
+Search effort is reported through :class:`SearchCounters` (installed
+process-wide with :func:`install_search_counters`): ``nodes`` and
+``backtracks`` as before, plus ``domain_wipeouts`` (refutations by
+propagation) and ``components_solved`` (independent component
+searches).
+"""
+
+from contextlib import contextmanager
+
+from repro.errors import ReproError
+from repro.cq.terms import Var, Const
+
+__all__ = [
+    "CompiledTarget",
+    "compile_target",
+    "SearchCounters",
+    "install_search_counters",
+    "propagating_search",
+    "default_ordering",
+    "use_ordering",
+    "ORDERINGS",
+]
+
+#: The recognized atom-selection strategies, in default-first order.
+ORDERINGS = ("propagating", "adaptive", "static")
+
+_DEFAULT_ORDERING = "propagating"
+
+
+def default_ordering():
+    """The process-wide default ordering strategy (``"propagating"``)."""
+    return _DEFAULT_ORDERING
+
+
+@contextmanager
+def use_ordering(ordering):
+    """Temporarily switch the process-wide default ordering strategy.
+
+    Used by the ablation benchmarks to run whole decision procedures
+    (which do not thread ``ordering=`` through every layer) under a
+    legacy strategy::
+
+        with use_ordering("adaptive"):
+            is_simulated(sub, sup)
+    """
+    global _DEFAULT_ORDERING
+    if ordering not in ORDERINGS:
+        raise ReproError("unknown ordering %r" % (ordering,))
+    previous = _DEFAULT_ORDERING
+    _DEFAULT_ORDERING = ordering
+    try:
+        yield
+    finally:
+        _DEFAULT_ORDERING = previous
+
+
+class SearchCounters:
+    """Tallies of backtracking-search effort.
+
+    ``nodes`` counts candidate-row extensions applied (search-tree nodes
+    visited); ``backtracks`` counts extensions undone;
+    ``domain_wipeouts`` counts refutations by constraint propagation (an
+    empty variable domain before search, or a candidate list pruned to
+    empty by forward checking); ``components_solved`` counts independent
+    connected-component searches.  Install an instance with
+    :func:`install_search_counters` to have every search in the process
+    report into it; the :class:`repro.engine.core.ContainmentEngine`
+    does this around each decision.
+    """
+
+    __slots__ = ("nodes", "backtracks", "domain_wipeouts", "components_solved")
+
+    def __init__(self):
+        self.nodes = 0
+        self.backtracks = 0
+        self.domain_wipeouts = 0
+        self.components_solved = 0
+
+    def reset(self):
+        self.nodes = 0
+        self.backtracks = 0
+        self.domain_wipeouts = 0
+        self.components_solved = 0
+
+    def __repr__(self):
+        return (
+            "SearchCounters(nodes=%d, backtracks=%d, domain_wipeouts=%d, "
+            "components_solved=%d)"
+            % (
+                self.nodes,
+                self.backtracks,
+                self.domain_wipeouts,
+                self.components_solved,
+            )
+        )
+
+
+_counters = None
+
+
+def install_search_counters(counters):
+    """Set the active :class:`SearchCounters` sink (or None to disable).
+
+    Returns the previously installed sink so callers can restore it.
+    """
+    global _counters
+    previous = _counters
+    _counters = counters
+    return previous
+
+
+def active_counters():
+    """The currently installed :class:`SearchCounters` sink (or None)."""
+    return _counters
+
+
+class _Unbound:
+    pass
+
+
+_UNBOUND = _Unbound()
+_EMPTY = frozenset()
+
+
+class CompiledTarget:
+    """Ground target atoms compiled for constraint-propagating search.
+
+    Attributes:
+        atoms: the original ground atoms, as given.
+        rows: ``{(pred, arity): tuple of value rows}`` — deduplicated in
+            first-occurrence order, so every search strategy enumerates
+            rows (and therefore homomorphisms) in a deterministic,
+            hash-seed-independent order.
+        index: ``{(pred, arity): per-position ({value: frozenset of row
+            positions})}`` — the inverted index forward checking prunes
+            with.
+        domains: ``{(pred, arity): per-position frozenset of values}`` —
+            the column value sets that seed variable domains.
+
+    Instances are immutable by convention and safe to cache and share
+    across searches (the :class:`repro.engine.core.ContainmentEngine`
+    does, keyed on the originating query and witness count).
+    """
+
+    __slots__ = ("atoms", "rows", "index", "domains")
+
+    def __init__(self, atoms, rows, index, domains):
+        self.atoms = atoms
+        self.rows = rows
+        self.index = index
+        self.domains = domains
+
+    def __repr__(self):
+        return "CompiledTarget(preds=%d, rows=%d)" % (
+            len(self.rows),
+            sum(len(r) for r in self.rows.values()),
+        )
+
+
+def compile_target(target_atoms):
+    """Compile ground atoms into a :class:`CompiledTarget`.
+
+    Idempotent: a :class:`CompiledTarget` passes through unchanged, so
+    callers may hand either form to the search entry points.  Raises
+    :class:`ReproError` when a target atom is not ground.
+    """
+    if isinstance(target_atoms, CompiledTarget):
+        return target_atoms
+    atoms = tuple(target_atoms)
+    deduped = {}
+    for atom in atoms:
+        for term in atom.args:
+            if isinstance(term, Var):
+                raise ReproError(
+                    "target atoms must be ground; %r is not" % (atom,)
+                )
+        key = (atom.pred, atom.arity)
+        deduped.setdefault(key, {})[
+            tuple(term.value for term in atom.args)
+        ] = None
+    rows = {key: tuple(seen) for key, seen in deduped.items()}
+    index = {}
+    domains = {}
+    for key, key_rows in rows.items():
+        per_position = [{} for __ in range(key[1])]
+        for row_id, row in enumerate(key_rows):
+            for position, value in enumerate(row):
+                per_position[position].setdefault(value, set()).add(row_id)
+        index[key] = tuple(
+            {value: frozenset(ids) for value, ids in column.items()}
+            for column in per_position
+        )
+        domains[key] = tuple(frozenset(column) for column in per_position)
+    return CompiledTarget(atoms, rows, index, domains)
+
+
+def _row_feasible(atom, row, binding, domains):
+    """Can *row* extend *binding* with every new value inside its domain?"""
+    local = {}
+    for term, value in zip(atom.args, row):
+        if isinstance(term, Const):
+            if term.value != value:
+                return False
+            continue
+        bound = binding.get(term, local.get(term, _UNBOUND))
+        if bound is _UNBOUND:
+            if value not in domains[term]:
+                return False
+            local[term] = value
+        elif bound != value:
+            return False
+    return True
+
+
+def _match_row(atom, row, binding):
+    """The ``{Var: value}`` extension mapping *atom* onto *row*, or None.
+
+    Domain membership is already guaranteed by candidate filtering; this
+    re-checks only binding consistency (shared and repeated variables).
+    """
+    extension = {}
+    for term, value in zip(atom.args, row):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+            continue
+        bound = binding.get(term, extension.get(term, _UNBOUND))
+        if bound is _UNBOUND:
+            extension[term] = value
+        elif bound != value:
+            return None
+    return extension
+
+
+def _initial_domains(source_atoms, keys, compiled, binding, allowed):
+    """Seed per-variable domains from column values and ``allowed``."""
+    domains = {}
+    for atom, key in zip(source_atoms, keys):
+        columns = compiled.domains.get(key)
+        for position, term in enumerate(atom.args):
+            if not isinstance(term, Var) or term in binding:
+                continue
+            values = columns[position] if columns is not None else _EMPTY
+            if term in domains:
+                domains[term] = domains[term] & values
+            else:
+                restriction = allowed.get(term)
+                domains[term] = (
+                    frozenset(values)
+                    if restriction is None
+                    else values & frozenset(restriction)
+                )
+    return domains
+
+
+def _ac3(source_atoms, keys, compiled, candidates, domains, binding, counters):
+    """Generalized arc consistency: narrow domains to supported values.
+
+    Iterates atom-wise revisions to a fixpoint.  Returns False on a
+    domain wipeout (the instance has no homomorphism); *candidates* and
+    *domains* are narrowed in place.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for position_in_source, atom in enumerate(source_atoms):
+            rows = compiled.rows.get(keys[position_in_source], ())
+            kept = [
+                row_id
+                for row_id in candidates[position_in_source]
+                if _row_feasible(atom, rows[row_id], binding, domains)
+            ]
+            if not kept:
+                if counters is not None:
+                    counters.domain_wipeouts += 1
+                return False
+            if len(kept) != len(candidates[position_in_source]):
+                candidates[position_in_source] = kept
+            for position, term in enumerate(atom.args):
+                if not isinstance(term, Var) or term in binding:
+                    continue
+                supported = {rows[row_id][position] for row_id in kept}
+                narrowed = domains[term] & supported
+                if len(narrowed) < len(domains[term]):
+                    domains[term] = narrowed
+                    changed = True
+                    if not narrowed:
+                        if counters is not None:
+                            counters.domain_wipeouts += 1
+                        return False
+    return True
+
+
+def _components(source_atoms, binding):
+    """Connected components of atoms linked by shared unbound variables.
+
+    Returns a list of sorted atom-position lists; atoms with no unbound
+    variables form singleton components.  Deterministic: components are
+    ordered by their smallest member.
+    """
+    unbound_vars = []
+    var_to_atoms = {}
+    for position, atom in enumerate(source_atoms):
+        mine = {v for v in atom.variables() if v not in binding}
+        unbound_vars.append(mine)
+        for var in mine:
+            var_to_atoms.setdefault(var, []).append(position)
+    seen = set()
+    components = []
+    for start in range(len(source_atoms)):
+        if start in seen:
+            continue
+        seen.add(start)
+        stack = [start]
+        members = []
+        while stack:
+            position = stack.pop()
+            members.append(position)
+            for var in unbound_vars[position]:
+                for neighbor in var_to_atoms[var]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+        members.sort()
+        components.append(members)
+    return components
+
+
+def _forward_check(extension, rest, source_atoms, keys, compiled,
+                   candidates, trail):
+    """Prune candidate lists of *rest* atoms against the new *extension*.
+
+    Pruned lists are pushed onto *trail* as ``(position, old list)`` for
+    restoration on backtrack.  Returns False on a wipeout (some atom
+    lost every candidate row).
+    """
+    for position_in_source in rest:
+        atom = source_atoms[position_in_source]
+        inverted = compiled.index.get(keys[position_in_source])
+        required = []
+        for position, term in enumerate(atom.args):
+            if isinstance(term, Var) and term in extension:
+                if inverted is None:
+                    return False
+                required.append(
+                    inverted[position].get(extension[term], _EMPTY)
+                )
+        if not required:
+            continue
+        old = candidates[position_in_source]
+        narrowed = [
+            row_id
+            for row_id in old
+            if all(row_id in rows for rows in required)
+        ]
+        if len(narrowed) != len(old):
+            trail.append((position_in_source, old))
+            candidates[position_in_source] = narrowed
+            if not narrowed:
+                return False
+    return True
+
+
+def _solve_component(order, source_atoms, keys, compiled, candidates,
+                     binding, counters):
+    """Yield every assignment of one component's unbound variables.
+
+    *candidates* and *binding* are private to this component (the caller
+    copies them), so paused generators of sibling components never
+    interfere.
+    """
+
+    def descend(remaining, assigned):
+        if not remaining:
+            yield dict(assigned)
+            return
+        best = min(remaining, key=lambda p: (len(candidates[p]), p))
+        if not candidates[best]:
+            return
+        rest = [p for p in remaining if p != best]
+        atom = source_atoms[best]
+        rows = compiled.rows[keys[best]]
+        for row_id in candidates[best]:
+            extension = _match_row(atom, rows[row_id], binding)
+            if extension is None:
+                continue
+            if counters is not None:
+                counters.nodes += 1
+            binding.update(extension)
+            assigned.update(extension)
+            trail = []
+            consistent = True
+            if extension and rest:
+                consistent = _forward_check(
+                    extension, rest, source_atoms, keys, compiled,
+                    candidates, trail,
+                )
+            if consistent:
+                yield from descend(rest, assigned)
+            elif counters is not None:
+                counters.domain_wipeouts += 1
+            for pruned_position, old in trail:
+                candidates[pruned_position] = old
+            for var in extension:
+                del binding[var]
+                del assigned[var]
+            if counters is not None:
+                counters.backtracks += 1
+
+    yield from descend(list(order), {})
+
+
+class _LazySolutions:
+    """A generator with positional access and caching.
+
+    Lets the cross-product enumeration revisit a component's solutions
+    without re-running its search, while still computing each solution
+    only on demand.
+    """
+
+    __slots__ = ("_generator", "_items", "_exhausted")
+
+    def __init__(self, generator):
+        self._generator = generator
+        self._items = []
+        self._exhausted = False
+
+    def get(self, position):
+        """The solution at *position*, or None past the end."""
+        while not self._exhausted and len(self._items) <= position:
+            try:
+                self._items.append(next(self._generator))
+            except StopIteration:
+                self._exhausted = True
+        if position < len(self._items):
+            return self._items[position]
+        return None
+
+
+def _cross(lazies, binding):
+    """Lazily enumerate the cross product of component solutions."""
+
+    def descend(level, accumulated):
+        if level == len(lazies):
+            yield dict(accumulated)
+            return
+        position = 0
+        while True:
+            solution = lazies[level].get(position)
+            if solution is None:
+                return
+            accumulated.update(solution)
+            yield from descend(level + 1, accumulated)
+            for var in solution:
+                del accumulated[var]
+            position += 1
+
+    yield from descend(0, dict(binding))
+
+
+def propagating_search(source_atoms, compiled, binding, allowed, ac3=True):
+    """Yield every homomorphism under the propagating strategy.
+
+    :param source_atoms: tuple of source atoms.
+    :param compiled: a :class:`CompiledTarget`.
+    :param binding: the initial ``{Var: value}`` assignment (the
+        caller's ``fixed``); echoed in every yielded mapping.
+    :param allowed: ``{Var: allowed values}`` restrictions.
+    :param ac3: run the arc-consistency preprocessing fixpoint before
+        search (on by default; turn off to measure its contribution).
+    """
+    counters = _counters
+    keys = tuple((atom.pred, atom.arity) for atom in source_atoms)
+    domains = _initial_domains(source_atoms, keys, compiled, binding, allowed)
+    if any(not domain for domain in domains.values()):
+        if counters is not None:
+            counters.domain_wipeouts += 1
+        return
+    candidates = []
+    for atom, key in zip(source_atoms, keys):
+        rows = compiled.rows.get(key, ())
+        feasible = [
+            row_id
+            for row_id, row in enumerate(rows)
+            if _row_feasible(atom, row, binding, domains)
+        ]
+        if not feasible:
+            if counters is not None:
+                counters.domain_wipeouts += 1
+            return
+        candidates.append(feasible)
+    if ac3 and not _ac3(
+        source_atoms, keys, compiled, candidates, domains, binding, counters
+    ):
+        return
+    components = _components(source_atoms, binding)
+    lazies = []
+    for order in components:
+        if counters is not None:
+            counters.components_solved += 1
+        generator = _solve_component(
+            order,
+            source_atoms,
+            keys,
+            compiled,
+            {position: list(candidates[position]) for position in order},
+            dict(binding),
+            counters,
+        )
+        lazy = _LazySolutions(generator)
+        if lazy.get(0) is None:
+            return
+        lazies.append(lazy)
+    yield from _cross(lazies, binding)

@@ -14,7 +14,14 @@ those boundaries:
   truncation patterns — and across both directions of an equivalence
   check, or across the N×N matrix of a view catalog — are decided once;
 * the provably-non-empty test is memoized per *(grouping query, path)*,
-  shared between obligation enumeration and :meth:`empty_set_free`.
+  shared between obligation enumeration and :meth:`empty_set_free`;
+* compiled simulation targets (the witness-augmented canonical database
+  plus its inverted index, see
+  :class:`repro.grouping.simulation.SimulationTarget`) are memoized per
+  *(grouping query, witnesses)* — witness escalation, repeated checks
+  against one side, ``pairwise_matrix`` rows and the weak-equivalence
+  truncation sweep all reuse the compiled target instead of rebuilding
+  and re-indexing it.
 
 Memoization safety: every cached object (:class:`Expr`,
 :class:`EncodedQuery`'s :class:`GroupingQuery`, verdict booleans) is
@@ -91,6 +98,16 @@ class _LRUCache:
     def __len__(self):
         return len(self._data)
 
+    # Mapping-style access, so the cache can be handed to helpers that
+    # expect a plain dict (e.g. the simulation-target cache protocol).
+
+    def get(self, key, default=None):
+        value = self.lookup(key)
+        return default if value is _MISSING else value
+
+    def __setitem__(self, key, value):
+        self.store(key, value)
+
 
 class ContainmentEngine:
     """Memoized containment, equivalence, and emptiness decisions.
@@ -108,6 +125,8 @@ class ContainmentEngine:
         (0 disables, None unbounded).
     :param verdict_cache_size: entries in the obligation-verdict and
         provably-non-empty caches (0 disables, None unbounded).
+    :param target_cache_size: entries in the compiled simulation-target
+        cache (0 disables, None unbounded).
     :param analyze: opt-in static-analysis pre-check: every
         :meth:`contains` call first runs :func:`repro.analysis.analyze`
         over both queries (cheap rules only, sharing this engine's
@@ -122,12 +141,13 @@ class ContainmentEngine:
 
     def __init__(self, witnesses=None, method="certificate",
                  prepare_cache_size=512, verdict_cache_size=8192,
-                 analyze=False, analysis_config=None):
+                 target_cache_size=1024, analyze=False, analysis_config=None):
         self._default_witnesses = witnesses
         self._default_method = method
         self._prepare_cache = _LRUCache(prepare_cache_size)
         self._verdict_cache = _LRUCache(verdict_cache_size)
         self._nonempty_cache = _LRUCache(verdict_cache_size)
+        self._target_cache = _LRUCache(target_cache_size)
         self._stats = EngineStats()
         self._analyze = bool(analyze)
         self._analysis_config = analysis_config
@@ -147,6 +167,7 @@ class ContainmentEngine:
         self._prepare_cache.clear()
         self._verdict_cache.clear()
         self._nonempty_cache.clear()
+        self._target_cache.clear()
 
     def cache_sizes(self):
         """Current entry counts: ``{cache name: entries}``."""
@@ -154,6 +175,7 @@ class ContainmentEngine:
             "prepare": len(self._prepare_cache),
             "obligation_verdicts": len(self._verdict_cache),
             "nonempty": len(self._nonempty_cache),
+            "targets": len(self._target_cache),
         }
 
     @contextmanager
@@ -216,7 +238,8 @@ class ContainmentEngine:
     def _decider(self, method, witnesses):
         if method == "certificate":
             return lambda a, b: is_simulated(
-                a, b, witnesses=witnesses, stats=self._stats
+                a, b, witnesses=witnesses, stats=self._stats,
+                cache=self._target_cache,
             )
         if method == "canonical":
             from repro.grouping.bruteforce import check_simulation_on_canonical
@@ -386,6 +409,26 @@ class ContainmentEngine:
         """
         return self._provably_nonempty(query, path)
 
+    def simulated(self, sub, sup, witnesses=None):
+        """True iff ``sub ⊴ sup`` for :class:`GroupingQuery` arguments.
+
+        An instrumented, target-cached wrapper over
+        :func:`repro.grouping.simulation.is_simulated`: search effort
+        lands in :meth:`stats` and the compiled simulation target for
+        *sub* is reused across calls (and across witness escalation).
+        The parallel engine's workers decide their shards through this
+        entry point so every shard sharing a subquery compiles its
+        target once.
+        """
+        if witnesses is None:
+            witnesses = self._default_witnesses
+        with self._instrumented():
+            with self._stage("simulation"):
+                return is_simulated(
+                    sub, sup, witnesses=witnesses, stats=self._stats,
+                    cache=self._target_cache,
+                )
+
     def equivalent(self, q1, q2, schema, witnesses=None, method=None):
         """Decide equivalence for empty-set-free queries (else raise)."""
         if not self.empty_set_free(q1, schema) or not self.empty_set_free(
@@ -463,8 +506,13 @@ class ContainmentEngine:
 
     def __repr__(self):
         sizes = self.cache_sizes()
-        return "ContainmentEngine(prepared=%d, verdicts=%d, nonempty=%d)" % (
-            sizes["prepare"],
-            sizes["obligation_verdicts"],
-            sizes["nonempty"],
+        return (
+            "ContainmentEngine(prepared=%d, verdicts=%d, nonempty=%d, "
+            "targets=%d)"
+            % (
+                sizes["prepare"],
+                sizes["obligation_verdicts"],
+                sizes["nonempty"],
+                sizes["targets"],
+            )
         )

@@ -20,9 +20,10 @@ every check with a wall-clock budget:
   :class:`repro.errors.ContainmentTimeout`), instead of hanging the
   whole batch;
 * **worker-side memo tables** — every worker process owns a full
-  :class:`ContainmentEngine`, so prepared queries and obligation
-  verdicts are cached *within* a worker for the lifetime of the pool
-  (warm across chunks and across batches); each chunk's
+  :class:`ContainmentEngine`, so prepared queries, obligation verdicts
+  and compiled simulation targets are cached *within* a worker for the
+  lifetime of the pool (warm across chunks and across batches; shards
+  sharing a subquery reuse its compiled target); each chunk's
   :class:`EngineStats` delta is shipped back and folded into the
   parent's stats via :meth:`EngineStats.merge`, with batch-level
   counters on top (``tasks_dispatched``, ``chunks_dispatched``,
@@ -55,7 +56,6 @@ from repro.errors import (
 )
 from repro.engine.core import ContainmentEngine
 from repro.engine.stats import EngineStats
-from repro.grouping.simulation import is_simulated
 
 __all__ = ["ParallelContainmentEngine", "UNDECIDED", "Undecided"]
 
@@ -149,13 +149,7 @@ def _decide_one(engine, kind, pair, schema, witnesses, method, timeout_s):
                     ),
                 )
             sub, sup = pair  # kind == "simulate": grouping queries
-            with engine._instrumented():
-                return (
-                    "ok",
-                    is_simulated(
-                        sub, sup, witnesses=witnesses, stats=engine.stats()
-                    ),
-                )
+            return ("ok", engine.simulated(sub, sup, witnesses=witnesses))
     except ContainmentTimeout as exc:
         return ("timeout", exc)
     except (IncomparableQueriesError, UnsupportedQueryError) as exc:
@@ -327,6 +321,7 @@ class ParallelContainmentEngine:
             worker_stats.counter("prepare_hits")
             + worker_stats.counter("obligation_cache_hits")
             + worker_stats.counter("nonempty_hits")
+            + worker_stats.counter("target_cache_hits")
         )
         stats = self.stats()
         stats.merge(worker_stats)

@@ -10,10 +10,12 @@ ContainmentEngine` observes while deciding containment questions:
   subproblems actually decided) and ``obligations_skipped_implied``
   (truncation patterns never materialized because they prune a provably
   non-empty node and are therefore implied by a larger pattern);
-* **search effort** — homomorphism search nodes and backtracks, reported
-  by :class:`repro.cq.homomorphism.SearchCounters`, plus
-  ``certificate_searches`` and ``witness_escalations`` from
-  :mod:`repro.grouping.simulation`;
+* **search effort** — homomorphism search nodes, backtracks, domain
+  wipeouts and components solved, reported by
+  :class:`repro.cq.homomorphism.SearchCounters`, plus
+  ``certificate_searches``, ``witness_escalations`` and
+  ``target_cache_hits``/``target_cache_misses`` (compiled
+  simulation-target reuse) from :mod:`repro.grouping.simulation`;
 * **per-stage wall time** — seconds spent in ``parse``, ``typecheck``,
   ``normalize``, ``encode``, ``obligations`` (pattern enumeration,
   including the provably-non-empty tests) and ``simulation``.
@@ -86,6 +88,8 @@ class EngineStats:
             self.timers[stage] = self.timers.get(stage, 0.0) + seconds
         self.search.nodes += other.search.nodes
         self.search.backtracks += other.search.backtracks
+        self.search.domain_wipeouts += other.search.domain_wipeouts
+        self.search.components_solved += other.search.components_solved
         self.diagnostics.extend(other.diagnostics)
         return self
 
@@ -103,11 +107,15 @@ class EngineStats:
         """Everything as one flat ``{name: number}`` dictionary.
 
         Timers are prefixed ``time_``; the homomorphism tallies appear
-        as ``homomorphism_nodes`` and ``homomorphism_backtracks``.
+        as ``homomorphism_nodes``, ``homomorphism_backtracks``,
+        ``homomorphism_domain_wipeouts`` and
+        ``homomorphism_components_solved``.
         """
         out = dict(self.counters)
         out["homomorphism_nodes"] = self.search.nodes
         out["homomorphism_backtracks"] = self.search.backtracks
+        out["homomorphism_domain_wipeouts"] = self.search.domain_wipeouts
+        out["homomorphism_components_solved"] = self.search.components_solved
         if self.diagnostics:
             out["analysis_diagnostics"] = len(self.diagnostics)
         for stage in sorted(self.timers):

@@ -39,13 +39,15 @@ The procedures here are validated against independent semantic checks in
 from repro.errors import ReproError
 from repro.cq.terms import Const, is_var
 from repro.cq.query import frozen_constant
-from repro.cq.homomorphism import find_homomorphism
+from repro.cq.homomorphism import compile_target, find_homomorphism
 
 __all__ = [
     "SimulationCertificate",
+    "SimulationTarget",
     "simulation_certificate",
     "is_simulated",
     "build_simulation_target",
+    "simulation_target",
 ]
 
 
@@ -143,11 +145,66 @@ def build_simulation_target(sub, witnesses):
     return tuple(atoms), available
 
 
+class SimulationTarget:
+    """A witness-augmented canonical database, ready for search.
+
+    Bundles the ground *atoms* of :func:`build_simulation_target`, the
+    per-path *available* index-value pools, and the *compiled* inverted
+    index (:class:`repro.cq.propagation.CompiledTarget`) the
+    homomorphism search runs on.  Instances are immutable by convention:
+    they are cached and shared across certificate searches (the
+    containment engine keys them on ``(query, witnesses)``), so callers
+    must never mutate ``available`` or ``atoms``.
+    """
+
+    __slots__ = ("atoms", "available", "compiled")
+
+    def __init__(self, atoms, available, compiled):
+        self.atoms = atoms
+        self.available = available
+        self.compiled = compiled
+
+    def __repr__(self):
+        return "SimulationTarget(atoms=%d, paths=%d)" % (
+            len(self.atoms),
+            len(self.available),
+        )
+
+
+def simulation_target(sub, witnesses, cache=None, stats=None):
+    """The :class:`SimulationTarget` for *sub* with *witnesses* copies.
+
+    :param cache: optional mapping-like store (``get``/``__setitem__``)
+        keyed on ``(sub, witnesses)`` — the query's structural identity
+        is its fingerprint.  The engine passes its LRU target cache here
+        so witness escalation, ``contains_many``, ``pairwise_matrix``,
+        and the weak-equivalence truncation sweep reuse targets instead
+        of rebuilding them.
+    :param stats: optional sink with a ``tally(name)`` method; receives
+        ``target_cache_hits`` / ``target_cache_misses`` when *cache* is
+        given.
+    """
+    key = (sub, witnesses)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            if stats is not None:
+                stats.tally("target_cache_hits")
+            return hit
+    atoms, available = build_simulation_target(sub, witnesses)
+    target = SimulationTarget(atoms, available, compile_target(atoms))
+    if cache is not None:
+        if stats is not None:
+            stats.tally("target_cache_misses")
+        cache[key] = target
+    return target
+
+
 def _value_of_sub_term(term):
     return _generic_value(term) if is_var(term) else term.value
 
 
-def simulation_certificate(sub, sup, witnesses=None, stats=None):
+def simulation_certificate(sub, sup, witnesses=None, stats=None, cache=None):
     """Find a certificate that ``sub ⊴ sup``, or return None.
 
     :param sub: the simulated :class:`GroupingQuery` (the "smaller").
@@ -159,6 +216,9 @@ def simulation_certificate(sub, sup, witnesses=None, stats=None):
         ``certificate_searches`` per concrete search and
         ``witness_escalations`` when the incremental strategy falls back
         to the completeness bound.
+    :param cache: optional simulation-target cache (see
+        :func:`simulation_target`), shared across the escalation retry
+        and across calls.
     """
     sub.require_same_shape(sup)
     if witnesses is None:
@@ -166,18 +226,23 @@ def simulation_certificate(sub, sup, witnesses=None, stats=None):
         # valid in a larger one, so try one witness copy first and fall
         # back to the completeness bound only when needed.
         bound = max(1, len(sup.variables()))
-        certificate = simulation_certificate(sub, sup, witnesses=1, stats=stats)
+        certificate = simulation_certificate(
+            sub, sup, witnesses=1, stats=stats, cache=cache
+        )
         if certificate is not None or bound == 1:
             return certificate
         if stats is not None:
             stats.tally("witness_escalations")
-        return simulation_certificate(sub, sup, witnesses=bound, stats=stats)
+        return simulation_certificate(
+            sub, sup, witnesses=bound, stats=stats, cache=cache
+        )
     if witnesses < 0:
         raise ReproError("witnesses must be non-negative")
     if stats is not None:
         stats.tally("certificate_searches")
 
-    target_atoms, available = build_simulation_target(sub, witnesses)
+    target = simulation_target(sub, witnesses, cache=cache, stats=stats)
+    available = target.available
 
     sub_paths = sub.paths()
     sup_paths = sup.paths()
@@ -208,7 +273,9 @@ def simulation_certificate(sub, sup, witnesses=None, stats=None):
                 allowed[var] = set(pool)
 
     sup_atoms = tuple(a for node in sup.nodes() for a in node.own_atoms)
-    mapping = find_homomorphism(sup_atoms, target_atoms, fixed=fixed, allowed=allowed)
+    mapping = find_homomorphism(
+        sup_atoms, target.compiled, fixed=fixed, allowed=allowed
+    )
     if mapping is None:
         return None
     # Index variables that occur in no sup atom (possible when an index
@@ -225,10 +292,12 @@ def simulation_certificate(sub, sup, witnesses=None, stats=None):
     return SimulationCertificate(mapping, witnesses, index_choice)
 
 
-def is_simulated(sub, sup, witnesses=None, stats=None):
+def is_simulated(sub, sup, witnesses=None, stats=None, cache=None):
     """True iff ``sub ⊴ sup`` (every group of sub lies in a group of sup,
     on every database)."""
     return (
-        simulation_certificate(sub, sup, witnesses=witnesses, stats=stats)
+        simulation_certificate(
+            sub, sup, witnesses=witnesses, stats=stats, cache=cache
+        )
         is not None
     )

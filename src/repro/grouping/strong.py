@@ -42,7 +42,7 @@ from repro.cq.homomorphism import find_all_homomorphisms
 from repro.cq.containment import contains as cq_contains
 from repro.grouping.simulation import (
     SimulationCertificate,
-    build_simulation_target,
+    simulation_target,
     _generic_value,
     _witness_value,
 )
@@ -70,18 +70,24 @@ class StrongSimulationCertificate:
         )
 
 
-def strong_simulation_certificate(sub, sup, witnesses=None, max_candidates=None):
+def strong_simulation_certificate(sub, sup, witnesses=None, max_candidates=None,
+                                  cache=None, stats=None):
     """Find a certificate that ``sub ⊴s sup``, or return None.
 
     Enumerates forward simulation certificates φ and returns the first
     whose reverse containments all hold.  *max_candidates* bounds the
-    number of φ considered (None = unbounded).
+    number of φ considered (None = unbounded).  *cache*/*stats* are the
+    simulation-target cache and counter sink of
+    :func:`repro.grouping.simulation.simulation_target`; the forward
+    target here is the same witness-augmented canonical database, so a
+    shared cache serves both procedures.
     """
     sub.require_same_shape(sup)
     if witnesses is None:
         witnesses = max(1, len(sup.variables()))
 
-    target_atoms, available = build_simulation_target(sub, witnesses)
+    target = simulation_target(sub, witnesses, cache=cache, stats=stats)
+    available = target.available
     sub_paths = sub.paths()
     sup_paths = sup.paths()
 
@@ -110,7 +116,7 @@ def strong_simulation_certificate(sub, sup, witnesses=None, max_candidates=None)
 
     count = 0
     for mapping in find_all_homomorphisms(
-        sup_atoms, target_atoms, fixed=fixed, allowed=allowed
+        sup_atoms, target.compiled, fixed=fixed, allowed=allowed
     ):
         count += 1
         if max_candidates is not None and count > max_candidates:
@@ -132,11 +138,13 @@ def strong_simulation_certificate(sub, sup, witnesses=None, max_candidates=None)
     return None
 
 
-def is_strongly_simulated(sub, sup, witnesses=None, max_candidates=None):
+def is_strongly_simulated(sub, sup, witnesses=None, max_candidates=None,
+                          cache=None, stats=None):
     """True iff ``sub ⊴s sup``."""
     return (
         strong_simulation_certificate(
-            sub, sup, witnesses=witnesses, max_candidates=max_candidates
+            sub, sup, witnesses=witnesses, max_candidates=max_candidates,
+            cache=cache, stats=stats,
         )
         is not None
     )

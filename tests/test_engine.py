@@ -122,6 +122,7 @@ class TestMemoization:
             "prepare": 0,
             "obligation_verdicts": 0,
             "nonempty": 0,
+            "targets": 0,
         }
         engine.reset_stats()
         assert engine.stats().as_dict()["homomorphism_nodes"] == 0
@@ -154,15 +155,16 @@ class TestInstrumentation:
         assert engine.stats().counter("obligations_skipped_implied") == 1
 
     def test_counters_do_not_leak_outside_engine_calls(self):
-        from repro.cq import homomorphism
+        from repro.cq.homomorphism import SearchCounters
+        from repro.cq.propagation import active_counters
 
-        assert homomorphism._counters is None or isinstance(
-            homomorphism._counters, homomorphism.SearchCounters
+        assert active_counters() is None or isinstance(
+            active_counters(), SearchCounters
         )
         engine = ContainmentEngine()
-        before = homomorphism._counters
+        before = active_counters()
         engine.contains(WIDER, UNLINKED, SCHEMA)
-        assert homomorphism._counters is before
+        assert active_counters() is before
 
     def test_stats_format_is_textual(self):
         engine = ContainmentEngine()
