@@ -1,0 +1,145 @@
+"""E12 — the staged pipeline: cold vs warm artifact store, per stage.
+
+Cold rows rebuild every artifact (a fresh engine per round, or a store
+with caching disabled); warm rows replay the same checks against a
+populated :class:`repro.pipeline.ArtifactStore`.  The per-stage wall
+times from the trace-fed :class:`EngineStats` timers are recorded for
+each row, and the cold/warm ratio of the depth-3 workload is the
+``cold_over_warm`` extra the regression gate watches: the content-
+addressed store must keep replayed checks at least 2x faster than cold
+ones, or memoization has silently broken.
+"""
+
+from time import perf_counter
+
+import pytest
+
+from repro.engine import ContainmentEngine
+from repro.workloads.generators import random_coql_deep
+
+from conftest import record, record_effort
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+DEPTH3 = (
+    "select [a: x.a,"
+    " mids: select [k: y.k,"
+    "  leaves: select [b: z.b] from z in s where z.k = y.k]"
+    " from y in s where y.k = x.a]"
+    " from x in r"
+)
+
+
+def _workload():
+    queries = [DEPTH3] + [random_coql_deep(seed=s, depth=3) for s in range(3)]
+    return [(a, b) for a in queries for b in queries]
+
+
+def _run_workload(engine, pairs):
+    from repro.errors import ReproError
+
+    verdicts = []
+    for sup, sub in pairs:
+        try:
+            verdicts.append(engine.contains(sup, sub, SCHEMA))
+        except ReproError:
+            verdicts.append(None)
+    return verdicts
+
+
+def _stage_times(engine):
+    return {
+        "time_" + stage: seconds
+        for stage, seconds in sorted(engine.stats().timers.items())
+    }
+
+
+def test_cold_pipeline_depth3(benchmark):
+    """Every round pays the full parse→…→decide pipeline (no store)."""
+    pairs = _workload()
+
+    def cold():
+        return _run_workload(ContainmentEngine(retain_trace=False), pairs)
+
+    verdicts = benchmark(cold)
+    # The engine installs its own SearchCounters sink, so read the
+    # deterministic search effort from a probe engine's stats.
+    probe = ContainmentEngine(retain_trace=False)
+    _run_workload(probe, pairs)
+    record(benchmark, experiment="E12", mode="cold", pairs=len(pairs),
+           decided=sum(v is not None for v in verdicts),
+           **_stage_times(probe))
+    record_effort(benchmark, probe.stats().search)
+
+
+def test_warm_pipeline_depth3(benchmark):
+    """Rounds replay the workload against a fully warmed store."""
+    pairs = _workload()
+    engine = ContainmentEngine(retain_trace=False)
+    _run_workload(engine, pairs)  # warm the store
+    engine.reset_stats()
+
+    verdicts = benchmark(lambda: _run_workload(engine, pairs))
+    engine.stats().search.reset()
+    _run_workload(engine, pairs)
+    effort = engine.stats().search
+    store = engine.store()
+    rates = {
+        "hit_rate_" + kind: round(rate, 4)
+        for kind, rate in store.hit_rates().items()
+        if rate is not None
+    }
+    record(benchmark, experiment="E12", mode="warm", pairs=len(pairs),
+           decided=sum(v is not None for v in verdicts),
+           **_stage_times(engine), **rates)
+    record_effort(benchmark, effort)
+
+
+def test_cold_over_warm_ratio(benchmark):
+    """The regression-gated ratio: warm replay vs cold run, same pairs.
+
+    Measured outside the timing rounds with one cold and one warm pass
+    (machine-local, but both halves on the same machine in the same
+    process, so the ratio itself is stable).  The gate in
+    ``check_regression.py`` flags a fresh ``cold_over_warm`` below 2.0.
+    """
+    pairs = _workload()
+
+    start = perf_counter()
+    cold_engine = ContainmentEngine(retain_trace=False)
+    _run_workload(cold_engine, pairs)
+    cold_s = perf_counter() - start
+
+    warm_engine = ContainmentEngine(retain_trace=False)
+    _run_workload(warm_engine, pairs)
+    start = perf_counter()
+    _run_workload(warm_engine, pairs)
+    warm_s = perf_counter() - start
+
+    ratio = cold_s / warm_s if warm_s else float("inf")
+    benchmark(lambda: _run_workload(warm_engine, pairs))
+    record(benchmark, experiment="E12", cold_s=round(cold_s, 6),
+           warm_s=round(warm_s, 6), cold_over_warm=round(ratio, 2))
+    assert ratio >= 2.0, (
+        "warm replay no longer at least 2x faster than cold: %.2fx" % ratio
+    )
+
+
+@pytest.mark.parametrize("stage", ["prepare", "obligation_verdicts",
+                                   "nonempty", "targets"])
+def test_single_kind_ablation(benchmark, stage):
+    """Warm runs with exactly one artifact kind disabled: how much each
+    cache contributes (larger mean = more load-bearing kind)."""
+    from repro.pipeline import ArtifactStore
+
+    sizes = {"prepare": 512, "obligation_verdicts": 8192,
+             "nonempty": 8192, "targets": 1024}
+    sizes[stage] = 0
+    pairs = _workload()
+    engine = ContainmentEngine(store=ArtifactStore(limits=sizes),
+                               retain_trace=False)
+    _run_workload(engine, pairs)  # warm whatever is enabled
+
+    benchmark(lambda: _run_workload(engine, pairs))
+    record(benchmark, experiment="E12", disabled_kind=stage,
+           pairs=len(pairs))

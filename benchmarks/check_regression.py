@@ -17,6 +17,12 @@ file is loaded and rows are joined by ``fullname``.  Two comparisons:
 * **wall time** (noisy) — mean times beyond ``2x`` tolerance are
   reported as warnings only, unless ``--strict-time`` promotes them to
   failures (CI keeps them advisory: shared runners are too noisy).
+* **cold/warm ratio** — a row recording ``cold_over_warm`` (the
+  pipeline benchmark's artifact-store speedup, measured cold and warm on
+  the same machine in the same process) must stay at least
+  ``--min-speedup`` (default 2.0); below that is a warning, promoted to
+  failure by ``--strict-time``, because it means the content-addressed
+  store stopped doing its job.
 
 Rows present only on one side are reported (new benchmarks are fine;
 vanished ones are a failure, they usually mean a silently skipped
@@ -36,7 +42,7 @@ def load_rows(path):
 
 
 def compare_module(name, seed_rows, fresh_rows, tolerance, floor,
-                   strict_time):
+                   strict_time, min_speedup=2.0):
     failures = []
     warnings = []
     for fullname, seed in sorted(seed_rows.items()):
@@ -55,6 +61,16 @@ def compare_module(name, seed_rows, fresh_rows, tolerance, floor,
                     % (fullname, seed_nodes, fresh_nodes,
                        int(tolerance * 100))
                 )
+        seed_ratio = seed.get("extra", {}).get("cold_over_warm")
+        fresh_ratio = fresh.get("extra", {}).get("cold_over_warm")
+        if seed_ratio is not None and fresh_ratio is not None:
+            if fresh_ratio < min_speedup:
+                message = (
+                    "%s: cold/warm speedup %.2fx below the %.1fx floor "
+                    "(seed had %.2fx)"
+                    % (fullname, fresh_ratio, min_speedup, seed_ratio)
+                )
+                (failures if strict_time else warnings).append(message)
         seed_mean = seed.get("stats", {}).get("mean")
         fresh_mean = fresh.get("stats", {}).get("mean")
         if seed_mean and fresh_mean and fresh_mean > 0.05:
@@ -80,8 +96,12 @@ def main(argv=None):
                         help="ignore rows whose seed node count is below "
                              "this (default 100)")
     parser.add_argument("--strict-time", action="store_true",
-                        help="treat wall-time growth as failure, not "
+                        help="treat wall-time growth (and a cold/warm "
+                             "speedup below the floor) as failure, not "
                              "warning")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="minimum acceptable cold/warm ratio for rows "
+                             "recording one (default 2.0)")
     options = parser.parse_args(argv)
 
     seed_files = sorted(
@@ -106,6 +126,7 @@ def main(argv=None):
             options.tolerance,
             options.floor,
             options.strict_time,
+            options.min_speedup,
         )
         for message in warnings:
             print("WARN  %s" % message)

@@ -84,14 +84,13 @@ def search_effort():
 
 
 def record_effort(benchmark, counters):
-    """Attach a :class:`SearchCounters` snapshot to a benchmark entry."""
-    record(
-        benchmark,
-        nodes=counters.nodes,
-        backtracks=counters.backtracks,
-        domain_wipeouts=counters.domain_wipeouts,
-        components_solved=counters.components_solved,
-    )
+    """Attach a :class:`SearchCounters` snapshot to a benchmark entry.
+
+    Uses the counters' own field-introspected ``as_dict`` so a counter
+    added to :class:`SearchCounters` lands in the trajectory files (and
+    the regression gate) automatically.
+    """
+    record(benchmark, **counters.as_dict())
 
 
 # -- the trajectory writer --------------------------------------------------

@@ -352,7 +352,8 @@ def check_redundant(ctx, rule):
 
     try:
         minimized = minimize_coql(
-            ctx.query, ctx.schema, witnesses=ctx.config.witnesses
+            ctx.query, ctx.schema, witnesses=ctx.config.witnesses,
+            engine=ctx.engine,
         )
     except ReproError:
         return []

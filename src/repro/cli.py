@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro contain  --schema 'r:a,b;s:k,b' SUP SUB [--jobs N --timeout-s T]
+    python -m repro contain  --schema 'r:a,b;s:k,b' SUP SUB [--jobs N --timeout-s T --stats --trace-out trace.json]
     python -m repro matrix   --schema 'r:a,b' Q1 Q2 Q3 [--jobs N --timeout-s T]
     python -m repro equiv    --schema 'r:a,b' Q1 Q2 [--weak]
     python -m repro lint     --schema 'r:a,b' QUERY_OR_FILE... [--format json]
@@ -53,6 +53,31 @@ def _parse_schema(text):
 def _print_stats(engine):
     print("--- engine stats ---", file=sys.stderr)
     print(engine.stats().format(), file=sys.stderr)
+    summary = engine.tracer().stage_summary()
+    if summary:
+        print("--- per-stage breakdown ---", file=sys.stderr)
+        width = max(len(stage) for stage in summary)
+        for stage in sorted(summary):
+            entry = summary[stage]
+            line = "%-*s  %4d run(s)  %10.6fs" % (
+                width, stage, entry["runs"], entry["seconds"],
+            )
+            if entry["hits"] or entry["misses"]:
+                line += "  (%d hit(s), %d miss(es))" % (
+                    entry["hits"], entry["misses"],
+                )
+            print(line, file=sys.stderr)
+
+
+def _write_trace(engine, path):
+    """Export the engine's trace as Chrome ``trace_event`` JSON.
+
+    Load the file at ``chrome://tracing`` / https://ui.perfetto.dev, or
+    post-process it — the format is one JSON object with a
+    ``traceEvents`` list of complete (``ph: "X"``) events.
+    """
+    engine.tracer().write_chrome_trace(path)
+    print("trace written to %s" % path, file=sys.stderr)
 
 
 def _cmd_contain(args):
@@ -74,6 +99,8 @@ def _cmd_contain(args):
         print("contained" if verdict else "NOT contained")
     if args.stats:
         _print_stats(engine)
+    if args.trace_out:
+        _write_trace(engine, args.trace_out)
     if verdict is UNDECIDED:
         return 3
     return 0 if verdict else 1
@@ -102,6 +129,8 @@ def _cmd_matrix(args):
           " cell [i][j]: qj ⊑ qi)")
     if args.stats:
         _print_stats(engine)
+    if args.trace_out:
+        _write_trace(engine, args.trace_out)
     # 0 only when every cell was decided; an incomparable (None) or
     # timed-out (UNDECIDED) cell is a negative outcome, like exit 1 of
     # `contain`/`equiv` — scripts can trust a zero exit to mean a fully
@@ -125,6 +154,8 @@ def _cmd_equiv(args):
         print("equivalent" if verdict else "NOT equivalent")
     if args.stats:
         _print_stats(engine)
+    if args.trace_out:
+        _write_trace(engine, args.trace_out)
     return 0 if verdict else 1
 
 
@@ -279,6 +310,10 @@ def build_parser():
     p.add_argument("--timeout-s", type=float, default=None, dest="timeout_s",
                    help="per-check wall-clock budget in seconds; a "
                         "timed-out check prints UNDECIDED and exits 3")
+    p.add_argument("--trace-out", default=None, dest="trace_out",
+                   metavar="FILE",
+                   help="write the per-stage trace as Chrome trace_event "
+                        "JSON (open at chrome://tracing or perfetto.dev)")
     p.add_argument("sup", help="the containing query")
     p.add_argument("sub", help="the contained query")
     p.set_defaults(func=_cmd_contain)
@@ -296,6 +331,10 @@ def build_parser():
                         "timed-out cells print '?'")
     p.add_argument("--stats", action="store_true",
                    help="print engine statistics to stderr")
+    p.add_argument("--trace-out", default=None, dest="trace_out",
+                   metavar="FILE",
+                   help="write the per-stage trace (locally decided "
+                        "checks only) as Chrome trace_event JSON")
     p.add_argument("queries", nargs="+", help="two or more COQL queries")
     p.set_defaults(func=_cmd_matrix)
 
@@ -308,6 +347,10 @@ def build_parser():
                    help="decision procedure for both directions")
     p.add_argument("--stats", action="store_true",
                    help="print engine statistics to stderr")
+    p.add_argument("--trace-out", default=None, dest="trace_out",
+                   metavar="FILE",
+                   help="write the per-stage trace as Chrome trace_event "
+                        "JSON")
     p.add_argument("q1")
     p.add_argument("q2")
     p.set_defaults(func=_cmd_equiv)

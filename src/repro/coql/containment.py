@@ -34,17 +34,12 @@ import itertools
 from repro.errors import (
     IncomparableQueriesError,
     UnsupportedQueryError,
-    TypeCheckError,
 )
 from repro.objects.types import RecordType, ATOM
 from repro.cq.homomorphism import find_homomorphism, ground_atoms_of_query
 from repro.cq.query import frozen_constant, ConjunctiveQuery
 from repro.grouping.simulation import is_simulated
-from repro.coql.ast import Expr
-from repro.coql.parser import parse_coql
-from repro.coql.normalize import normalize
-from repro.coql.typecheck import typecheck
-from repro.coql.encode import encode_query, paired_encoding, shapes_compatible
+from repro.coql.encode import paired_encoding, shapes_compatible
 
 __all__ = [
     "contains",
@@ -74,14 +69,18 @@ def as_schema(schema):
 
 
 def prepare(query, schema, name="q"):
-    """Parse (if textual), type-check, normalize, and encode a query."""
-    schema = as_schema(schema)
-    if isinstance(query, str):
-        query = parse_coql(query)
-    if not isinstance(query, Expr):
-        raise TypeCheckError("not a COQL query: %r" % (query,))
-    typecheck(query, schema)
-    return encode_query(normalize(query), schema, name)
+    """Parse (if textual), type-check, normalize, and encode a query.
+
+    The *uncached reference run* of the staged pipeline: one
+    :class:`repro.pipeline.Pipeline` invocation with no artifact store,
+    so every stage recomputes.  The engine's memoized ``prepare`` drives
+    the very same stage code over a store — there is exactly one
+    implementation of the front half, and it lives in
+    :mod:`repro.pipeline.stages`.
+    """
+    from repro.pipeline.stages import Pipeline
+
+    return Pipeline(store=None).prepare(query, schema, name)
 
 
 def contains(sup, sub, schema, witnesses=None, method="certificate"):

@@ -21,7 +21,7 @@ from repro.coql.containment import weakly_equivalent, as_schema
 __all__ = ["minimize_coql"]
 
 
-def minimize_coql(query, schema, witnesses=None):
+def minimize_coql(query, schema, witnesses=None, engine=None):
     """Return a weakly equivalent query with redundant parts removed.
 
     Greedy fixpoint: repeatedly try to drop one generator or one
@@ -31,6 +31,12 @@ def minimize_coql(query, schema, witnesses=None):
     but no single generator/condition of it is removable.
 
     :param query: COQL text or :class:`Expr`.
+    :param engine: a :class:`repro.engine.ContainmentEngine` to decide
+        the candidate equivalences on (default: the process-wide
+        engine).  The fixpoint re-checks heavily overlapping queries, so
+        a warm artifact store makes minimization incremental — the
+        analyzer's COQL005 rule and :meth:`ContainmentEngine.minimize`
+        pass their own engine for exactly this reason.
     :returns: the minimized :class:`Expr`.
     """
     schema = as_schema(schema)
@@ -44,16 +50,21 @@ def minimize_coql(query, schema, witnesses=None):
     while changed:
         changed = False
         for candidate in _candidates(current):
-            if _equivalent_safely(current, candidate, schema, witnesses):
+            if _equivalent_safely(
+                current, candidate, schema, witnesses, engine
+            ):
                 current = candidate
                 changed = True
                 break
     return current
 
 
-def _equivalent_safely(original, candidate, schema, witnesses):
+def _equivalent_safely(original, candidate, schema, witnesses, engine=None):
+    decide = (
+        engine.weakly_equivalent if engine is not None else weakly_equivalent
+    )
     try:
-        return weakly_equivalent(original, candidate, schema, witnesses)
+        return decide(original, candidate, schema, witnesses)
     except (UnsupportedQueryError, IncomparableQueriesError, ReproError):
         return False
 

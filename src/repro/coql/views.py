@@ -54,13 +54,20 @@ class ViewCatalog:
     shares the one passed as *engine*): views are parsed and encoded
     once no matter how many queries are analyzed, and simulation
     obligations shared across queries are decided once.
+
+    Pass *store* (a :class:`repro.pipeline.ArtifactStore`) to attach the
+    catalog's engine to a shared artifact store instead — every prepare,
+    verdict, and compiled simulation target is then shared with whatever
+    else uses that store (other catalogs, the linter, ad-hoc engines).
+    *store* is ignored when *engine* is given (the engine brings its
+    own).
     """
 
-    def __init__(self, schema, views=None, engine=None):
+    def __init__(self, schema, views=None, engine=None, store=None):
         if engine is None:
             from repro.engine import ContainmentEngine
 
-            engine = ContainmentEngine()
+            engine = ContainmentEngine(store=store)
         self._engine = engine
         self._schema = as_schema(schema)
         self._views = {}

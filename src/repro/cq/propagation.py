@@ -46,6 +46,7 @@ searches).
 """
 
 from contextlib import contextmanager
+from dataclasses import dataclass, fields
 
 from repro.errors import ReproError
 from repro.cq.terms import Var, Const
@@ -94,6 +95,7 @@ def use_ordering(ordering):
         _DEFAULT_ORDERING = previous
 
 
+@dataclass(slots=True)
 class SearchCounters:
     """Tallies of backtracking-search effort.
 
@@ -106,33 +108,37 @@ class SearchCounters:
     :func:`install_search_counters` to have every search in the process
     report into it; the :class:`repro.engine.core.ContainmentEngine`
     does this around each decision.
+
+    A dataclass on purpose: aggregation code (``EngineStats.merge`` /
+    ``as_dict``, the benchmark harness) iterates
+    :func:`dataclasses.fields` instead of naming counters, so a counter
+    added here can never be silently dropped by worker-stat merging.
     """
 
-    __slots__ = ("nodes", "backtracks", "domain_wipeouts", "components_solved")
-
-    def __init__(self):
-        self.nodes = 0
-        self.backtracks = 0
-        self.domain_wipeouts = 0
-        self.components_solved = 0
+    nodes: int = 0
+    backtracks: int = 0
+    domain_wipeouts: int = 0
+    components_solved: int = 0
 
     def reset(self):
-        self.nodes = 0
-        self.backtracks = 0
-        self.domain_wipeouts = 0
-        self.components_solved = 0
+        """Zero every counter field."""
+        for field in fields(self):
+            setattr(self, field.name, 0)
 
-    def __repr__(self):
-        return (
-            "SearchCounters(nodes=%d, backtracks=%d, domain_wipeouts=%d, "
-            "components_solved=%d)"
-            % (
-                self.nodes,
-                self.backtracks,
-                self.domain_wipeouts,
-                self.components_solved,
+    def merge(self, other):
+        """Add every counter of *other* into this object; return self."""
+        for field in fields(self):
+            setattr(
+                self, field.name,
+                getattr(self, field.name) + getattr(other, field.name),
             )
-        )
+        return self
+
+    def as_dict(self):
+        """Every counter as ``{field name: value}``."""
+        return {
+            field.name: getattr(self, field.name) for field in fields(self)
+        }
 
 
 _counters = None

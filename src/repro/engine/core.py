@@ -3,110 +3,80 @@
 Every module-level call to :func:`repro.coql.contains` re-parses,
 re-typechecks, re-normalizes and re-encodes both queries, and the
 exponential truncation-obligation loop re-decides identical simulation
-subproblems.  :class:`ContainmentEngine` puts a caching layer at exactly
-those boundaries:
+subproblems.  :class:`ContainmentEngine` drives the staged pipeline of
+:mod:`repro.pipeline` over one content-addressed
+:class:`repro.pipeline.store.ArtifactStore`, putting a caching layer at
+exactly those boundaries:
 
-* :meth:`prepare` results are memoized per *(canonical query AST,
-  schema, role)* — textual queries are parsed first, so a query text and
-  its parsed AST share one cache entry;
-* simulation verdicts are memoized per truncated *(sub, sup)* obligation
-  pair (plus witnesses and method), so obligations shared across
-  truncation patterns — and across both directions of an equivalence
-  check, or across the N×N matrix of a view catalog — are decided once;
-* the provably-non-empty test is memoized per *(grouping query, path)*,
-  shared between obligation enumeration and :meth:`empty_set_free`;
-* compiled simulation targets (the witness-augmented canonical database
-  plus its inverted index, see
+* ``prepare`` artifacts (parse → typecheck → encode → build_grouping)
+  are memoized per *(canonical query AST, schema, role)* — textual
+  queries are parsed first, so a query text and its parsed AST share
+  one entry;
+* simulation verdicts (``obligation_verdicts``) are memoized per
+  truncated *(sub, sup)* obligation pair (plus witnesses and method),
+  so obligations shared across truncation patterns — and across both
+  directions of an equivalence check, or across the N×N matrix of a
+  view catalog — are decided once;
+* the provably-non-empty test (``nonempty``) is memoized per *(grouping
+  query, path)*, shared between obligation enumeration and
+  :meth:`empty_set_free`;
+* compiled simulation targets (``targets``, the witness-augmented
+  canonical database plus its inverted index, see
   :class:`repro.grouping.simulation.SimulationTarget`) are memoized per
   *(grouping query, witnesses)* — witness escalation, repeated checks
   against one side, ``pairwise_matrix`` rows and the weak-equivalence
   truncation sweep all reuse the compiled target instead of rebuilding
   and re-indexing it.
 
+Keys are content hashes (:mod:`repro.pipeline.fingerprint`), not object
+identities: the same query text and schema name the same artifact in
+every process, which is what lets the parallel engine's workers and the
+parent agree on cache entries, and what makes the store shareable
+between engines (pass ``store=`` to share one across a
+:class:`repro.coql.views.ViewCatalog`, the linter, and ad-hoc checks).
+
 Memoization safety: every cached object (:class:`Expr`,
 :class:`EncodedQuery`'s :class:`GroupingQuery`, verdict booleans) is
 immutable, so cached results may be returned to any number of callers.
 
+Every stage run is traced (:class:`repro.pipeline.trace.Tracer`): each
+public decision opens a ``check`` span whose children are the stage
+spans it caused, giving a per-check trace tree exportable as Chrome
+``trace_event`` JSON (the CLI's ``--trace-out``).  The
+:class:`repro.engine.stats.EngineStats` per-stage timers are maintained
+by that tracer — a view over the trace, never a second timing path.
+
 Batch entry points (:meth:`contains_many`, :meth:`pairwise_matrix`) feed
 the view-reuse analysis and the workload scenarios; everything the
-engine does is tallied in an :class:`repro.engine.stats.EngineStats`
-available via :meth:`stats`.
+engine does is tallied in an :class:`EngineStats` available via
+:meth:`stats`.
 """
 
-from collections import OrderedDict
 from contextlib import contextmanager
-from time import perf_counter
 
 from repro.errors import (
     IncomparableQueriesError,
     UnsupportedQueryError,
-    TypeCheckError,
 )
-from repro.coql.ast import Expr
 from repro.coql.parser import parse_coql
-from repro.coql.typecheck import typecheck
-from repro.coql.normalize import normalize
-from repro.coql.encode import encode_query, paired_encoding, shapes_compatible
-from repro.coql.containment import (
-    as_schema,
-    _obligation_patterns,
-    _provably_nonempty,
-)
+from repro.coql.encode import paired_encoding, shapes_compatible
 from repro.grouping.simulation import is_simulated
 from repro.cq import homomorphism
 from repro.engine.stats import EngineStats
+from repro.pipeline.stages import Pipeline
+from repro.pipeline.store import ArtifactStore
+from repro.pipeline.trace import Tracer
 
 __all__ = ["ContainmentEngine"]
 
-
-_MISSING = object()
-
-
-class _LRUCache:
-    """A bounded mapping with least-recently-used eviction.
-
-    ``maxsize=0`` disables the cache entirely (every lookup misses and
-    nothing is stored) — used by the benchmarks to measure the engine
-    with caching off.  ``maxsize=None`` means unbounded.
-    """
-
-    __slots__ = ("maxsize", "_data")
-
-    def __init__(self, maxsize):
-        self.maxsize = maxsize
-        self._data = OrderedDict()
-
-    def lookup(self, key):
-        if self.maxsize == 0:
-            return _MISSING
-        value = self._data.get(key, _MISSING)
-        if value is not _MISSING:
-            self._data.move_to_end(key)
-        return value
-
-    def store(self, key, value):
-        if self.maxsize == 0:
-            return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        if self.maxsize is not None and len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-
-    def clear(self):
-        self._data.clear()
-
-    def __len__(self):
-        return len(self._data)
-
-    # Mapping-style access, so the cache can be handed to helpers that
-    # expect a plain dict (e.g. the simulation-target cache protocol).
-
-    def get(self, key, default=None):
-        value = self.lookup(key)
-        return default if value is _MISSING else value
-
-    def __setitem__(self, key, value):
-        self.store(key, value)
+#: Legacy cache names, mapped onto the store's artifact kinds, in the
+#: order :meth:`ContainmentEngine.cache_sizes` reports them.
+_CACHE_KINDS = (
+    ("prepare", "prepare"),
+    ("obligation_verdicts", "obligation_verdicts"),
+    ("nonempty", "nonempty"),
+    ("targets", "targets"),
+)
 
 
 class ContainmentEngine:
@@ -115,22 +85,29 @@ class ContainmentEngine:
     Drop-in superset of the module-level API of
     :mod:`repro.coql.containment` (which delegates to a process-wide
     default instance): same arguments, same verdicts, same exceptions —
-    plus caching across calls and :meth:`stats`.
+    plus caching across calls, :meth:`stats`, and :meth:`tracer`.
 
     :param witnesses: default witness-copy count for simulation searches
         (None = the incremental strategy).
     :param method: default decision method, ``"certificate"`` or
         ``"canonical"``.
-    :param prepare_cache_size: entries in the prepared-query cache
-        (0 disables, None unbounded).
-    :param verdict_cache_size: entries in the obligation-verdict and
-        provably-non-empty caches (0 disables, None unbounded).
-    :param target_cache_size: entries in the compiled simulation-target
-        cache (0 disables, None unbounded).
+    :param prepare_cache_size: entries in the ``prepare`` artifact
+        segment (0 disables, None unbounded).
+    :param verdict_cache_size: entries in the ``obligation_verdicts``
+        and ``nonempty`` segments (0 disables, None unbounded).
+    :param target_cache_size: entries in the compiled
+        simulation-target segment (0 disables, None unbounded).
+    :param store: a shared :class:`ArtifactStore` to use instead of
+        building a private one (the ``*_cache_size`` knobs are then
+        ignored — the store's own limits apply).  Sharing a store shares
+        every artifact kind across the engines attached to it.
+    :param retain_trace: keep per-check trace trees for export (True);
+        the parallel engine's workers pass False so a long-lived pool
+        only feeds the timers and never accumulates trace memory.
     :param analyze: opt-in static-analysis pre-check: every
         :meth:`contains` call first runs :func:`repro.analysis.analyze`
         over both queries (cheap rules only, sharing this engine's
-        caches), attaches the findings to :meth:`stats` (labelled
+        store), attaches the findings to :meth:`stats` (labelled
         ``sub`` / ``sup``), and short-circuits to True when the
         subquery's body is unsatisfiable (a constant-empty subquery is
         contained in everything).
@@ -141,14 +118,22 @@ class ContainmentEngine:
 
     def __init__(self, witnesses=None, method="certificate",
                  prepare_cache_size=512, verdict_cache_size=8192,
-                 target_cache_size=1024, analyze=False, analysis_config=None):
+                 target_cache_size=1024, store=None, retain_trace=True,
+                 analyze=False, analysis_config=None):
         self._default_witnesses = witnesses
         self._default_method = method
-        self._prepare_cache = _LRUCache(prepare_cache_size)
-        self._verdict_cache = _LRUCache(verdict_cache_size)
-        self._nonempty_cache = _LRUCache(verdict_cache_size)
-        self._target_cache = _LRUCache(target_cache_size)
+        if store is None:
+            store = ArtifactStore(limits={
+                "prepare": prepare_cache_size,
+                "obligation_verdicts": verdict_cache_size,
+                "nonempty": verdict_cache_size,
+                "targets": target_cache_size,
+            })
         self._stats = EngineStats()
+        self._tracer = Tracer(self._stats, retain=retain_trace)
+        self._pipeline = Pipeline(
+            store=store, stats=self._stats, tracer=self._tracer
+        )
         self._analyze = bool(analyze)
         self._analysis_config = analysis_config
 
@@ -158,33 +143,38 @@ class ContainmentEngine:
         """The engine's :class:`EngineStats` (live, cumulative)."""
         return self._stats
 
+    def tracer(self):
+        """The engine's :class:`repro.pipeline.trace.Tracer` — one
+        retained root span (``check``) per public decision, with the
+        stage spans it caused as children."""
+        return self._tracer
+
+    def pipeline(self):
+        """The engine's :class:`repro.pipeline.Pipeline` pass manager."""
+        return self._pipeline
+
+    def store(self):
+        """The engine's :class:`repro.pipeline.store.ArtifactStore`."""
+        return self._pipeline.store
+
     def reset_stats(self):
-        """Zero all counters and timers; caches are kept."""
+        """Zero all counters, timers, and store hit-rate tallies; cached
+        artifacts are kept."""
         self._stats.reset()
+        self._pipeline.store.reset_counters()
+
+    def clear_trace(self):
+        """Drop every retained per-check trace tree (stats are kept)."""
+        self._tracer.clear()
 
     def clear_caches(self):
-        """Drop every memoized result (stats are kept)."""
-        self._prepare_cache.clear()
-        self._verdict_cache.clear()
-        self._nonempty_cache.clear()
-        self._target_cache.clear()
+        """Drop every memoized artifact (stats and hit tallies kept)."""
+        self._pipeline.store.clear()
 
     def cache_sizes(self):
         """Current entry counts: ``{cache name: entries}``."""
-        return {
-            "prepare": len(self._prepare_cache),
-            "obligation_verdicts": len(self._verdict_cache),
-            "nonempty": len(self._nonempty_cache),
-            "targets": len(self._target_cache),
-        }
-
-    @contextmanager
-    def _stage(self, name):
-        start = perf_counter()
-        try:
-            yield
-        finally:
-            self._stats.add_time(name, perf_counter() - start)
+        sizes = self._pipeline.store.sizes()
+        return {name: sizes.get(kind, 0) for name, kind in _CACHE_KINDS}
 
     @contextmanager
     def _instrumented(self):
@@ -194,52 +184,35 @@ class ContainmentEngine:
         finally:
             homomorphism.install_search_counters(previous)
 
+    @contextmanager
+    def _check(self, kind):
+        """One public decision: a root ``check`` trace span plus search
+        counter installation."""
+        with self._instrumented():
+            with self._tracer.span("check", label=kind):
+                yield
+
     # -- the pipeline --------------------------------------------------
 
     def prepare(self, query, schema, name="q"):
         """Parse, type-check, normalize, and encode *query* — memoized.
 
-        The cache key is the parsed AST (so equal texts and equal
-        :class:`Expr` trees share one entry), the normalized schema, and
-        the role *name* given to the resulting grouping query.
+        One pipeline invocation (stages ``parse`` →  ``typecheck`` →
+        ``encode`` → ``build_grouping``), cached under the content hash
+        of the parsed AST (so equal texts and equal :class:`Expr` trees
+        share one entry), the normalized schema, and the role *name*
+        given to the resulting grouping query.
         """
-        schema = as_schema(schema)
-        if isinstance(query, str):
-            with self._stage("parse"):
-                query = parse_coql(query)
-        if not isinstance(query, Expr):
-            raise TypeCheckError("not a COQL query: %r" % (query,))
-        key = (query, tuple(sorted(schema.items())), name)
-        cached = self._prepare_cache.lookup(key)
-        if cached is not _MISSING:
-            self._stats.tally("prepare_hits")
-            return cached
-        self._stats.tally("prepare_misses")
-        with self._stage("typecheck"):
-            typecheck(query, schema)
-        with self._stage("normalize"):
-            nf = normalize(query)
-        with self._stage("encode"):
-            encoded = encode_query(nf, schema, name)
-        self._prepare_cache.store(key, encoded)
-        return encoded
+        return self._pipeline.prepare(query, schema, name)
 
     def _provably_nonempty(self, query, path):
-        key = (query, path)
-        cached = self._nonempty_cache.lookup(key)
-        if cached is not _MISSING:
-            self._stats.tally("nonempty_hits")
-            return cached
-        self._stats.tally("nonempty_misses")
-        verdict = _provably_nonempty(query, path)
-        self._nonempty_cache.store(key, verdict)
-        return verdict
+        return self._pipeline.provably_nonempty(query, path)
 
     def _decider(self, method, witnesses):
         if method == "certificate":
+            cache = self._pipeline.target_cache()
             return lambda a, b: is_simulated(
-                a, b, witnesses=witnesses, stats=self._stats,
-                cache=self._target_cache,
+                a, b, witnesses=witnesses, stats=self._stats, cache=cache,
             )
         if method == "canonical":
             from repro.grouping.bruteforce import check_simulation_on_canonical
@@ -248,22 +221,6 @@ class ContainmentEngine:
                 a, b, max_witnesses=witnesses
             )
         raise UnsupportedQueryError("unknown method %r" % (method,))
-
-    def _decide_obligation(self, sub_query, sup_query, pattern, witnesses,
-                           method, decide):
-        sub_t = sub_query.truncate(pattern)
-        sup_t = sup_query.truncate(pattern)
-        key = (sub_t, sup_t, witnesses, method)
-        cached = self._verdict_cache.lookup(key)
-        if cached is not _MISSING:
-            self._stats.tally("obligation_cache_hits")
-            return cached
-        self._stats.tally("obligation_cache_misses")
-        with self._stage("simulation"):
-            verdict = decide(sub_t, sup_t)
-        self._stats.tally("obligations_checked")
-        self._verdict_cache.store(key, verdict)
-        return verdict
 
     def _contains_encoded(self, sup_encoded, sub_encoded, witnesses, method):
         if not sub_encoded.is_empty and not sup_encoded.is_empty:
@@ -282,18 +239,9 @@ class ContainmentEngine:
                 "queries have incompatible nested structure"
             )
         decide = self._decider(method, witnesses)
-        with self._stage("obligations"):
-            patterns = list(
-                _obligation_patterns(
-                    sub_query, is_nonempty=self._provably_nonempty
-                )
-            )
-        nonroot = sum(1 for p in sub_query.paths() if p)
-        self._stats.tally(
-            "obligations_skipped_implied", 2 ** nonroot - len(patterns)
-        )
+        patterns = self._pipeline.enumerate_obligations(sub_query)
         for pattern in patterns:
-            if not self._decide_obligation(
+            if not self._pipeline.decide_obligation(
                 sub_query, sup_query, pattern, witnesses, method, decide
             ):
                 return False
@@ -305,7 +253,7 @@ class ContainmentEngine:
         """The opt-in lint pre-check; returns ``(verdict, sup, sub)``.
 
         Runs the cheap analysis rules over both queries against this
-        engine's caches, labels the findings ``sub``/``sup``, and
+        engine's store, labels the findings ``sub``/``sup``, and
         records them on :meth:`stats`.  When the subquery is found to
         be the constant empty set (error-severity COQL002) the
         containment verdict is True regardless of the superquery's
@@ -322,13 +270,13 @@ class ContainmentEngine:
         if config is None:
             config = AnalysisConfig(expensive=False)
         if isinstance(sup, str):
-            with self._stage("parse"):
+            with self._tracer.span("parse"):
                 sup = parse_coql(sup)
         if isinstance(sub, str):
-            with self._stage("parse"):
+            with self._tracer.span("parse"):
                 sub = parse_coql(sub)
         found = []
-        with self._stage("analysis"):
+        with self._tracer.span("analysis"):
             for role, query in (("sub", sub), ("sup", sup)):
                 found.extend(
                     d.with_target(role)
@@ -352,7 +300,7 @@ class ContainmentEngine:
             witnesses = self._default_witnesses
         if method is None:
             method = self._default_method
-        with self._instrumented():
+        with self._check("contains"):
             self._stats.tally("contains_calls")
             if self._analyze:
                 verdict, sup, sub = self._pre_analyze(sup, sub, schema)
@@ -375,7 +323,7 @@ class ContainmentEngine:
             witnesses = self._default_witnesses
         if method is None:
             method = self._default_method
-        with self._instrumented():
+        with self._check("weakly_equivalent"):
             self._stats.tally("equivalence_calls")
             first = self.prepare(q1, schema)
             second = self.prepare(q2, schema)
@@ -385,13 +333,13 @@ class ContainmentEngine:
 
     def empty_set_free(self, query, schema):
         """True when the query provably never produces an empty set."""
-        with self._instrumented():
+        with self._check("empty_set_free"):
             encoded = self.prepare(query, schema)
             if encoded.is_empty:
                 return False
             if encoded.empty_paths:
                 return False
-            with self._stage("obligations"):
+            with self._tracer.span("obligations"):
                 return all(
                     self._provably_nonempty(encoded.query, p)
                     for p in encoded.query.paths()
@@ -422,12 +370,28 @@ class ContainmentEngine:
         """
         if witnesses is None:
             witnesses = self._default_witnesses
-        with self._instrumented():
-            with self._stage("simulation"):
+        with self._check("simulated"):
+            with self._tracer.span("simulation"):
                 return is_simulated(
                     sub, sup, witnesses=witnesses, stats=self._stats,
-                    cache=self._target_cache,
+                    cache=self._pipeline.target_cache(),
                 )
+
+    def minimize(self, query, schema, witnesses=None):
+        """Remove redundant generators/conditions (weak-equivalence
+        preserving), deciding candidate equivalences on this engine.
+
+        A traced ``minimize`` stage over
+        :func:`repro.coql.minimize.minimize_coql`; every candidate's
+        weak-equivalence checks share this engine's store, so repeated
+        minimization of similar queries is incremental.
+        """
+        from repro.coql.minimize import minimize_coql
+
+        with self._tracer.span("minimize"):
+            return minimize_coql(
+                query, schema, witnesses=witnesses, engine=self
+            )
 
     def equivalent(self, q1, q2, schema, witnesses=None, method=None):
         """Decide equivalence for empty-set-free queries (else raise)."""

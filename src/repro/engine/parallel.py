@@ -134,7 +134,11 @@ _worker_engine = None
 
 def _init_worker(engine_options):
     global _worker_engine
-    _worker_engine = ContainmentEngine(**engine_options)
+    options = dict(engine_options)
+    # Pool workers are long-lived; they feed the per-stage timers but
+    # must never accumulate per-check trace trees.
+    options.setdefault("retain_trace", False)
+    _worker_engine = ContainmentEngine(**options)
 
 
 def _decide_one(engine, kind, pair, schema, witnesses, method, timeout_s):
@@ -162,6 +166,7 @@ def _run_chunk(chunk_index, kind, pairs, schema, witnesses, method, timeout_s):
         _init_worker({})
         engine = _worker_engine
     engine.reset_stats()
+    engine.clear_trace()
     outcomes = [
         _decide_one(engine, kind, pair, schema, witnesses, method, timeout_s)
         for pair in pairs
@@ -205,7 +210,8 @@ class ParallelContainmentEngine:
     def __init__(self, jobs=None, timeout_s=None, chunk_size=None,
                  witnesses=None, method="certificate",
                  on_timeout="undecided", engine=None, executor=None,
-                 prepare_cache_size=512, verdict_cache_size=8192):
+                 prepare_cache_size=512, verdict_cache_size=8192,
+                 target_cache_size=1024):
         if on_timeout not in ("undecided", "raise"):
             raise UnsupportedQueryError(
                 "on_timeout must be 'undecided' or 'raise', got %r"
@@ -228,6 +234,7 @@ class ParallelContainmentEngine:
             "method": method,
             "prepare_cache_size": prepare_cache_size,
             "verdict_cache_size": verdict_cache_size,
+            "target_cache_size": target_cache_size,
         }
         if engine is None:
             engine = ContainmentEngine(
@@ -235,6 +242,7 @@ class ParallelContainmentEngine:
                 method=method,
                 prepare_cache_size=prepare_cache_size,
                 verdict_cache_size=verdict_cache_size,
+                target_cache_size=target_cache_size,
             )
         self._engine = engine
         self._executor = executor
@@ -256,6 +264,14 @@ class ParallelContainmentEngine:
         """Aggregated :class:`EngineStats`: local work plus every merged
         worker delta plus the batch-level parallel counters."""
         return self._engine.stats()
+
+    def tracer(self):
+        """The in-process engine's :class:`repro.pipeline.trace.Tracer`.
+
+        Only locally decided checks appear in it (worker processes run
+        with trace retention off and ship back stats, not spans) — but
+        worker time still lands in the merged per-stage timers."""
+        return self._engine.tracer()
 
     def reset_stats(self):
         self._engine.reset_stats()

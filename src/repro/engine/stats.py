@@ -20,10 +20,24 @@ ContainmentEngine` observes while deciding containment questions:
   ``normalize``, ``encode``, ``obligations`` (pattern enumeration,
   including the provably-non-empty tests) and ``simulation``.
 
+The per-stage timers are a **view over the pipeline trace**: the only
+writer of :meth:`add_time` in the library is
+:class:`repro.pipeline.trace.Tracer`, which adds each closing span's
+duration to the timer of the same stage name.  Summing a tracer's span
+durations per stage therefore reconciles exactly with these timers —
+there is no second, separately maintained timing path to drift.
+
 The object is cheap, mutable, and additive: engines keep one for their
 lifetime; :meth:`snapshot` / :meth:`as_dict` produce plain dictionaries
 for logging, the CLI ``--stats`` flag, and the benchmark harness.
+Aggregation is exhaustive by construction: the homomorphism tallies are
+folded via :func:`dataclasses.fields` introspection of
+:class:`SearchCounters`, so a counter field added there is merged and
+reported without touching this module (the round-trip test in
+``tests/test_engine.py`` pins this).
 """
+
+from dataclasses import fields
 
 from repro.cq.homomorphism import SearchCounters
 
@@ -86,10 +100,7 @@ class EngineStats:
             self.counters[name] = self.counters.get(name, 0) + value
         for stage, seconds in other.timers.items():
             self.timers[stage] = self.timers.get(stage, 0.0) + seconds
-        self.search.nodes += other.search.nodes
-        self.search.backtracks += other.search.backtracks
-        self.search.domain_wipeouts += other.search.domain_wipeouts
-        self.search.components_solved += other.search.components_solved
+        self.search.merge(other.search)
         self.diagnostics.extend(other.diagnostics)
         return self
 
@@ -112,10 +123,10 @@ class EngineStats:
         ``homomorphism_components_solved``.
         """
         out = dict(self.counters)
-        out["homomorphism_nodes"] = self.search.nodes
-        out["homomorphism_backtracks"] = self.search.backtracks
-        out["homomorphism_domain_wipeouts"] = self.search.domain_wipeouts
-        out["homomorphism_components_solved"] = self.search.components_solved
+        for field in fields(SearchCounters):
+            out["homomorphism_" + field.name] = getattr(
+                self.search, field.name
+            )
         if self.diagnostics:
             out["analysis_diagnostics"] = len(self.diagnostics)
         for stage in sorted(self.timers):

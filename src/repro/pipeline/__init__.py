@@ -1,0 +1,41 @@
+"""``repro.pipeline`` — the staged compilation pipeline.
+
+The decision procedure as an explicit DAG of typed stages
+(:data:`STAGES`), driven by a :class:`Pipeline` pass manager over one
+content-addressed :class:`ArtifactStore`, with per-stage structured
+tracing (:class:`Tracer` / :class:`TraceEvent`, exportable as Chrome
+``trace_event`` JSON).
+
+Layering: this package sits between the COQL front end
+(:mod:`repro.coql`) and the engine (:mod:`repro.engine`).  The engine,
+the parallel workers, view catalogs, the static analyzer's pre-check,
+and the CLI all obtain artifacts through a :class:`Pipeline`; none of
+them carry private memo tables.
+"""
+
+from repro.pipeline.fingerprint import artifact_key, fingerprint
+from repro.pipeline.stages import (
+    DEFAULT_LIMITS,
+    Pipeline,
+    Stage,
+    STAGES,
+    stage_table,
+)
+from repro.pipeline.store import ArtifactStore, KindView, MISSING
+from repro.pipeline.trace import TIMED_STAGES, TraceEvent, Tracer
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_LIMITS",
+    "KindView",
+    "MISSING",
+    "Pipeline",
+    "STAGES",
+    "Stage",
+    "TIMED_STAGES",
+    "TraceEvent",
+    "Tracer",
+    "artifact_key",
+    "fingerprint",
+    "stage_table",
+]

@@ -1,0 +1,146 @@
+"""Deterministic, process-portable content fingerprints.
+
+The artifact store (:mod:`repro.pipeline.store`) is content-addressed:
+a cached artifact is keyed by a SHA-256 digest of its *inputs*, not by
+Python object identity or ``hash()``.  That buys two properties the
+old per-engine ``_LRUCache`` tables could not offer:
+
+* **process portability** — ``hash(str)`` is salted per process
+  (``PYTHONHASHSEED``), so identity/hash-based keys computed in a
+  parallel worker never match the parent's.  A content digest of the
+  same query text, schema, and knobs is bit-identical everywhere, which
+  is what lets the parent and its pool workers speak about the same
+  artifact (and what a future on-disk or cross-run cache would key on).
+* **canonical equality** — two structurally equal ASTs produced by
+  different code paths (parsed text vs. programmatic construction, with
+  or without parser source spans) map to one digest, so they share one
+  cache entry by construction.
+
+The encoding is a tagged, length-prefixed serialization fed to one
+incremental hasher: primitives carry a type tag, sequences their length,
+and unordered containers (dicts, sets) are ordered by the digests of
+their elements so iteration order never leaks into the key.  Immutable
+``__slots__`` value objects (AST nodes, terms, grouping queries, types)
+are encoded as their class name plus slot values — skipping the
+``_hash`` memo slots and the parser-attached ``_span`` metadata, which
+by design never participate in equality.
+"""
+
+import hashlib
+import struct
+
+__all__ = ["fingerprint", "artifact_key"]
+
+#: Slot names that are memoization / provenance metadata, never content.
+_METADATA_SLOTS = frozenset({"_hash", "_span"})
+
+#: Digest memo for the immutable ``__slots__`` value objects.  Keyed by
+#: ``id(obj)`` with a strong reference to the object stored alongside,
+#: which makes the id-key safe: the object cannot be collected while its
+#: entry exists, so the id cannot be recycled onto a different object.
+#: Bounded by wholesale clearing — entries are tiny and the working set
+#: (atoms, terms, grouping nodes of live queries) is small, so a rare
+#: full rebuild beats per-entry eviction bookkeeping.  This is what
+#: keeps warm store lookups cheap: a cached query fingerprints in
+#: near-constant time instead of re-walking its whole object graph.
+_DIGEST_MEMO = {}
+_DIGEST_MEMO_LIMIT = 16384
+
+
+def _slot_names(klass):
+    seen = set()
+    names = []
+    for base in klass.__mro__:
+        for name in getattr(base, "__slots__", ()):
+            if name in seen or name in _METADATA_SLOTS:
+                continue
+            seen.add(name)
+            names.append(name)
+    return names
+
+
+def _feed(hasher, obj):
+    if obj is None:
+        hasher.update(b"N")
+    elif obj is True:
+        hasher.update(b"B1")
+    elif obj is False:
+        hasher.update(b"B0")
+    elif isinstance(obj, int):
+        data = repr(obj).encode("ascii")
+        hasher.update(b"I" + struct.pack(">I", len(data)) + data)
+    elif isinstance(obj, float):
+        hasher.update(b"F" + struct.pack(">d", obj))
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        hasher.update(b"S" + struct.pack(">I", len(data)) + data)
+    elif isinstance(obj, bytes):
+        hasher.update(b"Y" + struct.pack(">I", len(obj)) + obj)
+    elif isinstance(obj, (tuple, list)):
+        hasher.update(b"T" + struct.pack(">I", len(obj)))
+        for item in obj:
+            _feed(hasher, item)
+    elif isinstance(obj, (set, frozenset)):
+        hasher.update(b"E" + struct.pack(">I", len(obj)))
+        for digest in sorted(_digest(item) for item in obj):
+            hasher.update(digest)
+    elif isinstance(obj, dict):
+        hasher.update(b"D" + struct.pack(">I", len(obj)))
+        for digest in sorted(
+            _digest((key, value)) for key, value in obj.items()
+        ):
+            hasher.update(digest)
+    elif hasattr(type(obj), "__slots__"):
+        hasher.update(_slots_digest(obj))
+    else:
+        raise TypeError(
+            "cannot fingerprint %r (no canonical encoding for %s)"
+            % (obj, type(obj).__name__)
+        )
+
+
+def _slots_digest(obj):
+    entry = _DIGEST_MEMO.get(id(obj))
+    if entry is not None and entry[0] is obj:
+        return entry[1]
+    hasher = hashlib.sha256()
+    name = "%s.%s" % (type(obj).__module__, type(obj).__qualname__)
+    data = name.encode("utf-8")
+    hasher.update(b"O" + struct.pack(">I", len(data)) + data)
+    for slot in _slot_names(type(obj)):
+        # Optional slots may never have been filled in.
+        if hasattr(obj, slot):
+            _feed(hasher, slot)
+            _feed(hasher, getattr(obj, slot))
+    digest = hasher.digest()
+    if len(_DIGEST_MEMO) >= _DIGEST_MEMO_LIMIT:
+        _DIGEST_MEMO.clear()
+    _DIGEST_MEMO[id(obj)] = (obj, digest)
+    return digest
+
+
+def _digest(obj):
+    hasher = hashlib.sha256()
+    _feed(hasher, obj)
+    return hasher.digest()
+
+
+def fingerprint(obj):
+    """The hex SHA-256 content digest of *obj*.
+
+    Deterministic across processes, machines, and hash seeds; equal for
+    structurally equal objects regardless of how they were built.
+    Accepts primitives, (nested) tuples/lists/dicts/sets, and the
+    library's immutable ``__slots__`` value classes (AST expressions,
+    terms, atoms, grouping queries, record types, ...).
+    """
+    return _digest(obj).hex()
+
+
+def artifact_key(kind, *parts):
+    """The content-addressed store key for an artifact of *kind*.
+
+    The *kind* participates in the digest, so equal inputs cached under
+    different artifact kinds can never collide.
+    """
+    return fingerprint((kind,) + parts)

@@ -1,0 +1,323 @@
+"""The staged decision pipeline (pass manager).
+
+The paper's decision procedure is inherently staged: parse COQL,
+typecheck against the flat schema (Section 3), rewrite to comprehension
+normal form and encode as a grouping-query tree (Section 5), enumerate
+truncation obligations, and decide each by the simulation certificate
+(Theorem 4.1).  :class:`Pipeline` makes that structure explicit: each
+stage declares what it consumes and produces (:data:`STAGES`), every
+run is traced (:mod:`repro.pipeline.trace`), and every cacheable
+artifact lives in one content-addressed
+:class:`repro.pipeline.store.ArtifactStore` under a deterministic,
+process-portable key (:mod:`repro.pipeline.fingerprint`).
+
+The same pipeline serves every entry point: the sequential
+:class:`repro.engine.ContainmentEngine`, the parallel engine's worker
+processes, :class:`repro.coql.views.ViewCatalog`, the static analyzer's
+pre-check, and the CLI all construct (or share) a pipeline rather than
+carrying private memo tables.  A pipeline with ``store=None`` is the
+uncached reference path — :func:`repro.coql.containment.prepare` runs
+exactly this, so the module-level and engine prepare paths can never
+drift again.
+"""
+
+from repro.errors import TypeCheckError, UnsupportedQueryError
+from repro.pipeline.fingerprint import artifact_key
+from repro.pipeline.store import MISSING, ArtifactStore, KindView
+from repro.pipeline.trace import Tracer
+
+__all__ = ["Stage", "STAGES", "Pipeline", "stage_table"]
+
+
+class Stage:
+    """One declared stage of the decision DAG.
+
+    Attributes:
+        name: the stage name (the DAG vertex).
+        consumes / produces: artifact type names (documentation of the
+            DAG edges; the driver enforces them by construction).
+        cache_kind: the :class:`ArtifactStore` segment the stage's
+            artifact is cached under (None = never cached).
+        cache_key: human description of the content-hash key.
+        spans: the :class:`TraceEvent` stage names this stage emits.
+        paper: the paper section the stage implements.
+    """
+
+    __slots__ = ("name", "consumes", "produces", "cache_kind", "cache_key",
+                 "spans", "paper")
+
+    def __init__(self, name, consumes, produces, cache_kind=None,
+                 cache_key=None, spans=(), paper=""):
+        self.name = name
+        self.consumes = tuple(consumes)
+        self.produces = produces
+        self.cache_kind = cache_kind
+        self.cache_key = cache_key
+        self.spans = tuple(spans) or (name,)
+        self.paper = paper
+
+    def __repr__(self):
+        return "Stage(%s: %s -> %s%s)" % (
+            self.name, " x ".join(self.consumes), self.produces,
+            ", cached=%s" % self.cache_kind if self.cache_kind else "",
+        )
+
+
+#: The decision procedure as an explicit DAG of typed stages.  The
+#: ``prepare`` artifact covers parse → typecheck → encode →
+#: build_grouping (one cache entry for the whole front half, keyed on
+#: the parsed AST so re-preparing a query replays nothing).
+STAGES = (
+    Stage("parse", ("coql_text",), "coql_ast", cache_kind="parse",
+          cache_key="sha256(coql_text)",
+          spans=("parse",), paper="Sec. 3 (COQL syntax)"),
+    Stage("typecheck", ("coql_ast", "schema"), "output_type",
+          spans=("typecheck",), paper="Sec. 3 (type system)"),
+    Stage("analyze", ("coql_ast", "schema"), "diagnostics",
+          spans=("analysis",), paper="Sec. 3/5 (optional pre-check)"),
+    Stage("encode", ("coql_ast",), "normal_form",
+          spans=("normalize",), paper="Sec. 5.1 (normal form)"),
+    Stage("build_grouping", ("normal_form", "schema", "role"),
+          "encoded_query", cache_kind="prepare",
+          cache_key="sha256(coql_ast, schema, role)",
+          spans=("encode",), paper="Sec. 5.1 (grouping encoding)"),
+    Stage("minimize", ("coql_ast", "schema"), "coql_ast",
+          spans=("minimize",), paper="Sec. 1 (redundant subgoals)"),
+    Stage("enumerate_obligations", ("grouping_query",),
+          "truncation_patterns", cache_kind="nonempty",
+          cache_key="sha256(grouping_query, path) per non-empty test",
+          spans=("obligations",), paper="Sec. 5 (truncation patterns)"),
+    Stage("compile_target", ("grouping_query", "witnesses"),
+          "simulation_target", cache_kind="targets",
+          cache_key="sha256(grouping_query, witnesses)",
+          spans=("simulation",), paper="Thm. 4.1 (canonical database)"),
+    Stage("decide", ("obligation", "witnesses", "method"), "verdict",
+          cache_kind="obligation_verdicts",
+          cache_key="sha256(sub_t, sup_t, witnesses, method)",
+          spans=("decide", "simulation"), paper="Thm. 4.1 (simulation)"),
+)
+
+
+def stage_table():
+    """``{stage name: Stage}`` for the declared DAG."""
+    return {stage.name: stage for stage in STAGES}
+
+
+#: Default per-kind bounds when a pipeline builds its own store.
+DEFAULT_LIMITS = {
+    "parse": 1024,
+    "prepare": 512,
+    "obligation_verdicts": 8192,
+    "nonempty": 8192,
+    "targets": 1024,
+}
+
+
+class Pipeline:
+    """Drives the staged decision procedure over one artifact store.
+
+    :param store: the shared :class:`ArtifactStore` (None = uncached
+        reference run: every stage recomputes, nothing is stored).
+    :param stats: optional :class:`repro.engine.stats.EngineStats`; the
+        pipeline tallies the cache counters (``prepare_hits``, ...) and
+        its tracer maintains the per-stage timers.
+    :param tracer: optional :class:`Tracer` to record spans into (a
+        fresh one bound to *stats* is created otherwise).
+    """
+
+    def __init__(self, store=None, stats=None, tracer=None):
+        self.store = store
+        self.stats = stats
+        self.tracer = tracer if tracer is not None else Tracer(stats)
+
+    @classmethod
+    def with_default_store(cls, stats=None, tracer=None, limits=None):
+        """A pipeline over a fresh store with the stock per-kind bounds."""
+        bounds = dict(DEFAULT_LIMITS)
+        bounds.update(limits or {})
+        return cls(ArtifactStore(limits=bounds), stats=stats, tracer=tracer)
+
+    def _tally(self, name, amount=1):
+        if self.stats is not None:
+            self.stats.tally(name, amount)
+
+    def _lookup(self, kind, key):
+        if self.store is None or key is None:
+            return MISSING
+        return self.store.lookup(kind, key)
+
+    def _store(self, kind, key, value):
+        if self.store is not None and key is not None:
+            self.store.store(kind, key, value)
+
+    # -- front half: parse .. build_grouping ---------------------------
+
+    def parse(self, text):
+        """Stage ``parse``: COQL text → AST.
+
+        Cached under the digest of the raw text (kind ``parse``) —
+        cheap to key, and a hit returns the *same* AST object every
+        time, so downstream content hashing of the tree is memoized by
+        identity too.  Safe to share: ASTs are immutable.
+        """
+        from repro.coql.parser import parse_coql
+
+        key = None
+        if self.store is not None:
+            key = artifact_key("parse", text)
+            cached = self._lookup("parse", key)
+            if cached is not MISSING:
+                return cached
+        with self.tracer.span("parse", chars=len(text)):
+            ast = parse_coql(text)
+        self._store("parse", key, ast)
+        return ast
+
+    def prepare_key(self, query, schema, name="q"):
+        """The content-addressed store key of a ``prepare`` artifact.
+
+        Deterministic across processes: the parallel engine's workers
+        compute bit-identical keys for the pairs the parent dispatched.
+        *query* may be text (parsed here, untraced) or an AST.
+        """
+        from repro.coql.ast import Expr
+        from repro.coql.containment import as_schema
+        from repro.coql.parser import parse_coql
+
+        schema = as_schema(schema)
+        if isinstance(query, str):
+            query = parse_coql(query)
+        if not isinstance(query, Expr):
+            raise TypeCheckError("not a COQL query: %r" % (query,))
+        return artifact_key(
+            "prepare", query, tuple(sorted(schema.items())), name
+        )
+
+    def prepare(self, query, schema, name="q"):
+        """Stages ``parse → typecheck → encode → build_grouping``.
+
+        Returns the :class:`repro.coql.encode.EncodedQuery` artifact,
+        cached under kind ``prepare`` when the pipeline has a store.
+        """
+        from repro.coql.ast import Expr
+        from repro.coql.containment import as_schema
+        from repro.coql.encode import encode_query
+        from repro.coql.normalize import normalize
+        from repro.coql.typecheck import typecheck
+
+        schema = as_schema(schema)
+        with self.tracer.span("prepare", label=name) as span:
+            if isinstance(query, str):
+                query = self.parse(query)
+            if not isinstance(query, Expr):
+                raise TypeCheckError("not a COQL query: %r" % (query,))
+            key = None
+            if self.store is not None:
+                key = artifact_key(
+                    "prepare", query, tuple(sorted(schema.items())), name
+                )
+                cached = self._lookup("prepare", key)
+                if cached is not MISSING:
+                    self._tally("prepare_hits")
+                    span.annotate(cache="hit")
+                    return cached
+                self._tally("prepare_misses")
+                span.annotate(cache="miss")
+            with self.tracer.span("typecheck"):
+                typecheck(query, schema)
+            with self.tracer.span("normalize"):
+                nf = normalize(query)
+            with self.tracer.span("encode"):
+                encoded = encode_query(nf, schema, name)
+            span.annotate(
+                paths=0 if encoded.is_empty else len(encoded.query.paths()),
+            )
+            self._store("prepare", key, encoded)
+            return encoded
+
+    # -- obligation half: enumerate .. decide --------------------------
+
+    def provably_nonempty(self, query, path):
+        """The memoized provably-non-empty test (cache kind ``nonempty``)."""
+        from repro.coql.containment import _provably_nonempty
+
+        key = None
+        if self.store is not None:
+            key = artifact_key("nonempty", query, path)
+            cached = self._lookup("nonempty", key)
+            if cached is not MISSING:
+                self._tally("nonempty_hits")
+                return cached
+            self._tally("nonempty_misses")
+        verdict = _provably_nonempty(query, path)
+        self._store("nonempty", key, verdict)
+        return verdict
+
+    def enumerate_obligations(self, sub_query):
+        """Stage ``enumerate_obligations``: the non-implied truncation
+        patterns of *sub_query*, with the skipped-as-implied tally."""
+        from repro.coql.containment import _obligation_patterns
+
+        with self.tracer.span("obligations") as span:
+            patterns = list(
+                _obligation_patterns(
+                    sub_query, is_nonempty=self.provably_nonempty
+                )
+            )
+            nonroot = sum(1 for p in sub_query.paths() if p)
+            skipped = 2 ** nonroot - len(patterns)
+            self._tally("obligations_skipped_implied", skipped)
+            span.annotate(patterns=len(patterns), skipped_implied=skipped)
+        return patterns
+
+    def decide_obligation(self, sub_query, sup_query, pattern, witnesses,
+                          method, decide):
+        """Stage ``decide``: one truncation obligation's verdict.
+
+        Cached under kind ``obligation_verdicts`` keyed on the truncated
+        pair plus the decision knobs; *decide* runs the simulation
+        search on a miss.
+        """
+        sub_t = sub_query.truncate(pattern)
+        sup_t = sup_query.truncate(pattern)
+        with self.tracer.span(
+            "decide", paths=len(pattern), method=method
+        ) as span:
+            key = None
+            if self.store is not None:
+                key = artifact_key(
+                    "obligation_verdicts", sub_t, sup_t, witnesses, method
+                )
+                cached = self._lookup("obligation_verdicts", key)
+                if cached is not MISSING:
+                    self._tally("obligation_cache_hits")
+                    span.annotate(cache="hit", verdict=cached)
+                    return cached
+                self._tally("obligation_cache_misses")
+                span.annotate(cache="miss")
+            with self.tracer.span("simulation"):
+                verdict = decide(sub_t, sup_t)
+            self._tally("obligations_checked")
+            span.annotate(verdict=verdict)
+            self._store("obligation_verdicts", key, verdict)
+            return verdict
+
+    # -- back half: compiled simulation targets ------------------------
+
+    def target_cache(self):
+        """Stage ``compile_target``'s cache: a content-addressed view of
+        kind ``targets``, in the ``get``/``__setitem__`` protocol of
+        :func:`repro.grouping.simulation.simulation_target` (None when
+        the pipeline is uncached)."""
+        if self.store is None:
+            return None
+        return KindView(self.store, "targets")
+
+    def __repr__(self):
+        return "Pipeline(store=%r)" % (self.store,)
+
+
+def check_method(method):
+    """Validate a decision-method name (shared by engine layers)."""
+    if method not in ("certificate", "canonical"):
+        raise UnsupportedQueryError("unknown method %r" % (method,))

@@ -1,0 +1,198 @@
+"""The unified, content-addressed artifact store.
+
+One :class:`ArtifactStore` replaces the four hand-rolled LRU tables the
+containment engine used to carry (``_prepare_cache``, ``_verdict_cache``,
+``_nonempty_cache``, ``_target_cache``).  Artifacts are grouped by
+*kind* — one bounded LRU segment per kind, so a flood of cheap verdict
+entries can never evict the expensive prepared encodings — and keyed by
+the content digests of :mod:`repro.pipeline.fingerprint`, so the same
+inputs name the same artifact in every process.
+
+Size semantics per kind (inherited from the legacy ``_LRUCache``, and
+pinned by tests):
+
+* ``maxsize=0`` disables the segment — every lookup misses, nothing is
+  stored (benchmarks measure the cold pipeline this way);
+* ``maxsize=None`` means unbounded;
+* otherwise least-recently-used entries are evicted beyond *maxsize*.
+
+Accounting is per kind: :meth:`sizes` reports entry counts,
+:meth:`counters` hit/miss tallies, :meth:`hit_rates` the derived rates.
+:meth:`clear` drops entries but keeps the tallies (mirroring the
+engine's ``clear_caches``); :meth:`reset_counters` zeroes the tallies
+but keeps the entries (mirroring ``reset_stats``).
+"""
+
+from collections import OrderedDict
+
+__all__ = ["ArtifactStore", "KindView", "MISSING"]
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self):
+        return "MISSING"
+
+
+#: Sentinel returned by :meth:`ArtifactStore.lookup` on a miss, so that
+#: None (and False) remain storable artifact values.
+MISSING = _Missing()
+
+
+class _Segment:
+    __slots__ = ("maxsize", "data", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize):
+        self.maxsize = maxsize
+        self.data = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class ArtifactStore:
+    """Bounded, per-kind-accounted storage for pipeline artifacts.
+
+    :param limits: ``{kind: maxsize}`` per-kind bounds (0 disables, None
+        unbounded).  Kinds not listed use *default_maxsize*; unknown
+        kinds are created on first use, so the store never needs a
+        registration step.
+    :param default_maxsize: bound for kinds absent from *limits*.
+    """
+
+    def __init__(self, limits=None, default_maxsize=1024):
+        self._default_maxsize = default_maxsize
+        self._segments = {}
+        for kind, maxsize in (limits or {}).items():
+            self._segments[kind] = _Segment(maxsize)
+
+    def _segment(self, kind):
+        segment = self._segments.get(kind)
+        if segment is None:
+            segment = self._segments[kind] = _Segment(self._default_maxsize)
+        return segment
+
+    def limit(self, kind):
+        """The configured maxsize of *kind* (0 disabled, None unbounded)."""
+        return self._segment(kind).maxsize
+
+    # -- storage -------------------------------------------------------
+
+    def lookup(self, kind, key):
+        """The artifact stored under (*kind*, *key*), or :data:`MISSING`.
+
+        A hit refreshes the entry's recency; every call tallies into the
+        kind's hit/miss counters.
+        """
+        segment = self._segment(kind)
+        if segment.maxsize == 0:
+            segment.misses += 1
+            return MISSING
+        value = segment.data.get(key, MISSING)
+        if value is MISSING:
+            segment.misses += 1
+        else:
+            segment.hits += 1
+            segment.data.move_to_end(key)
+        return value
+
+    def store(self, kind, key, value):
+        """Store *value* under (*kind*, *key*), evicting LRU entries."""
+        segment = self._segment(kind)
+        if segment.maxsize == 0:
+            return
+        segment.data[key] = value
+        segment.data.move_to_end(key)
+        if segment.maxsize is not None and len(segment.data) > segment.maxsize:
+            segment.data.popitem(last=False)
+            segment.evictions += 1
+
+    def clear(self, kind=None):
+        """Drop stored artifacts (all kinds, or just *kind*).
+
+        Hit/miss tallies survive — clearing answers "what is cached",
+        not "how well did caching work".
+        """
+        if kind is not None:
+            self._segment(kind).data.clear()
+            return
+        for segment in self._segments.values():
+            segment.data.clear()
+
+    # -- accounting ----------------------------------------------------
+
+    def sizes(self):
+        """Current entry counts: ``{kind: entries}``."""
+        return {
+            kind: len(segment.data)
+            for kind, segment in sorted(self._segments.items())
+        }
+
+    def counters(self):
+        """Per-kind tallies: ``{kind: {hits, misses, evictions}}``."""
+        return {
+            kind: {
+                "hits": segment.hits,
+                "misses": segment.misses,
+                "evictions": segment.evictions,
+            }
+            for kind, segment in sorted(self._segments.items())
+        }
+
+    def hit_rates(self):
+        """``{kind: hits / (hits + misses)}`` (None before any lookup)."""
+        out = {}
+        for kind, segment in sorted(self._segments.items()):
+            total = segment.hits + segment.misses
+            out[kind] = segment.hits / total if total else None
+        return out
+
+    def reset_counters(self):
+        """Zero every hit/miss/eviction tally (entries survive)."""
+        for segment in self._segments.values():
+            segment.hits = 0
+            segment.misses = 0
+            segment.evictions = 0
+
+    def __len__(self):
+        return sum(len(segment.data) for segment in self._segments.values())
+
+    def __repr__(self):
+        sizes = self.sizes()
+        return "ArtifactStore(%s)" % (
+            ", ".join("%s=%d" % item for item in sizes.items()) or "empty",
+        )
+
+
+class KindView:
+    """A mapping-protocol view of one artifact kind.
+
+    Adapts the store to the ``get``/``__setitem__`` cache protocol of
+    helpers like :func:`repro.grouping.simulation.simulation_target`,
+    fingerprinting the caller's structural keys on the way in so every
+    entry stays content-addressed.
+    """
+
+    __slots__ = ("_store", "_kind")
+
+    def __init__(self, store, kind):
+        self._store = store
+        self._kind = kind
+
+    def get(self, key, default=None):
+        from repro.pipeline.fingerprint import artifact_key
+
+        value = self._store.lookup(self._kind, artifact_key(self._kind, key))
+        return default if value is MISSING else value
+
+    def __setitem__(self, key, value):
+        from repro.pipeline.fingerprint import artifact_key
+
+        self._store.store(self._kind, artifact_key(self._kind, key), value)
+
+    def __len__(self):
+        return self._store.sizes().get(self._kind, 0)
+
+    def __repr__(self):
+        return "KindView(%r, entries=%d)" % (self._kind, len(self))

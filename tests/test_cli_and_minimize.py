@@ -288,3 +288,89 @@ class TestCliLint:
         report = json.loads(capsys.readouterr().out)
         assert report["summary"]["errors"] == 0
         assert report["summary"]["warnings"] >= 1
+
+
+class TestCliTraceExport:
+    POSITIVE = [
+        "contain", "--schema", "r:a,b",
+        "select [v: x.a] from x in r",
+        "select [v: x.a] from x in r, y in r where y.a = x.a",
+    ]
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(self.POSITIVE + ["--trace-out", str(path)])
+        assert code == 0
+        assert "trace written" in capsys.readouterr().err
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        names = {event["name"] for event in events}
+        assert "check" in names and "prepare" in names
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0.0
+
+    def test_stats_prints_per_stage_breakdown(self, capsys):
+        code = main(self.POSITIVE + ["--stats"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "per-stage breakdown" in err
+        assert "prepare" in err and "miss" in err
+
+    def test_equiv_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "equiv-trace.json"
+        code = main([
+            "equiv", "--weak", "--schema", "r:a,b",
+            "--trace-out", str(path),
+            "select [v: x.a] from x in r",
+            "select [v: x.a] from x in r",
+        ])
+        assert code == 0
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestCliExitCodeRegression:
+    """The exit-code contract of the decision subcommands is stable:
+    0 positive, 1 negative, 2 usage error, 3 UNDECIDED timeout."""
+
+    def test_zero_on_positive_verdict(self, capsys):
+        code = main([
+            "contain", "--schema", "r:a,b",
+            "select [v: x.a] from x in r",
+            "select [v: x.a] from x in r, y in r where y.a = x.a",
+        ])
+        assert code == 0
+
+    def test_one_on_negative_verdict(self, capsys):
+        code = main([
+            "contain", "--schema", "r:a,b;s:k,b",
+            "select [v: x.a] from x in r, y in s where x.a = y.k",
+            "select [v: x.a] from x in r",
+        ])
+        assert code == 1
+
+    def test_two_on_usage_error(self, capsys):
+        code = main([
+            "contain", "--schema", "r:a,b",
+            "select [v: x.a] from x in r",
+            "this does not parse",
+        ])
+        assert code == 2
+
+    def test_three_on_undecided_timeout(self, monkeypatch, capsys):
+        from repro.errors import ContainmentTimeout
+        import repro.engine.parallel as parallel
+
+        def _always_times_out(engine, kind, pair, schema, witnesses,
+                              method, timeout_s):
+            return ("timeout", ContainmentTimeout("simulated timeout"))
+
+        monkeypatch.setattr(parallel, "_decide_one", _always_times_out)
+        code = main([
+            "contain", "--schema", "r:a,b", "--timeout-s", "0.5",
+            "select [v: x.a] from x in r",
+            "select [v: x.a] from x in r",
+        ])
+        assert code == 3
+        assert "UNDECIDED" in capsys.readouterr().out

@@ -224,6 +224,81 @@ class TestEngineStatsMerge:
         assert one.stats().search.nodes == expected_nodes
 
 
+class TestStatsAggregationExhaustiveness:
+    """Round-trip guarantee: every SearchCounters field survives
+    merge/as_dict/reset, by dataclass-fields introspection — a counter
+    added to SearchCounters can never be silently dropped from the
+    aggregation paths again."""
+
+    def _distinct(self, offset):
+        from dataclasses import fields
+
+        from repro.cq.homomorphism import SearchCounters
+
+        counters = SearchCounters()
+        for index, field in enumerate(fields(SearchCounters)):
+            setattr(counters, field.name, offset + index)
+        return counters
+
+    def test_search_counters_is_introspectable(self):
+        from dataclasses import fields, is_dataclass
+
+        from repro.cq.homomorphism import SearchCounters
+
+        assert is_dataclass(SearchCounters)
+        names = [field.name for field in fields(SearchCounters)]
+        assert set(names) >= {
+            "nodes", "backtracks", "domain_wipeouts", "components_solved",
+        }
+
+    def test_merge_covers_every_field(self):
+        from dataclasses import fields
+
+        from repro.cq.homomorphism import SearchCounters
+
+        left, right = self._distinct(100), self._distinct(1000)
+        result = left.merge(right)
+        assert result is left
+        for index, field in enumerate(fields(SearchCounters)):
+            assert getattr(left, field.name) == 1100 + 2 * index, field.name
+
+    def test_as_dict_covers_every_field(self):
+        from dataclasses import fields
+
+        from repro.cq.homomorphism import SearchCounters
+
+        counters = self._distinct(7)
+        as_dict = counters.as_dict()
+        assert set(as_dict) == {f.name for f in fields(SearchCounters)}
+        for index, field in enumerate(fields(SearchCounters)):
+            assert as_dict[field.name] == 7 + index
+
+    def test_reset_covers_every_field(self):
+        from dataclasses import fields
+
+        from repro.cq.homomorphism import SearchCounters
+
+        counters = self._distinct(3)
+        counters.reset()
+        for field in fields(SearchCounters):
+            assert getattr(counters, field.name) == 0, field.name
+
+    def test_engine_stats_round_trip_exposes_every_field(self):
+        from dataclasses import fields
+
+        from repro.cq.homomorphism import SearchCounters
+
+        one, two = EngineStats(), EngineStats()
+        one.search = self._distinct(10)
+        two.search = self._distinct(20)
+        one.merge(two)
+        as_dict = one.as_dict()
+        for index, field in enumerate(fields(SearchCounters)):
+            key = "homomorphism_" + field.name
+            assert key in as_dict, key
+            assert as_dict[key] == 30 + 2 * index
+
+
 class TestMethodThreadingBugfix:
     """`weakly_equivalent`/`equivalent` used to ignore method=."""
 

@@ -1,0 +1,465 @@
+"""The staged compilation pipeline: content-addressed artifact store,
+process-portable fingerprints, per-stage tracing, and the single-prepare
+guarantee (module-level prepare == the engine's pipeline, uncached)."""
+
+import json
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.coql.containment import prepare
+from repro.engine import ContainmentEngine
+from repro.pipeline import (
+    MISSING,
+    STAGES,
+    TIMED_STAGES,
+    ArtifactStore,
+    KindView,
+    Pipeline,
+    artifact_key,
+    fingerprint,
+    stage_table,
+)
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+LINKED = (
+    "select [a: x.a, kids: select [b: y.b] from y in r where y.a = x.a]"
+    " from x in r"
+)
+WIDER = "select [a: x.a, kids: select [b: y.b] from y in s] from x in r"
+FLAT = "select [v: x.a] from x in r"
+
+DEPTH3 = (
+    "select [a: x.a,"
+    " mids: select [k: y.k,"
+    "  leaves: select [b: z.b] from z in s where z.k = y.k]"
+    " from y in s where y.k = x.a]"
+    " from x in r"
+)
+
+
+# -- ArtifactStore semantics (the old _LRUCache contract) ---------------
+
+
+class TestArtifactStore:
+    def test_lookup_miss_then_hit(self):
+        store = ArtifactStore()
+        assert store.lookup("prepare", "k") is MISSING
+        store.store("prepare", "k", "artifact")
+        assert store.lookup("prepare", "k") == "artifact"
+        counters = store.counters()["prepare"]
+        assert counters == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_none_and_false_are_storable_values(self):
+        store = ArtifactStore()
+        store.store("verdicts", "k1", None)
+        store.store("verdicts", "k2", False)
+        assert store.lookup("verdicts", "k1") is None
+        assert store.lookup("verdicts", "k2") is False
+
+    def test_maxsize_zero_disables(self):
+        store = ArtifactStore(limits={"prepare": 0})
+        store.store("prepare", "k", "artifact")
+        assert store.lookup("prepare", "k") is MISSING
+        assert store.sizes()["prepare"] == 0
+        # Other kinds are unaffected.
+        store.store("targets", "k", "t")
+        assert store.lookup("targets", "k") == "t"
+
+    def test_maxsize_none_is_unbounded(self):
+        store = ArtifactStore(limits={"nonempty": None}, default_maxsize=2)
+        for i in range(50):
+            store.store("nonempty", i, i)
+        assert store.sizes()["nonempty"] == 50
+        assert store.counters()["nonempty"]["evictions"] == 0
+
+    def test_lru_eviction_order(self):
+        store = ArtifactStore(limits={"prepare": 2})
+        store.store("prepare", "a", 1)
+        store.store("prepare", "b", 2)
+        assert store.lookup("prepare", "a") == 1  # refresh a
+        store.store("prepare", "c", 3)  # evicts b, the LRU entry
+        assert store.lookup("prepare", "b") is MISSING
+        assert store.lookup("prepare", "a") == 1
+        assert store.lookup("prepare", "c") == 3
+        assert store.counters()["prepare"]["evictions"] == 1
+
+    def test_per_kind_isolation(self):
+        # A flood of one kind must never evict another kind's entries.
+        store = ArtifactStore(limits={"prepare": 4, "verdicts": 2})
+        store.store("prepare", "p", "enc")
+        for i in range(20):
+            store.store("verdicts", i, bool(i % 2))
+        assert store.lookup("prepare", "p") == "enc"
+        assert store.sizes() == {"prepare": 1, "verdicts": 2}
+
+    def test_clear_keeps_tallies(self):
+        store = ArtifactStore()
+        store.store("prepare", "k", "v")
+        store.lookup("prepare", "k")
+        store.lookup("prepare", "absent")
+        store.clear()
+        assert store.sizes()["prepare"] == 0
+        assert len(store) == 0
+        counters = store.counters()["prepare"]
+        assert (counters["hits"], counters["misses"]) == (1, 1)
+
+    def test_clear_single_kind(self):
+        store = ArtifactStore()
+        store.store("prepare", "k", "v")
+        store.store("targets", "k", "v")
+        store.clear("prepare")
+        assert store.sizes() == {"prepare": 0, "targets": 1}
+
+    def test_reset_counters_keeps_entries(self):
+        store = ArtifactStore()
+        store.store("prepare", "k", "v")
+        store.lookup("prepare", "k")
+        store.reset_counters()
+        assert store.counters()["prepare"] == {
+            "hits": 0, "misses": 0, "evictions": 0,
+        }
+        assert store.lookup("prepare", "k") == "v"  # entry survived
+
+    def test_hit_rates_none_before_any_lookup(self):
+        store = ArtifactStore(limits={"prepare": 8})
+        assert store.hit_rates()["prepare"] is None
+        store.lookup("prepare", "absent")
+        assert store.hit_rates()["prepare"] == 0.0
+        store.store("prepare", "k", "v")
+        store.lookup("prepare", "k")
+        assert store.hit_rates()["prepare"] == 0.5
+
+    def test_kind_view_mapping_protocol(self):
+        store = ArtifactStore()
+        view = KindView(store, "targets")
+        key = ("structural", ("key", 3))
+        assert view.get(key) is None
+        assert view.get(key, "default") == "default"
+        view[key] = "compiled"
+        assert view.get(key) == "compiled"
+        assert len(view) == 1
+
+
+class TestEngineStoreSemantics:
+    """The engine-level cache contract, now routed through the store."""
+
+    def test_cache_sizes_keys_are_stable(self):
+        engine = ContainmentEngine()
+        assert set(engine.cache_sizes()) == {
+            "prepare", "obligation_verdicts", "nonempty", "targets",
+        }
+
+    def test_reset_stats_keeps_entries_and_zeroes_store_tallies(self):
+        engine = ContainmentEngine()
+        engine.contains(WIDER, LINKED, SCHEMA)
+        sizes = engine.cache_sizes()
+        assert sizes["prepare"] == 2
+        engine.reset_stats()
+        assert engine.cache_sizes() == sizes
+        assert all(
+            tally == {"hits": 0, "misses": 0, "evictions": 0}
+            for tally in engine.store().counters().values()
+        )
+        engine.contains(WIDER, LINKED, SCHEMA)
+        assert engine.stats().counter("prepare_hits") == 2
+
+    def test_clear_caches_drops_entries_keeps_stats(self):
+        engine = ContainmentEngine()
+        engine.contains(WIDER, LINKED, SCHEMA)
+        before = engine.stats().counter("prepare_misses")
+        engine.clear_caches()
+        assert sum(engine.cache_sizes().values()) == 0
+        assert engine.stats().counter("prepare_misses") == before
+        engine.contains(WIDER, LINKED, SCHEMA)
+        assert engine.stats().counter("prepare_misses") == before + 2
+
+    def test_disabled_caches_still_decide_correctly(self):
+        engine = ContainmentEngine(
+            prepare_cache_size=0, verdict_cache_size=0, target_cache_size=0
+        )
+        reference = ContainmentEngine()
+        for sup, sub in [(WIDER, LINKED), (LINKED, WIDER), (FLAT, FLAT)]:
+            assert engine.contains(sup, sub, SCHEMA) == reference.contains(
+                sup, sub, SCHEMA
+            )
+        assert sum(engine.cache_sizes().values()) == 0
+
+    def test_shared_store_shares_prepared_artifacts(self):
+        store = ArtifactStore()
+        first = ContainmentEngine(store=store)
+        second = ContainmentEngine(store=store)
+        first.contains(WIDER, LINKED, SCHEMA)
+        second.contains(WIDER, LINKED, SCHEMA)
+        assert second.stats().counter("prepare_hits") == 2
+        assert second.stats().counter("prepare_misses") == 0
+        assert second.stats().counter("obligation_cache_hits") >= 1
+
+    def test_view_catalog_accepts_shared_store(self):
+        from repro.coql import ViewCatalog
+
+        store = ArtifactStore()
+        engine = ContainmentEngine(store=store)
+        engine.contains(WIDER, LINKED, SCHEMA)
+        catalog = ViewCatalog(SCHEMA, views={"wide": WIDER}, store=store)
+        catalog.analyze(LINKED)
+        assert catalog.engine().stats().counter("prepare_hits") >= 2
+
+
+# -- fingerprints: deterministic, structural, process-portable ----------
+
+
+def _key_in_subprocess(query, schema, name):
+    return Pipeline().prepare_key(query, schema, name)
+
+
+class TestFingerprint:
+    def test_equal_structures_equal_digests(self):
+        from repro.coql import parse_coql
+
+        assert fingerprint(parse_coql(LINKED)) == fingerprint(
+            parse_coql(LINKED)
+        )
+        assert fingerprint(parse_coql(LINKED)) != fingerprint(
+            parse_coql(WIDER)
+        )
+
+    def test_spans_do_not_participate(self):
+        # The same query with different surface placement parses to ASTs
+        # with different source spans; the fingerprint must not see them.
+        from repro.coql import parse_coql
+
+        shifted = "   " + FLAT.replace(" from", "  from")
+        assert fingerprint(parse_coql(FLAT)) == fingerprint(
+            parse_coql(shifted)
+        )
+
+    def test_unordered_containers_are_canonicalized(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint(
+            {"b": 2, "a": 1}
+        )
+        assert fingerprint(frozenset({1, 2, 3})) == fingerprint(
+            frozenset({3, 2, 1})
+        )
+
+    def test_type_distinctions_survive(self):
+        assert fingerprint((1, 2)) != fingerprint((1, "2"))
+        assert fingerprint(True) != fingerprint(1)
+        assert fingerprint(()) != fingerprint(frozenset())
+
+    def test_artifact_key_separates_kinds(self):
+        assert artifact_key("prepare", "q") != artifact_key("targets", "q")
+
+    def test_rejects_unencodable_objects(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+    def test_keys_are_identical_across_processes(self):
+        # Spawned workers start a fresh interpreter with its own hash
+        # salt — content-addressed keys must come out bit-identical
+        # anyway, or the parallel engine's workers and the parent would
+        # never agree on cache entries.
+        parent_keys = [
+            Pipeline().prepare_key(text, SCHEMA, "q")
+            for text in (LINKED, WIDER, DEPTH3)
+        ]
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            worker_keys = [
+                pool.submit(_key_in_subprocess, text, SCHEMA, "q").result()
+                for text in (LINKED, WIDER, DEPTH3)
+            ]
+        assert parent_keys == worker_keys
+        assert len(set(parent_keys)) == 3
+
+    def test_worker_computed_key_hits_parent_store(self):
+        # The cross-process cache-hit guarantee: an artifact prepared in
+        # the parent is found under the key a worker computes.
+        engine = ContainmentEngine()
+        engine.prepare(DEPTH3, SCHEMA)
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            key = pool.submit(
+                _key_in_subprocess, DEPTH3, SCHEMA, "q"
+            ).result()
+        assert engine.store().lookup("prepare", key) is not MISSING
+
+
+# -- one prepare implementation -----------------------------------------
+
+
+class TestSinglePrepare:
+    def test_module_prepare_is_the_uncached_pipeline(self):
+        reference = prepare(LINKED, SCHEMA)
+        engine = ContainmentEngine()
+        cached = engine.prepare(LINKED, SCHEMA)
+        assert fingerprint(reference.query) == fingerprint(cached.query)
+        assert reference.shape == cached.shape
+
+    def test_module_prepare_never_caches(self):
+        first = prepare(LINKED, SCHEMA)
+        second = prepare(LINKED, SCHEMA)
+        assert first is not second
+        engine = ContainmentEngine()
+        assert engine.prepare(LINKED, SCHEMA) is engine.prepare(
+            LINKED, SCHEMA
+        )
+
+    def test_uncached_pipeline_stores_nothing(self):
+        pipeline = Pipeline(store=None)
+        pipeline.prepare(LINKED, SCHEMA)
+        assert pipeline.store is None
+
+
+# -- stage declarations --------------------------------------------------
+
+
+class TestStageDeclarations:
+    def test_dag_covers_the_decision_procedure(self):
+        names = [stage.name for stage in STAGES]
+        assert names == [
+            "parse", "typecheck", "analyze", "encode", "build_grouping",
+            "minimize", "enumerate_obligations", "compile_target", "decide",
+        ]
+        assert set(stage_table()) == set(names)
+
+    def test_every_stage_cites_the_paper(self):
+        assert all(stage.paper for stage in STAGES)
+
+    def test_cached_stages_declare_their_keys(self):
+        for stage in STAGES:
+            if stage.cache_kind is not None:
+                assert stage.cache_key, stage.name
+
+    def test_cache_kinds_match_engine_cache_names(self):
+        kinds = {s.cache_kind for s in STAGES if s.cache_kind}
+        # The four legacy engine caches plus the text-keyed parse memo
+        # (internal to the pipeline; not surfaced by cache_sizes()).
+        assert kinds == {
+            "parse", "prepare", "obligation_verdicts", "nonempty", "targets",
+        }
+
+    def test_parse_stage_returns_shared_ast_on_hit(self):
+        pipeline = Pipeline.with_default_store()
+        first = pipeline.parse(LINKED)
+        second = pipeline.parse(LINKED)
+        assert first is second
+        assert Pipeline(store=None).parse(LINKED) is not first
+
+
+# -- tracing: the timers are a view over the trace -----------------------
+
+
+class TestTracing:
+    def _worked_engine(self):
+        engine = ContainmentEngine()
+        engine.contains(WIDER, LINKED, SCHEMA)
+        engine.contains(WIDER, LINKED, SCHEMA)  # warm: cache-hit spans
+        engine.contains(DEPTH3, DEPTH3, SCHEMA)  # depth-3 workload
+        engine.weakly_equivalent(LINKED, LINKED, SCHEMA)
+        return engine
+
+    def test_one_root_span_per_public_decision(self):
+        engine = self._worked_engine()
+        roots = engine.tracer().roots()
+        assert [r.stage for r in roots] == ["check"] * 4
+        assert [r.label for r in roots] == [
+            "contains", "contains", "contains", "weakly_equivalent",
+        ]
+
+    def test_span_durations_reconcile_with_stats_timers(self):
+        # The acceptance invariant: summing span durations per stage
+        # reproduces the EngineStats timers exactly, because the tracer
+        # is the only writer of add_time.
+        engine = self._worked_engine()
+        stats = engine.stats()
+        summed = {}
+        for event in engine.tracer().events():
+            if event.stage in TIMED_STAGES:
+                summed[event.stage] = (
+                    summed.get(event.stage, 0.0) + event.duration
+                )
+        assert summed  # the workload exercised timed stages
+        for stage, seconds in summed.items():
+            assert stats.time(stage) == pytest.approx(seconds, rel=1e-9)
+        for stage, seconds in stats.timers.items():
+            assert seconds == pytest.approx(summed.get(stage, 0.0))
+
+    def test_stage_summary_counts_cache_outcomes(self):
+        engine = self._worked_engine()
+        summary = engine.tracer().stage_summary()
+        assert summary["prepare"]["hits"] >= 2
+        assert summary["prepare"]["misses"] >= 2
+        assert summary["check"]["runs"] == 4
+
+    def test_chrome_trace_is_valid_and_complete(self, tmp_path):
+        engine = self._worked_engine()
+        path = tmp_path / "trace.json"
+        engine.tracer().write_chrome_trace(str(path))
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0.0
+            assert event["ts"] >= 0.0
+            assert isinstance(event["pid"], int)
+            assert event["name"]
+        # Chrome times are microseconds: the per-stage totals match the
+        # stats timers (and therefore the trace tree) to float precision.
+        stats = engine.stats()
+        by_stage = {}
+        for event in events:
+            by_stage[event["name"]] = (
+                by_stage.get(event["name"], 0.0) + event["dur"] / 1e6
+            )
+        for stage in TIMED_STAGES:
+            if stage in by_stage:
+                assert by_stage[stage] == pytest.approx(
+                    stats.time(stage), rel=1e-6
+                )
+
+    def test_trace_tree_nests_stages_under_checks(self):
+        engine = ContainmentEngine()
+        engine.contains(WIDER, LINKED, SCHEMA)
+        (root,) = engine.tracer().roots()
+        child_stages = [child.stage for child in root.children]
+        assert child_stages.count("prepare") == 2
+        assert "obligations" in child_stages
+        prepare_span = root.children[0]
+        assert prepare_span.cache == "miss"
+        assert {c.stage for c in prepare_span.children} >= {
+            "typecheck", "normalize", "encode",
+        }
+
+    def test_clear_trace_keeps_stats(self):
+        engine = self._worked_engine()
+        stats_before = engine.stats().as_dict()
+        engine.clear_trace()
+        assert engine.tracer().roots() == ()
+        assert engine.stats().as_dict() == stats_before
+
+    def test_unretained_tracer_still_feeds_timers(self):
+        engine = ContainmentEngine(retain_trace=False)
+        engine.contains(WIDER, LINKED, SCHEMA)
+        assert engine.tracer().roots() == ()
+        assert engine.stats().time("encode") > 0.0
+
+    def test_trace_export_shape(self):
+        engine = self._worked_engine()
+        tree = engine.tracer().as_dict()
+        assert tree["version"] == 1
+        assert len(tree["checks"]) == 4
+        json.dumps(tree)  # JSON-able throughout
+
+
+class TestParallelEngineTracing:
+    def test_parallel_engine_exposes_local_tracer(self):
+        from repro.engine import ParallelContainmentEngine
+
+        with ParallelContainmentEngine(jobs=1) as parallel:
+            parallel.contains(WIDER, LINKED, SCHEMA)
+            roots = parallel.tracer().roots()
+        assert [r.stage for r in roots] == ["check"]
