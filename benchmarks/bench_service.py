@@ -1,0 +1,144 @@
+"""E13 — the containment service: cold vs warm vs cross-process warm.
+
+Three rows, all driving a real :class:`BackgroundService` over HTTP
+with the stdlib :class:`ServiceClient`:
+
+* **cold** — a fresh service over a fresh database answers the workload
+  for the first time (every artifact computed from scratch).
+* **warm** — the same service answers the same workload again from its
+  in-memory tier; per-request p50/p99 latencies are recorded, and the
+  p99 is the tail-latency extra the regression gate watches.
+* **cross-process warm** — the service is *stopped* and a brand-new one
+  is started over the same SQLite store; its first answers must come
+  from the persistent tier (``cross_process_hit_rate`` > 0, asserted
+  here and recorded for the gate), which is the whole point of the
+  tier: a restart does not refrigerate the cache.
+"""
+
+from time import perf_counter
+
+from repro.service import BackgroundService, ServiceClient
+
+from conftest import record
+
+SCHEMA = {"r": ("a", "b"), "s": ("k", "b")}
+
+LINKED = (
+    "select [a: x.a, kids: select [b: y.b] from y in r where y.a = x.a]"
+    " from x in r"
+)
+UNLINKED = (
+    "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a]"
+    " from x in r"
+)
+WIDER = "select [a: x.a, kids: select [b: y.b] from y in s] from x in r"
+FLAT = "select [v: x.a] from x in r"
+
+QUERIES = [LINKED, UNLINKED, WIDER, FLAT]
+PAIRS = [(a, b) for a in QUERIES for b in QUERIES]
+
+
+def _run_workload(client):
+    verdicts = []
+    for sup, sub in PAIRS:
+        try:
+            verdicts.append(client.contain(sup, sub, SCHEMA))
+        except Exception:
+            verdicts.append(None)  # incomparable pairs answer 422
+    return verdicts
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _latencies_ms(client, rounds=5):
+    samples = []
+    for __ in range(rounds):
+        for sup, sub in PAIRS:
+            start = perf_counter()
+            try:
+                client.contain(sup, sub, SCHEMA)
+            except Exception:
+                pass
+            samples.append((perf_counter() - start) * 1000.0)
+    return samples
+
+
+def test_service_cold_then_warm(benchmark, tmp_path):
+    """One service: first pass cold, timed rounds warm, p50/p99 tails."""
+    path = str(tmp_path / "bench.db")
+    with BackgroundService(store_path=path) as svc:
+        with ServiceClient(svc.host, svc.port) as client:
+            start = perf_counter()
+            verdicts = _run_workload(client)  # cold: compute everything
+            cold_s = perf_counter() - start
+
+            start = perf_counter()
+            _run_workload(client)  # warm: in-memory tier
+            warm_s = perf_counter() - start
+
+            samples = _latencies_ms(client)
+            benchmark(lambda: _run_workload(client))
+            client.flush()
+            stats = client.stats()
+
+    ratio = cold_s / warm_s if warm_s else float("inf")
+    record(
+        benchmark, experiment="E13", mode="cold_then_warm",
+        pairs=len(PAIRS),
+        decided=sum(v is not None for v in verdicts),
+        cold_s=round(cold_s, 6), warm_s=round(warm_s, 6),
+        service_cold_over_warm=round(ratio, 3),
+        p50_ms=round(_percentile(samples, 0.50), 4),
+        p99_ms=round(_percentile(samples, 0.99), 4),
+        batches=stats["service"]["batches"],
+    )
+
+
+def test_service_cross_process_warm_start(benchmark, tmp_path):
+    """Restart over the same store: the first answers arrive warm."""
+    path = str(tmp_path / "bench.db")
+    with BackgroundService(store_path=path) as svc:
+        with ServiceClient(svc.host, svc.port) as client:
+            start = perf_counter()
+            _run_workload(client)
+            cold_s = perf_counter() - start
+            client.flush()
+
+    # A brand-new service (fresh engine, fresh memory tier) over the
+    # surviving database: this is a process restart as far as every
+    # cache above SQLite is concerned.
+    with BackgroundService(store_path=path, preload=True) as svc:
+        with ServiceClient(svc.host, svc.port) as client:
+            start = perf_counter()
+            verdicts = _run_workload(client)
+            restart_s = perf_counter() - start
+            stats = client.stats()
+            samples = _latencies_ms(client, rounds=2)
+            benchmark(lambda: _run_workload(client))
+
+    rates = [
+        rate for rate in stats["store"]["hit_rates"].values()
+        if rate is not None
+    ]
+    hit_rate = max(rates) if rates else 0.0
+    # The acceptance bar: a restarted service must actually hit the
+    # persistent tier, not silently recompute.
+    assert hit_rate > 0, "restarted service never hit the persistent tier"
+    assert svc.service.preloaded > 0
+
+    ratio = cold_s / restart_s if restart_s else float("inf")
+    record(
+        benchmark, experiment="E13", mode="cross_process_warm",
+        pairs=len(PAIRS),
+        decided=sum(v is not None for v in verdicts),
+        cold_s=round(cold_s, 6), restart_s=round(restart_s, 6),
+        cold_over_restart=round(ratio, 3),
+        cross_process_hit_rate=round(hit_rate, 4),
+        preloaded=svc.service.preloaded,
+        p50_ms=round(_percentile(samples, 0.50), 4),
+        p99_ms=round(_percentile(samples, 0.99), 4),
+    )

@@ -23,6 +23,17 @@ file is loaded and rows are joined by ``fullname``.  Two comparisons:
   ``--min-speedup`` (default 2.0); below that is a warning, promoted to
   failure by ``--strict-time``, because it means the content-addressed
   store stopped doing its job.
+* **tail latency** — a row recording ``p99_ms`` (the service
+  benchmark's per-request 99th percentile) is compared like mean time:
+  growth beyond ``2x`` tolerance over the seed is a warning, a failure
+  under ``--strict-time``.  Tail latency is what micro-batching and the
+  persistent tier exist to protect, so it gets its own gate instead of
+  hiding inside the workload mean.
+* **cross-process hit rate** — a row recording
+  ``cross_process_hit_rate`` (the fraction of a restarted service's
+  lookups served by the persistent tier) must stay positive; zero is a
+  **failure** regardless of ``--strict-time``, because it is
+  deterministic — it means warm restarts silently recompute.
 
 Rows present only on one side are reported (new benchmarks are fine;
 vanished ones are a failure, they usually mean a silently skipped
@@ -69,6 +80,23 @@ def compare_module(name, seed_rows, fresh_rows, tolerance, floor,
                     "%s: cold/warm speedup %.2fx below the %.1fx floor "
                     "(seed had %.2fx)"
                     % (fullname, fresh_ratio, min_speedup, seed_ratio)
+                )
+                (failures if strict_time else warnings).append(message)
+        fresh_hit_rate = fresh.get("extra", {}).get("cross_process_hit_rate")
+        if seed.get("extra", {}).get(
+            "cross_process_hit_rate"
+        ) is not None and not fresh_hit_rate:
+            failures.append(
+                "%s: cross-process hit rate dropped to zero — restarted "
+                "processes no longer warm-start from the persistent tier"
+                % fullname
+            )
+        seed_p99 = seed.get("extra", {}).get("p99_ms")
+        fresh_p99 = fresh.get("extra", {}).get("p99_ms")
+        if seed_p99 and fresh_p99 and fresh_p99 > 1.0:
+            if fresh_p99 > seed_p99 * (1.0 + tolerance) * 2.0:
+                message = "%s: p99 latency %.2fms -> %.2fms" % (
+                    fullname, seed_p99, fresh_p99,
                 )
                 (failures if strict_time else warnings).append(message)
         seed_mean = seed.get("stats", {}).get("mean")

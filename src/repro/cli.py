@@ -9,6 +9,7 @@ Usage::
     python -m repro eval     --schema 'r:a,b' --data db.json QUERY
     python -m repro minimize --schema 'r:a,b' QUERY
     python -m repro cq-contain 'q(X) :- r(X,Y)' 'q(X) :- r(X,Y), s(Y)'
+    python -m repro serve    --store-path cache.db [--host H --port P --jobs N --timeout-s T]
 
 Schemas are written ``name:attr,attr;name:attr`` (attributes atomic).
 Databases for ``eval`` are JSON files ``{"relation": [{"attr": value}]}``.
@@ -86,13 +87,17 @@ def _cmd_contain(args):
     schema = _parse_schema(args.schema)
     if args.jobs is not None or args.timeout_s is not None:
         engine = ParallelContainmentEngine(
-            jobs=args.jobs, timeout_s=args.timeout_s, method=args.method
+            jobs=args.jobs, timeout_s=args.timeout_s, method=args.method,
+            store_path=args.store_path,
         )
         with engine:
             verdict = engine.contains(args.sup, args.sub, schema)
     else:
-        engine = ContainmentEngine()
+        engine = ContainmentEngine(store_path=args.store_path)
         verdict = engine.contains(args.sup, args.sub, schema, method=args.method)
+        store = engine.store()
+        if hasattr(store, "flush"):
+            store.flush()
     if verdict is UNDECIDED:
         print("UNDECIDED (timed out after %gs)" % args.timeout_s)
     else:
@@ -276,6 +281,39 @@ def _cmd_minimize(args):
     return 0
 
 
+def _cmd_serve(args):
+    import asyncio
+
+    from repro.service import ContainmentService
+
+    service = ContainmentService(
+        host=args.host,
+        port=args.port,
+        store_path=args.store_path,
+        jobs=args.jobs,
+        timeout_s=args.timeout_s,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        default_schema=_parse_schema(args.schema) if args.schema else None,
+        preload=args.preload,
+    )
+
+    async def run():
+        await service.start()
+        print("serving on http://%s:%d" % (service.host, service.port),
+              file=sys.stderr)
+        if args.preload:
+            print("preloaded %d artifact(s) from %s"
+                  % (service.preloaded, args.store_path), file=sys.stderr)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_cq_contain(args):
     from repro.cq import parse_query, contains
 
@@ -314,6 +352,10 @@ def build_parser():
                    metavar="FILE",
                    help="write the per-stage trace as Chrome trace_event "
                         "JSON (open at chrome://tracing or perfetto.dev)")
+    p.add_argument("--store-path", default=None, dest="store_path",
+                   metavar="FILE",
+                   help="SQLite artifact store: reuse cached pipeline "
+                        "artifacts across runs and persist new ones")
     p.add_argument("sup", help="the containing query")
     p.add_argument("sub", help="the contained query")
     p.set_defaults(func=_cmd_contain)
@@ -391,6 +433,40 @@ def build_parser():
     p.add_argument("--schema", required=True)
     p.add_argument("query")
     p.set_defaults(func=_cmd_minimize)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the containment service (JSON over HTTP, persistent "
+             "artifact cache, micro-batched checks)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: %(default)s)")
+    p.add_argument("--port", type=int, default=8977,
+                   help="bind port; 0 picks an ephemeral port "
+                        "(default: %(default)s)")
+    p.add_argument("--store-path", default=None, dest="store_path",
+                   metavar="FILE",
+                   help="SQLite artifact store backing the cache; restarts "
+                        "warm-start from it (default: memory only)")
+    p.add_argument("--schema", default=None,
+                   help="default schema for requests that omit one")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="engine worker processes (default: %(default)s, "
+                        "in-process)")
+    p.add_argument("--timeout-s", type=float, default=None, dest="timeout_s",
+                   help="default per-check deadline; timed-out checks "
+                        "answer \"undecided\"")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   dest="batch_window_ms",
+                   help="micro-batching window in milliseconds "
+                        "(default: %(default)s)")
+    p.add_argument("--max-batch", type=int, default=64, dest="max_batch",
+                   help="dispatch a batch at this many queued checks "
+                        "(default: %(default)s)")
+    p.add_argument("--preload", action="store_true",
+                   help="warm the in-memory cache from --store-path at "
+                        "startup")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("cq-contain",
                        help="classical conjunctive-query containment")

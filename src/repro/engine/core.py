@@ -97,10 +97,19 @@ class ContainmentEngine:
         and ``nonempty`` segments (0 disables, None unbounded).
     :param target_cache_size: entries in the compiled
         simulation-target segment (0 disables, None unbounded).
-    :param store: a shared :class:`ArtifactStore` to use instead of
+    :param store: a shared :class:`ArtifactStore` (or any object with
+        its ``lookup``/``store`` interface, e.g. a
+        :class:`repro.pipeline.persist.TieredStore`) to use instead of
         building a private one (the ``*_cache_size`` knobs are then
         ignored — the store's own limits apply).  Sharing a store shares
         every artifact kind across the engines attached to it.
+    :param store_path: convenience for the cross-process tier: build a
+        :class:`~repro.pipeline.persist.TieredStore` over the SQLite
+        database at this path (the ``*_cache_size`` knobs bound its
+        memory tier).  Mutually exclusive with *store*.  Artifacts
+        prepared by any process pointed at the same path are reused;
+        call ``engine.store().flush()`` (or close the store) to push
+        this process's write-back buffer to disk.
     :param retain_trace: keep per-check trace trees for export (True);
         the parallel engine's workers pass False so a long-lived pool
         only feeds the timers and never accumulates trace memory.
@@ -118,17 +127,27 @@ class ContainmentEngine:
 
     def __init__(self, witnesses=None, method="certificate",
                  prepare_cache_size=512, verdict_cache_size=8192,
-                 target_cache_size=1024, store=None, retain_trace=True,
-                 analyze=False, analysis_config=None):
+                 target_cache_size=1024, store=None, store_path=None,
+                 retain_trace=True, analyze=False, analysis_config=None):
         self._default_witnesses = witnesses
         self._default_method = method
+        if store is not None and store_path is not None:
+            raise UnsupportedQueryError(
+                "pass store= or store_path=, not both"
+            )
         if store is None:
-            store = ArtifactStore(limits={
+            limits = {
                 "prepare": prepare_cache_size,
                 "obligation_verdicts": verdict_cache_size,
                 "nonempty": verdict_cache_size,
                 "targets": target_cache_size,
-            })
+            }
+            if store_path is not None:
+                from repro.pipeline.persist import TieredStore
+
+                store = TieredStore(path=store_path, limits=limits)
+            else:
+                store = ArtifactStore(limits=limits)
         self._stats = EngineStats()
         self._tracer = Tracer(self._stats, retain=retain_trace)
         self._pipeline = Pipeline(

@@ -45,6 +45,7 @@ run to completion and *timeout_s* is advisory only.
 import os
 import signal
 import threading
+from time import monotonic
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -98,6 +99,14 @@ def _deadline(seconds):
     in a process's main thread (true for pool workers, which execute
     tasks in their main thread).  Where unavailable the body simply runs
     to completion.
+
+    Deadlines nest: entering a deadline while an ``ITIMER_REAL`` is
+    already armed (an outer batch deadline around a per-check one) runs
+    the body under the *tighter* of the two budgets, and on exit
+    re-arms the outer timer with its remaining time minus what the body
+    consumed — an outer deadline is never silently cancelled, only
+    deferred to its original expiry.  An outer timer that should have
+    fired mid-body fires immediately on exit.
     """
     if (
         not seconds
@@ -113,12 +122,26 @@ def _deadline(seconds):
         )
 
     previous = signal.signal(signal.SIGALRM, _expire)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    # setitimer returns the time the pre-existing timer had left; an
+    # outer deadline tighter than ours bounds the body instead of ours.
+    budget = seconds
+    outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL, budget)
+    if outer_remaining and outer_remaining < budget:
+        budget = outer_remaining
+        signal.setitimer(signal.ITIMER_REAL, budget)
+    started = monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_remaining:
+            # Restore the outer deadline where it would have been: its
+            # remaining time minus the body's elapsed time, clamped to
+            # "fire now" when the body overran it (setitimer(0) would
+            # disarm, so the floor must stay positive).
+            left = outer_remaining - (monotonic() - started)
+            signal.setitimer(signal.ITIMER_REAL, max(left, 1e-6))
 
 
 # -- worker side -------------------------------------------------------
@@ -138,7 +161,18 @@ def _init_worker(engine_options):
     # Pool workers are long-lived; they feed the per-stage timers but
     # must never accumulate per-check trace trees.
     options.setdefault("retain_trace", False)
+    # A store_path gives every worker its own TieredStore over the one
+    # shared SQLite database: artifacts prepared by any worker (or by
+    # the parent, or by an earlier process) are read through, and each
+    # chunk's write-back buffer is flushed when the chunk returns.
     _worker_engine = ContainmentEngine(**options)
+
+
+def _flush_store(engine):
+    store = engine.store()
+    flush = getattr(store, "flush", None)
+    if flush is not None:
+        flush()
 
 
 def _decide_one(engine, kind, pair, schema, witnesses, method, timeout_s):
@@ -171,6 +205,7 @@ def _run_chunk(chunk_index, kind, pairs, schema, witnesses, method, timeout_s):
         _decide_one(engine, kind, pair, schema, witnesses, method, timeout_s)
         for pair in pairs
     ]
+    _flush_store(engine)
     return chunk_index, outcomes, engine.stats()
 
 
@@ -205,13 +240,23 @@ class ParallelContainmentEngine:
         *witnesses*/*method* defaults and cache sizes.
     :param executor: inject a pre-built executor (tests); the engine
         then never shuts it down.
+    :param store: a shared store for the in-process engine (see
+        :class:`ContainmentEngine`); worker processes cannot share an
+        in-memory store — use *store_path* for that.
+    :param store_path: SQLite path for the persistent cross-process
+        tier: the in-process engine *and every pool worker* layer their
+        memory LRU over this one database
+        (:class:`repro.pipeline.persist.TieredStore`), so prepared
+        encodings and verdicts flow between workers, across batches,
+        and across process restarts.  Workers flush their write-back
+        buffers at the end of every chunk.
     """
 
     def __init__(self, jobs=None, timeout_s=None, chunk_size=None,
                  witnesses=None, method="certificate",
                  on_timeout="undecided", engine=None, executor=None,
                  prepare_cache_size=512, verdict_cache_size=8192,
-                 target_cache_size=1024):
+                 target_cache_size=1024, store=None, store_path=None):
         if on_timeout not in ("undecided", "raise"):
             raise UnsupportedQueryError(
                 "on_timeout must be 'undecided' or 'raise', got %r"
@@ -236,6 +281,8 @@ class ParallelContainmentEngine:
             "verdict_cache_size": verdict_cache_size,
             "target_cache_size": target_cache_size,
         }
+        if store_path is not None:
+            self._worker_options["store_path"] = store_path
         if engine is None:
             engine = ContainmentEngine(
                 witnesses=witnesses,
@@ -243,6 +290,8 @@ class ParallelContainmentEngine:
                 prepare_cache_size=prepare_cache_size,
                 verdict_cache_size=verdict_cache_size,
                 target_cache_size=target_cache_size,
+                store=store,
+                store_path=store_path,
             )
         self._engine = engine
         self._executor = executor
@@ -279,10 +328,12 @@ class ParallelContainmentEngine:
     def close(self):
         """Shut down the worker pool (idempotent; the engine remains
         usable — the next batch degrades to in-process execution unless
-        a new pool can be created)."""
+        a new pool can be created).  A persistent-tier write-back
+        buffer on the in-process engine is flushed."""
         if self._executor is not None and self._owns_executor:
             self._executor.shutdown(wait=True)
         self._executor = None
+        _flush_store(self._engine)
 
     def __enter__(self):
         return self
@@ -372,12 +423,14 @@ class ParallelContainmentEngine:
                 ]
             except BrokenProcessPool:
                 self._mark_pool_broken()  # fall through: decide in-process
-        return [
+        outcomes = [
             _decide_one(
                 self._engine, kind, pair, schema, witnesses, method, timeout_s
             )
             for pair in pairs
         ]
+        _flush_store(self._engine)
+        return outcomes
 
     def _resolve(self, outcomes, on_error, on_timeout):
         """Apply the error/timeout policies, in deterministic pair order."""

@@ -14,6 +14,7 @@ them carry private memo tables.
 """
 
 from repro.pipeline.fingerprint import artifact_key, fingerprint
+from repro.pipeline.persist import PersistentStore, TieredStore
 from repro.pipeline.stages import (
     DEFAULT_LIMITS,
     Pipeline,
@@ -29,10 +30,12 @@ __all__ = [
     "DEFAULT_LIMITS",
     "KindView",
     "MISSING",
+    "PersistentStore",
     "Pipeline",
     "STAGES",
     "Stage",
     "TIMED_STAGES",
+    "TieredStore",
     "TraceEvent",
     "Tracer",
     "artifact_key",

@@ -17,9 +17,15 @@ old per-engine ``_LRUCache`` tables could not offer:
   cache entry by construction.
 
 The encoding is a tagged, length-prefixed serialization fed to one
-incremental hasher: primitives carry a type tag, sequences their length,
-and unordered containers (dicts, sets) are ordered by the digests of
-their elements so iteration order never leaks into the key.  Immutable
+incremental hasher: primitives carry a type tag (tuples ``T`` and lists
+``L`` are distinct — same contents in a different sequence type is a
+different key), sequences their length, and unordered containers
+(dicts, sets) are ordered by the digests of their elements so iteration
+order never leaks into the key.  Float policy: digests see a canonical
+IEEE bit pattern — ``-0.0`` folds into ``+0.0`` (they compare equal
+everywhere queries compare values) and every NaN payload folds into one
+canonical NaN (so NaN-carrying inputs still key deterministically);
+ints and floats keep distinct tags, so ``1`` and ``1.0`` never collide.  Immutable
 ``__slots__`` value objects (AST nodes, terms, grouping queries, types)
 are encoded as their class name plus slot values — skipping the
 ``_hash`` memo slots and the parser-attached ``_span`` metadata, which
@@ -70,14 +76,29 @@ def _feed(hasher, obj):
         data = repr(obj).encode("ascii")
         hasher.update(b"I" + struct.pack(">I", len(data)) + data)
     elif isinstance(obj, float):
-        hasher.update(b"F" + struct.pack(">d", obj))
+        # Structurally equal floats must share a digest (the store keys
+        # on structure, and -0.0 == 0.0 in every query comparison), and
+        # NaN must key deterministically even though NaN != NaN.  So the
+        # digest sees a canonical bit pattern: -0.0 is folded into +0.0
+        # and every NaN payload into one canonical NaN.
+        if obj != obj:  # NaN (any payload, any sign)
+            hasher.update(b"F" + struct.pack(">d", float("nan")))
+        else:
+            hasher.update(b"F" + struct.pack(">d", obj + 0.0))
     elif isinstance(obj, str):
         data = obj.encode("utf-8")
         hasher.update(b"S" + struct.pack(">I", len(data)) + data)
     elif isinstance(obj, bytes):
         hasher.update(b"Y" + struct.pack(">I", len(obj)) + obj)
-    elif isinstance(obj, (tuple, list)):
+    elif isinstance(obj, tuple):
         hasher.update(b"T" + struct.pack(">I", len(obj)))
+        for item in obj:
+            _feed(hasher, item)
+    elif isinstance(obj, list):
+        # A distinct tag from tuples: ("a",) and ["a"] are different
+        # structures, and sharing the T tag let one artifact alias
+        # across kinds whose keys differ only in sequence type.
+        hasher.update(b"L" + struct.pack(">I", len(obj)))
         for item in obj:
             _feed(hasher, item)
     elif isinstance(obj, (set, frozenset)):

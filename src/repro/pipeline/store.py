@@ -74,8 +74,16 @@ class ArtifactStore:
         return segment
 
     def limit(self, kind):
-        """The configured maxsize of *kind* (0 disabled, None unbounded)."""
-        return self._segment(kind).maxsize
+        """The configured maxsize of *kind* (0 disabled, None unbounded).
+
+        Read-only: never materializes a segment, so asking about a kind
+        that has not stored or looked up anything leaves ``sizes()`` /
+        ``counters()`` / ``hit_rates()`` untouched.
+        """
+        segment = self._segments.get(kind)
+        if segment is None:
+            return self._default_maxsize
+        return segment.maxsize
 
     # -- storage -------------------------------------------------------
 
@@ -112,10 +120,14 @@ class ArtifactStore:
         """Drop stored artifacts (all kinds, or just *kind*).
 
         Hit/miss tallies survive — clearing answers "what is cached",
-        not "how well did caching work".
+        not "how well did caching work".  Clearing a never-used kind is
+        a no-op, not a segment materialization: accounting keeps
+        reporting only kinds that stored or looked up something.
         """
         if kind is not None:
-            self._segment(kind).data.clear()
+            segment = self._segments.get(kind)
+            if segment is not None:
+                segment.data.clear()
             return
         for segment in self._segments.values():
             segment.data.clear()

@@ -1,0 +1,31 @@
+"""``repro.service`` — containment as a long-running service.
+
+The persistent artifact tier (:mod:`repro.pipeline.persist`) makes
+decision state outlive a process; this package makes the process itself
+long-lived.  :class:`ContainmentService` is an asyncio JSON-over-HTTP
+server whose engine sits on the tiered store, micro-batching concurrent
+``contain`` requests (:class:`MicroBatcher`) into the engine's sharded
+batch path and bounding every response with the existing deadline
+machinery.  :class:`ServiceClient` is the stdlib reference client;
+:class:`BackgroundService` hosts the server on a side thread for tests,
+benchmarks, and synchronous embedders.
+
+Start one from the CLI with ``repro serve --store-path …``.
+"""
+
+from repro.service.batching import MicroBatcher
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import (
+    BackgroundService,
+    ContainmentService,
+    DEFAULT_PORT,
+)
+
+__all__ = [
+    "BackgroundService",
+    "ContainmentService",
+    "DEFAULT_PORT",
+    "MicroBatcher",
+    "ServiceClient",
+    "ServiceError",
+]

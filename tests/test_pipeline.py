@@ -132,6 +132,44 @@ class TestArtifactStore:
         store.lookup("prepare", "k")
         assert store.hit_rates()["prepare"] == 0.5
 
+    def test_limit_is_non_mutating(self):
+        # Regression: limit() used to materialize an empty segment for
+        # a never-used kind, polluting sizes()/counters()/hit_rates()
+        # (and every JSON stats consumer downstream).
+        store = ArtifactStore(default_maxsize=7)
+        assert store.limit("never_used") == 7
+        assert store.sizes() == {}
+        assert store.counters() == {}
+        assert store.hit_rates() == {}
+
+    def test_clear_unknown_kind_is_non_mutating(self):
+        store = ArtifactStore()
+        store.store("prepare", "k", "v")
+        store.clear("never_used")
+        assert set(store.sizes()) == {"prepare"}
+        assert set(store.counters()) == {"prepare"}
+
+    def test_accounting_reports_only_used_kinds(self):
+        # Configured kinds are reported from construction (their bounds
+        # were explicitly set); everything else appears only after a
+        # store or a lookup.
+        store = ArtifactStore(limits={"prepare": 4})
+        assert set(store.sizes()) == {"prepare"}
+        store.limit("targets")
+        store.clear("targets")
+        assert set(store.sizes()) == {"prepare"}
+        store.lookup("targets", "k")  # a miss is real usage
+        assert set(store.sizes()) == {"prepare", "targets"}
+        assert store.counters()["targets"]["misses"] == 1
+
+    def test_limit_reports_configured_bounds(self):
+        store = ArtifactStore(limits={"prepare": 4, "off": 0,
+                                      "wide": None})
+        assert store.limit("prepare") == 4
+        assert store.limit("off") == 0
+        assert store.limit("wide") is None
+        assert store.limit("other") == 1024
+
     def test_kind_view_mapping_protocol(self):
         store = ArtifactStore()
         view = KindView(store, "targets")
@@ -248,6 +286,81 @@ class TestFingerprint:
         assert fingerprint((1, 2)) != fingerprint((1, "2"))
         assert fingerprint(True) != fingerprint(1)
         assert fingerprint(()) != fingerprint(frozenset())
+
+    def test_tuple_and_list_never_collide(self):
+        # Regression: tuples and lists shared the T tag, so ("a",) and
+        # ["a"] fingerprinted identically and one artifact could alias
+        # across kinds keying on either sequence shape.
+        assert fingerprint(("a",)) != fingerprint(["a"])
+        assert fingerprint(()) != fingerprint([])
+        assert fingerprint((1, (2, 3))) != fingerprint((1, [2, 3]))
+        assert artifact_key("k", ("a",)) != artifact_key("k", ["a"])
+
+    def test_float_policy_structural_equality(self):
+        # Pinned policy: structurally equal floats share a digest.
+        assert fingerprint(-0.0) == fingerprint(0.0)
+        assert fingerprint(float("nan")) == fingerprint(float("nan"))
+        assert fingerprint(float("nan")) == fingerprint(-float("nan"))
+        # ...but numeric equality across types still does not unify.
+        assert fingerprint(1.0) != fingerprint(1)
+        assert fingerprint(0.5) != fingerprint(0.25)
+        assert fingerprint(float("inf")) != fingerprint(float("-inf"))
+
+    def test_sequence_collision_property(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        atoms = st.one_of(
+            st.none(), st.booleans(), st.integers(),
+            st.floats(allow_nan=False), st.text(max_size=8),
+        )
+        nested = st.recursive(
+            atoms,
+            lambda inner: st.one_of(
+                st.lists(inner, max_size=4),
+                st.tuples(inner), st.tuples(inner, inner),
+            ),
+            max_leaves=10,
+        )
+
+        @settings(max_examples=200, deadline=None)
+        @given(st.lists(nested, max_size=4))
+        def check(items):
+            # A sequence as a tuple vs. as a list must never collide,
+            # and converting any nested list level changes the digest.
+            assert fingerprint(tuple(items)) != fingerprint(list(items))
+
+        check()
+
+    def test_fingerprint_matches_structural_equality_property(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        scalars = st.one_of(
+            st.none(), st.booleans(), st.integers(min_value=-99,
+                                                  max_value=99),
+            st.sampled_from([0.0, -0.0, 1.5, float("nan")]),
+            st.sampled_from(["a", "b", ""]),
+        )
+
+        @settings(max_examples=200, deadline=None)
+        @given(st.tuples(scalars, scalars), st.tuples(scalars, scalars))
+        def check(left, right):
+            def canon(v):
+                # The documented policy's notion of structural equality:
+                # type-tagged, with -0.0≡0.0 and all NaNs identified.
+                def one(x):
+                    if isinstance(x, float):
+                        if x != x:
+                            return ("float", "nan")
+                        return ("float", x + 0.0)
+                    return (type(x).__name__, x)
+                return tuple(one(x) for x in v)
+
+            same = canon(left) == canon(right)
+            assert (fingerprint(left) == fingerprint(right)) == same
+
+        check()
 
     def test_artifact_key_separates_kinds(self):
         assert artifact_key("prepare", "q") != artifact_key("targets", "q")

@@ -1,0 +1,302 @@
+"""The containment service: protocol, batching, deadlines, and the
+warm-restart contract (a restarted service answers from the persistent
+tier)."""
+
+import asyncio
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.engine import UNDECIDED
+from repro.service import (
+    BackgroundService,
+    ContainmentService,
+    MicroBatcher,
+    ServiceClient,
+    ServiceError,
+)
+
+SCHEMA = {"r": ["a", "b"], "s": ["k", "b"]}
+WIDER = "select [a: x.a, kids: select [b: y.b] from y in s] from x in r"
+UNLINKED = (
+    "select [a: x.a, kids: select [b: y.b] from y in s where y.k = x.a]"
+    " from x in r"
+)
+FLAT = "select [v: x.a] from x in r"
+FLAT_RESTRICTED = "select [v: x.a] from x in r, y in s where y.b = x.b"
+
+
+@pytest.fixture(scope="module")
+def service():
+    with BackgroundService(timeout_s=30.0) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def client(service):
+    with ServiceClient(service.host, service.port) as c:
+        yield c
+
+
+class TestProtocol:
+    def test_health(self, client):
+        assert client.health() is True
+
+    def test_contain_verdicts(self, client):
+        assert client.contain(WIDER, UNLINKED, SCHEMA) is True
+        assert client.contain(UNLINKED, WIDER, SCHEMA) is False
+
+    def test_contain_string_schema(self, client):
+        assert client.contain(FLAT, FLAT, "r:a,b;s:k,b") is True
+
+    def test_equiv(self, client):
+        assert client.equiv(FLAT, FLAT, SCHEMA) is True
+        assert client.equiv(FLAT, FLAT_RESTRICTED, SCHEMA) is False
+        # Strict equivalence is only decided for empty-set-free queries
+        # (UNLINKED is not); weak equivalence is decidable in general.
+        assert client.equiv(WIDER, UNLINKED, SCHEMA, weak=True) is False
+        with pytest.raises(ServiceError) as info:
+            client.equiv(WIDER, UNLINKED, SCHEMA)
+        assert info.value.status == 422
+        assert info.value.kind == "UnsupportedQueryError"
+
+    def test_matrix(self, client):
+        matrix = client.matrix([WIDER, UNLINKED, FLAT], SCHEMA)
+        assert matrix[0][1] is True      # UNLINKED ⊑ WIDER
+        assert matrix[1][0] is False
+        assert matrix[0][2] is None      # incomparable with FLAT
+        assert all(matrix[i][i] is True for i in range(3))
+
+    def test_lint_report_shape(self, client):
+        report = client.lint(query=FLAT, schema=SCHEMA)
+        assert report["version"] == 1
+        assert report["summary"]["targets"] == 1
+        assert report["targets"][0]["target"] == FLAT
+        report = client.lint(
+            queries=[FLAT, WIDER], schema=SCHEMA, select=["COQL001"]
+        )
+        assert report["summary"]["targets"] == 2
+
+    def test_incomparable_is_422_with_type(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.contain(FLAT, UNLINKED, SCHEMA)
+        assert info.value.status == 422
+        assert info.value.kind == "IncomparableQueriesError"
+
+    def test_missing_schema_is_400(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.contain(FLAT, FLAT)
+        assert info.value.status == 400
+
+    def test_bad_method_is_400(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.contain(FLAT, FLAT, SCHEMA, method="oracle")
+        assert info.value.status == 400
+
+    def test_unknown_route_is_404(self, service):
+        conn = HTTPConnection(service.host, service.port, timeout=10)
+        conn.request("POST", "/v1/nope", body=b"{}")
+        assert conn.getresponse().status == 404
+        conn.close()
+
+    def test_invalid_json_body_is_400(self, service):
+        conn = HTTPConnection(service.host, service.port, timeout=10)
+        conn.request("POST", "/v1/contain", body=b"not json")
+        response = conn.getresponse()
+        assert response.status == 400
+        payload = json.loads(response.read())
+        assert "error" in payload
+        conn.close()
+
+    def test_stats_shape(self, client):
+        client.contain(WIDER, UNLINKED, SCHEMA)
+        stats = client.stats()
+        assert stats["service"]["requests"]["contain"] >= 1
+        assert stats["service"]["batches"] >= 1
+        assert "prepare_hits" in stats["engine"]
+        assert "hit_rates" in stats["store"]
+
+    def test_concurrent_requests_all_answered(self, service):
+        expected = {WIDER: True, UNLINKED: False}
+        results = {}
+        errors = []
+
+        def hit(sup, sub):
+            try:
+                with ServiceClient(service.host, service.port) as c:
+                    results[(sup, sub)] = c.contain(sup, sub, SCHEMA)
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hit, args=(sup, sub))
+            for sup in (WIDER, UNLINKED)
+            for sub in (WIDER, UNLINKED)
+            for __ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert not errors
+        assert results[(WIDER, UNLINKED)] is True
+        assert results[(UNLINKED, WIDER)] is False
+        assert results[(WIDER, WIDER)] is True
+
+
+class TestMicroBatcher:
+    def test_coalesces_concurrent_submits(self):
+        calls = []
+
+        def run_batch(group, items):
+            calls.append((group, list(items)))
+            return [item * 10 for item in items]
+
+        async def main():
+            batcher = MicroBatcher(run_batch, window_s=0.01)
+            results = await asyncio.gather(
+                batcher.submit("g", "knobs", 1),
+                batcher.submit("g", "knobs", 2),
+                batcher.submit("g", "knobs", 3),
+            )
+            return results, batcher
+
+        results, batcher = asyncio.run(main())
+        assert results == [10, 20, 30]
+        assert len(calls) == 1
+        assert calls[0] == ("knobs", [1, 2, 3])
+        assert batcher.batches == 1
+        assert batcher.largest_batch == 3
+
+    def test_incompatible_groups_never_share_a_batch(self):
+        calls = []
+
+        def run_batch(group, items):
+            calls.append(group)
+            return list(items)
+
+        async def main():
+            batcher = MicroBatcher(run_batch, window_s=0.01)
+            await asyncio.gather(
+                batcher.submit("a", "knobs-a", 1),
+                batcher.submit("b", "knobs-b", 2),
+            )
+            return batcher
+
+        batcher = asyncio.run(main())
+        assert sorted(calls) == ["knobs-a", "knobs-b"]
+        assert batcher.batches == 2
+
+    def test_max_batch_dispatches_early(self):
+        calls = []
+
+        def run_batch(group, items):
+            calls.append(list(items))
+            return list(items)
+
+        async def main():
+            batcher = MicroBatcher(run_batch, window_s=30.0, max_batch=2)
+            return await asyncio.gather(
+                batcher.submit("g", "k", 1),
+                batcher.submit("g", "k", 2),
+                batcher.submit("g", "k", 3),
+                batcher.submit("g", "k", 4),
+            )
+
+        assert asyncio.run(main()) == [1, 2, 3, 4]
+        assert calls == [[1, 2], [3, 4]]
+
+    def test_batch_failure_fails_every_member(self):
+        def run_batch(group, items):
+            raise RuntimeError("engine fell over")
+
+        async def main():
+            batcher = MicroBatcher(run_batch, window_s=0.0)
+            return await asyncio.gather(
+                batcher.submit("g", "k", 1),
+                batcher.submit("g", "k", 2),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+
+class TestDeadlines:
+    def test_response_deadline_answers_undecided(self):
+        async def main():
+            service = ContainmentService(
+                port=0, batch_window_s=0.0, deadline_grace_s=0.05
+            )
+            try:
+
+                async def stuck():
+                    await asyncio.sleep(60)
+
+                verdict, missed = await service._with_deadline(
+                    stuck(), 0.01
+                )
+                assert verdict is UNDECIDED
+                assert missed
+                assert service._deadline_misses == 1
+                # No deadline: the value passes straight through.
+                async def quick():
+                    return True
+
+                verdict, missed = await service._with_deadline(quick(), None)
+                assert verdict is True
+                assert not missed
+            finally:
+                await service.stop()
+
+        asyncio.run(main())
+
+    def test_contain_with_budget_still_decides_fast_checks(self, client):
+        # A generous per-request deadline must not disturb verdicts.
+        assert client.contain(
+            WIDER, UNLINKED, SCHEMA, timeout_s=30.0
+        ) is True
+
+
+class TestWarmRestart:
+    def test_restarted_service_hits_persistent_tier(self, tmp_path):
+        path = str(tmp_path / "service.db")
+        with BackgroundService(store_path=path, timeout_s=30.0) as svc:
+            with ServiceClient(svc.host, svc.port) as c:
+                assert c.contain(WIDER, UNLINKED, SCHEMA) is True
+                c.flush()
+                cold = c.stats()
+        assert sum(cold["store"]["persistent"]["sizes"].values()) > 0
+
+        # Fresh service process state over the same database file: the
+        # first answer comes from artifacts the dead service prepared.
+        with BackgroundService(
+            store_path=path, timeout_s=30.0, preload=True
+        ) as svc:
+            assert svc.service.preloaded > 0
+            with ServiceClient(svc.host, svc.port) as c:
+                assert c.contain(WIDER, UNLINKED, SCHEMA) is True
+                warm = c.stats()
+        rates = [
+            rate for rate in warm["store"]["hit_rates"].values()
+            if rate is not None
+        ]
+        assert rates and max(rates) > 0
+
+    def test_matrix_and_lint_share_the_tier(self, tmp_path):
+        path = str(tmp_path / "service.db")
+        with BackgroundService(store_path=path, timeout_s=30.0) as svc:
+            with ServiceClient(svc.host, svc.port) as c:
+                c.matrix([WIDER, UNLINKED], SCHEMA)
+                c.flush()
+        with BackgroundService(store_path=path, timeout_s=30.0) as svc:
+            with ServiceClient(svc.host, svc.port) as c:
+                report = c.lint(query=WIDER, schema=SCHEMA)
+                assert report["summary"]["errors"] == 0
+                stats = c.stats()
+        counters = stats["store"]["persistent"]["counters"]
+        assert sum(
+            tally["hits"] for tally in counters.values()
+        ) > 0

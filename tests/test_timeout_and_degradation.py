@@ -126,6 +126,68 @@ class TestTimeoutPath:
         assert second == EASY_EXPECTED
 
 
+@needs_sigalrm
+class TestNestedDeadlines:
+    """``_deadline`` must preserve a pre-existing ``ITIMER_REAL``.
+
+    The regression: an inner deadline's exit used to zero the timer
+    outright, so an outer batch deadline wrapped around a per-check
+    deadline (the in-process degradation path) silently lost its
+    timeout and the batch could run forever.
+    """
+
+    def test_outer_deadline_survives_inner_exit(self):
+        from time import sleep
+
+        from repro.engine.parallel import _deadline
+
+        with pytest.raises(ContainmentTimeout):
+            with _deadline(0.3):
+                with _deadline(5.0):
+                    sleep(0.05)  # inner body completes well under budget
+                # pre-fix: the inner exit zeroed ITIMER_REAL here and
+                # the outer deadline never fired
+                sleep(2.0)
+
+    def test_inner_deadline_bounded_by_tighter_outer(self):
+        from time import monotonic, sleep
+
+        from repro.engine.parallel import _deadline
+
+        start = monotonic()
+        with pytest.raises(ContainmentTimeout):
+            with _deadline(0.2):
+                with _deadline(10.0):
+                    sleep(2.0)
+        assert monotonic() - start < 1.5
+
+    def test_exit_rearms_remaining_not_original(self):
+        from time import sleep
+
+        from repro.engine.parallel import _deadline
+
+        # The outer budget is 0.5s; the inner body consumes 0.3s of it.
+        # On exit the outer timer must be re-armed with ~0.2s, so a
+        # 2.0s follow-up still times out — and quickly.
+        from time import monotonic
+
+        start = monotonic()
+        with pytest.raises(ContainmentTimeout):
+            with _deadline(0.5):
+                with _deadline(5.0):
+                    sleep(0.3)
+                sleep(2.0)
+        assert monotonic() - start < 1.5
+
+    def test_timer_cleared_after_outermost_exit(self):
+        from repro.engine.parallel import _deadline
+
+        with _deadline(5.0):
+            pass
+        remaining, _ = signal.setitimer(signal.ITIMER_REAL, 0.0)
+        assert remaining == 0.0
+
+
 class TestUndecidedVerdict:
     def test_falsy_singleton(self):
         assert not UNDECIDED
