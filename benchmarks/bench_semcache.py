@@ -1,0 +1,76 @@
+"""E14 — the semantic view-cache under a Zipf workload.
+
+Replays the seeded workload simulator (company scenario, mild churn)
+through :class:`repro.semcache.SemanticCache` and records the hit-rate
+trajectory, then benchmarks the steady-state hot-query lookup (the
+NF-identity fast path) and a catalog-minimization pass over a catalog
+salted with redundant (alpha-renamed) views.
+
+The recorded ``warm_hit_rate`` is deterministic for the pinned seed —
+``check_regression.py`` gates on it (a cache that stops hitting is a
+correctness event, not a tuning regression) alongside the usual p99.
+"""
+
+from conftest import record
+
+from repro.semcache import CatalogMinimizer, SemanticCache
+from repro.workloads import WorkloadSimulator, company_scenario
+
+SEED = 11
+STEPS = 240
+
+
+def test_semcache_zipf_workload(benchmark):
+    simulator = WorkloadSimulator(
+        company_scenario(seed=SEED), steps=STEPS, seed=SEED,
+        zipf_s=1.2, churn=0.02, max_views=24,
+    )
+    summary = simulator.run()
+    cache = simulator.cache
+    # The hottest pool entry: steady-state lookups ride the NF-identity
+    # fast path, which is what a warm cache serves most.
+    hot_name, hot_query = simulator.pool()[0]
+    benchmark(lambda: cache.lookup(hot_query))
+    record(
+        benchmark,
+        experiment="E14",
+        scenario=summary["scenario"],
+        seed=SEED,
+        steps=summary["steps"],
+        pool=summary["pool"],
+        hot_query=hot_name,
+        hit_rate=round(summary["hit_rate"], 4),
+        warm_hit_rate=round(summary["warm_hit_rate"], 4),
+        exact=summary["sources"]["exact"],
+        residual=summary["sources"]["residual"],
+        miss=summary["sources"]["miss"],
+        admitted=summary["admitted"],
+        evicted=summary["evicted"],
+        churn_evictions=summary["churn_evictions"],
+        prefetch_hints=summary["prefetch_hints"],
+        p50_ms=round(summary["p50_ms"], 4),
+        p99_ms=round(summary["p99_ms"], 4),
+    )
+
+
+def test_semcache_catalog_minimize(benchmark):
+    scenario = company_scenario(seed=SEED)
+    database = scenario.database()
+    cache = SemanticCache(scenario.schema, database, max_views=32)
+    for name, text in sorted(scenario.queries.items()):
+        cache.add_view(name, text)
+    # Salt the catalog with alpha-renamed duplicates the minimizer must
+    # recognize as redundant (NF-identity makes them equivalent).
+    for index, (name, text) in enumerate(sorted(scenario.queries.items())):
+        renamed = text.replace("x in", "xx in").replace("x.", "xx.")
+        cache.add_view("dup%d" % index, renamed)
+    minimizer = CatalogMinimizer(cache.catalog())
+    report = benchmark(lambda: minimizer.plan())
+    record(
+        benchmark,
+        experiment="E14",
+        views=len(cache.views()),
+        kept=len(report.kept),
+        removed=len(report.removed),
+        undecided=len(report.undecided),
+    )

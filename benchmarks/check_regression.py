@@ -34,6 +34,13 @@ file is loaded and rows are joined by ``fullname``.  Two comparisons:
   lookups served by the persistent tier) must stay positive; zero is a
   **failure** regardless of ``--strict-time``, because it is
   deterministic — it means warm restarts silently recompute.
+* **semantic-cache warm hit rate** — a row recording ``warm_hit_rate``
+  (the semantic cache's steady-state serving fraction under the seeded
+  Zipf workload) must stay at least 0.5 and within tolerance of the
+  seed; below that is a **failure** regardless of ``--strict-time``,
+  because the replay is fully deterministic for its pinned seed — a
+  drop means a serving rule stopped firing, not that a machine got
+  slow.
 
 Rows present only on one side are reported (new benchmarks are fine;
 vanished ones are a failure, they usually mean a silently skipped
@@ -91,6 +98,16 @@ def compare_module(name, seed_rows, fresh_rows, tolerance, floor,
                 "processes no longer warm-start from the persistent tier"
                 % fullname
             )
+        seed_warm = seed.get("extra", {}).get("warm_hit_rate")
+        fresh_warm = fresh.get("extra", {}).get("warm_hit_rate")
+        if seed_warm is not None and fresh_warm is not None:
+            warm_floor = max(0.5, seed_warm * (1.0 - tolerance))
+            if fresh_warm < warm_floor:
+                failures.append(
+                    "%s: warm hit rate %.3f below floor %.3f (seed %.3f) — "
+                    "the semantic cache's serving rules regressed"
+                    % (fullname, fresh_warm, warm_floor, seed_warm)
+                )
         seed_p99 = seed.get("extra", {}).get("p99_ms")
         fresh_p99 = fresh.get("extra", {}).get("p99_ms")
         if seed_p99 and fresh_p99 and fresh_p99 > 1.0:

@@ -10,6 +10,7 @@ Usage::
     python -m repro minimize --schema 'r:a,b' QUERY
     python -m repro cq-contain 'q(X) :- r(X,Y)' 'q(X) :- r(X,Y), s(Y)'
     python -m repro serve    --store-path cache.db [--host H --port P --jobs N --timeout-s T]
+    python -m repro semcache --scenario company --steps 200 --seed 7 [--zipf S --churn P --oracle --json]
 
 Schemas are written ``name:attr,attr;name:attr`` (attributes atomic).
 Databases for ``eval`` are JSON files ``{"relation": [{"attr": value}]}``.
@@ -314,6 +315,52 @@ def _cmd_serve(args):
     return 0
 
 
+def _cmd_semcache(args):
+    from repro.workloads import WorkloadSimulator, scenario_by_name
+
+    scenario = scenario_by_name(args.scenario, seed=args.seed)
+    simulator = WorkloadSimulator(
+        scenario,
+        steps=args.steps,
+        seed=args.seed,
+        scale=args.scale,
+        zipf_s=args.zipf,
+        churn=args.churn,
+        max_views=args.max_views,
+        oracle=args.oracle,
+        jobs=args.jobs,
+        timeout_s=args.timeout_s,
+    )
+    summary = simulator.run()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        sources = summary["sources"]
+        print("scenario %s: %d step(s), seed %d, pool of %d quer(ies)"
+              % (summary["scenario"], summary["steps"], summary["seed"],
+                 summary["pool"]))
+        print("  exact %d  residual %d  miss %d" % (
+            sources["exact"], sources["residual"], sources["miss"]))
+        print("  hit rate %.3f (warm %.3f)  p50 %.3fms  p99 %.3fms" % (
+            summary["hit_rate"], summary["warm_hit_rate"],
+            summary["p50_ms"], summary["p99_ms"]))
+        print("  admitted %d  evicted %d (churn %d)  prefetch hints %d  "
+              "views now %d" % (
+                  summary["admitted"], summary["evicted"],
+                  summary["churn_evictions"], summary["prefetch_hints"],
+                  summary["views"]))
+    if summary["mismatches"]:
+        for mismatch in summary["mismatches"]:
+            print("ORACLE MISMATCH at step %d (%s via %s, %s): %s"
+                  % (mismatch["step"], mismatch["query_name"],
+                     mismatch["view"], mismatch["verdict"],
+                     mismatch["query"]), file=sys.stderr)
+        return 1
+    if args.stats:
+        _print_stats(simulator.cache.engine())
+    return 0
+
+
 def _cmd_cq_contain(args):
     from repro.cq import parse_query, contains
 
@@ -467,6 +514,41 @@ def build_parser():
                    help="warm the in-memory cache from --store-path at "
                         "startup")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "semcache",
+        help="replay a seeded Zipf workload through the semantic "
+             "view-cache and report hit-rate/latency",
+    )
+    p.add_argument("--scenario", required=True,
+                   help="a registered scenario name (company, orders)")
+    p.add_argument("--steps", type=int, default=200,
+                   help="lookups to replay (default: %(default)s)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed: database generation, pool shuffle, "
+                        "Zipf draws, churn (default: %(default)s)")
+    p.add_argument("--scale", type=int, default=1,
+                   help="database scale factor (default: %(default)s)")
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="Zipf popularity exponent (default: %(default)s)")
+    p.add_argument("--churn", type=float, default=0.0,
+                   help="per-step probability of evicting a random view "
+                        "(default: %(default)s)")
+    p.add_argument("--max-views", type=int, default=32, dest="max_views",
+                   help="cache admission budget (default: %(default)s)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="shard classification across worker processes")
+    p.add_argument("--timeout-s", type=float, default=None, dest="timeout_s",
+                   help="per-containment-check deadline; undecided checks "
+                        "only demote labels")
+    p.add_argument("--oracle", action="store_true",
+                   help="compare every served answer against direct "
+                        "evaluation; mismatches print to stderr and exit 1")
+    p.add_argument("--json", action="store_true",
+                   help="print the full JSON summary (trajectory included)")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine statistics to stderr")
+    p.set_defaults(func=_cmd_semcache)
 
     p = sub.add_parser("cq-contain",
                        help="classical conjunctive-query containment")

@@ -78,6 +78,16 @@ class ViewCatalog:
         """Register a view (text or Expr)."""
         self._views[name] = query
 
+    def remove(self, name):
+        """Deregister a view; True when it was present.
+
+        Cached artifacts about the view (its prepared encoding, its
+        classification against past queries) stay in the engine's store
+        — they are keyed by content, so re-adding the same view text
+        warm-starts, and they can never be confused with another view's.
+        """
+        return self._views.pop(name, None) is not None
+
     def names(self):
         return tuple(sorted(self._views))
 
@@ -178,6 +188,39 @@ class ViewCatalog:
                 queries, self._schema, witnesses=witnesses
             )
         return names, matrix
+
+    def classify(self, query, witnesses=None, jobs=None, timeout_s=None):
+        """Classify every registered view against *query*.
+
+        The semantic-cache entry point: each view is labelled with one
+        of :data:`repro.engine.CLASSIFICATIONS` (``equivalent`` /
+        ``subsuming`` / ``contained`` / ``irrelevant``) via the engine's
+        batched, label-cached
+        :meth:`~repro.engine.ContainmentEngine.classify_many`.
+
+        :param jobs: when given (> 1), shard across a
+            :class:`repro.engine.ParallelContainmentEngine` sharing this
+            catalog's engine; *timeout_s* bounds each direction, and a
+            timed-out direction can only demote a label (an UNDECIDED
+            check never classifies as ``subsuming``).
+        :returns: ``{view name: label}``.
+        """
+        names = self.names()
+        queries = [self._views[name] for name in names]
+        if jobs is not None or timeout_s is not None:
+            from repro.engine import ParallelContainmentEngine
+
+            with ParallelContainmentEngine(
+                jobs=jobs, timeout_s=timeout_s, engine=self._engine
+            ) as parallel:
+                labels = parallel.classify_many(
+                    query, queries, self._schema, witnesses=witnesses
+                )
+        else:
+            labels = self._engine.classify_many(
+                query, queries, self._schema, witnesses=witnesses
+            )
+        return dict(zip(names, labels))
 
     def usable_views(self, query, witnesses=None):
         """The names of views that can answer *query*, sorted."""

@@ -17,15 +17,21 @@ and :func:`repro.coql.empty_set_free` delegate to a process-wide
 private :class:`ContainmentEngine` for isolated caching or stats.
 """
 
-from repro.engine.core import ContainmentEngine
+from repro.engine.core import (
+    CLASSIFICATIONS,
+    ContainmentEngine,
+    classification_of,
+)
 from repro.engine.stats import EngineStats
 from repro.engine.parallel import ParallelContainmentEngine, UNDECIDED
 
 __all__ = [
+    "CLASSIFICATIONS",
     "ContainmentEngine",
     "EngineStats",
     "ParallelContainmentEngine",
     "UNDECIDED",
+    "classification_of",
     "default_engine",
     "reset_default_engine",
 ]

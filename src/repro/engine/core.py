@@ -63,11 +63,120 @@ from repro.coql.encode import paired_encoding, shapes_compatible
 from repro.grouping.simulation import is_simulated
 from repro.cq import homomorphism
 from repro.engine.stats import EngineStats
+from repro.pipeline.fingerprint import artifact_key
 from repro.pipeline.stages import Pipeline
-from repro.pipeline.store import ArtifactStore
+from repro.pipeline.store import MISSING, ArtifactStore
 from repro.pipeline.trace import Tracer
 
-__all__ = ["ContainmentEngine"]
+__all__ = ["ContainmentEngine", "CLASSIFICATIONS", "classification_of"]
+
+#: The view-usability labels of :meth:`ContainmentEngine.classify_many`,
+#: most useful first.  For a query Q and a candidate view V:
+#:
+#: * ``equivalent`` — ``Q ⊑ V`` and ``V ⊑ Q`` (weakly equivalent);
+#: * ``subsuming``  — ``Q ⊑ V`` only: V's answer dominates Q's, so Q can
+#:   be served from V's materialization by evaluating a residual;
+#: * ``contained``  — ``V ⊑ Q`` only: V is a partial answer (a prefetch
+#:   hint, never a serving source);
+#: * ``irrelevant`` — neither direction is *proven* (this includes
+#:   incomparable pairs, fragment errors, and timed-out checks).
+CLASSIFICATIONS = ("equivalent", "subsuming", "contained", "irrelevant")
+
+
+def classification_of(forward, backward):
+    """The label for one (query, view) pair from its two verdicts.
+
+    :param forward: the verdict of ``query ⊑ view``.
+    :param backward: the verdict of ``view ⊑ query``.
+
+    Only a literal True counts as proven: ``UNDECIDED`` (falsy, a timed
+    out check), captured exceptions, and False all fail the identity
+    test, so an undecided direction can never produce ``subsuming`` or
+    ``equivalent`` — serving from an unproven view would be unsound,
+    while demoting to ``contained``/``irrelevant`` merely loses a cache
+    hit.
+    """
+    forward_proven = forward is True
+    backward_proven = backward is True
+    if forward_proven and backward_proven:
+        return "equivalent"
+    if forward_proven:
+        return "subsuming"
+    if backward_proven:
+        return "contained"
+    return "irrelevant"
+
+
+def _verdict_is_stable(verdict):
+    """True when a verdict may back a cached classification label.
+
+    Booleans and domain exceptions are deterministic; anything else
+    (the parallel engine's UNDECIDED) depends on a wall clock and must
+    be re-decided next time instead of poisoning the cache.
+    """
+    return verdict is True or verdict is False or isinstance(
+        verdict, Exception
+    )
+
+
+def resolve_classifications(pipeline, query, candidates, schema,
+                            witnesses, method, decide_pairs):
+    """Label every candidate view against *query*, cache-first.
+
+    The shared machinery behind :meth:`ContainmentEngine.classify_many`
+    and :meth:`repro.engine.parallel.ParallelContainmentEngine.\
+classify_many`: labels are cached in the pipeline's store under the
+    ``classification`` artifact kind (content-keyed on both ASTs, the
+    schema, and the decision knobs, so they flow through a
+    :class:`~repro.pipeline.persist.TieredStore` to other processes),
+    and only the missing pairs reach *decide_pairs* — one batch of
+    interleaved ``(candidate, query), (query, candidate)`` containment
+    checks with errors captured.
+    """
+    from repro.coql.containment import as_schema
+
+    schema = as_schema(schema)
+    if isinstance(query, str):
+        query = pipeline.parse(query)
+    candidates = [
+        pipeline.parse(candidate) if isinstance(candidate, str) else candidate
+        for candidate in candidates
+    ]
+    schema_items = tuple(sorted(schema.items()))
+    store = pipeline.store
+    labels = [None] * len(candidates)
+    keys = [None] * len(candidates)
+    missing = []
+    for index, candidate in enumerate(candidates):
+        if store is not None:
+            keys[index] = artifact_key(
+                "classification", query, candidate, schema_items,
+                witnesses, method,
+            )
+            cached = store.lookup("classification", keys[index])
+            if cached is not MISSING:
+                pipeline._tally("classification_hits")
+                labels[index] = cached
+                continue
+            pipeline._tally("classification_misses")
+        missing.append(index)
+    if missing:
+        pairs = []
+        for index in missing:
+            pairs.append((candidates[index], query))  # query ⊑ candidate
+            pairs.append((query, candidates[index]))  # candidate ⊑ query
+        verdicts = decide_pairs(pairs)
+        for slot, index in enumerate(missing):
+            forward = verdicts[2 * slot]
+            backward = verdicts[2 * slot + 1]
+            labels[index] = classification_of(forward, backward)
+            if (
+                store is not None
+                and _verdict_is_stable(forward)
+                and _verdict_is_stable(backward)
+            ):
+                store.store("classification", keys[index], labels[index])
+    return labels
 
 #: Legacy cache names, mapped onto the store's artifact kinds, in the
 #: order :meth:`ContainmentEngine.cache_sizes` reports them.
@@ -141,6 +250,7 @@ class ContainmentEngine:
                 "obligation_verdicts": verdict_cache_size,
                 "nonempty": verdict_cache_size,
                 "targets": target_cache_size,
+                "classification": verdict_cache_size,
             }
             if store_path is not None:
                 from repro.pipeline.persist import TieredStore
@@ -459,6 +569,34 @@ class ContainmentEngine:
                     raise
                 out.append(exc)
         return out
+
+    def classify_many(self, query, candidates, schema, witnesses=None,
+                      method=None):
+        """Label every candidate view's usability for *query*.
+
+        For each candidate V the pair of checks ``query ⊑ V`` and
+        ``V ⊑ query`` is decided (errors captured, so one incomparable
+        view cannot abort the batch) and folded into one of the
+        :data:`CLASSIFICATIONS` labels by :func:`classification_of`.
+        Labels are memoized under the ``classification`` artifact kind,
+        so a warm lookup answers without touching the decision procedure
+        at all — this is the semantic cache's admission fast path.
+
+        :returns: a list of labels, one per candidate, in order.
+        """
+        if witnesses is None:
+            witnesses = self._default_witnesses
+        if method is None:
+            method = self._default_method
+        self._stats.tally("classify_calls")
+        return resolve_classifications(
+            self._pipeline, query, list(candidates), schema,
+            witnesses, method,
+            lambda pairs: self.contains_many(
+                pairs, schema, witnesses=witnesses, method=method,
+                on_error="capture",
+            ),
+        )
 
     def pairwise_matrix(self, queries, schema, witnesses=None, method=None):
         """The N×N containment matrix of *queries*.

@@ -533,6 +533,36 @@ class ParallelContainmentEngine:
         size = len(queries)
         return [flat[row * size:(row + 1) * size] for row in range(size)]
 
+    def classify_many(self, query, candidates, schema, witnesses=None,
+                      method=None, timeout_s=_UNSET, on_timeout=None):
+        """Label every candidate view's usability for *query*, sharded.
+
+        Same contract and label caching as
+        :meth:`ContainmentEngine.classify_many`, with the parallel
+        engine's timeout semantics on the underlying checks: a timed-out
+        direction is :data:`UNDECIDED`, which
+        :func:`repro.engine.core.classification_of` never counts as
+        proven — an undecided pair degrades to ``contained`` or
+        ``irrelevant``, never to ``subsuming``/``equivalent``, and a
+        label derived from any undecided direction is *not* cached (the
+        next, possibly luckier, run re-decides it).
+        """
+        from repro.engine.core import resolve_classifications
+
+        witnesses, method, timeout_s, on_timeout = self._defaults(
+            witnesses, method, timeout_s, on_timeout
+        )
+        self.stats().tally("classify_calls")
+        return resolve_classifications(
+            self._engine.pipeline(), query, list(candidates), schema,
+            witnesses, method,
+            lambda pairs: self.contains_many(
+                pairs, schema, witnesses=witnesses, method=method,
+                on_error="capture", timeout_s=timeout_s,
+                on_timeout=on_timeout,
+            ),
+        )
+
     def simulated_many(self, pairs, witnesses=None, on_error="raise",
                        timeout_s=_UNSET, on_timeout=None):
         """Batch grouping-query simulation: one verdict per ``(sub,

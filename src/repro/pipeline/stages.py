@@ -103,13 +103,18 @@ def stage_table():
     return {stage.name: stage for stage in STAGES}
 
 
-#: Default per-kind bounds when a pipeline builds its own store.
+#: Default per-kind bounds when a pipeline builds its own store.  The
+#: ``classification`` kind holds the view-vs-query labels of
+#: :meth:`repro.engine.ContainmentEngine.classify_many` — derived from
+#: two containment verdicts, so it sits above the stage DAG but shares
+#: the store (and the persistent tier) like any other artifact.
 DEFAULT_LIMITS = {
     "parse": 1024,
     "prepare": 512,
     "obligation_verdicts": 8192,
     "nonempty": 8192,
     "targets": 1024,
+    "classification": 8192,
 }
 
 

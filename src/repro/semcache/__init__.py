@@ -1,0 +1,26 @@
+"""Semantic view-caching on top of the containment engine.
+
+See :mod:`repro.semcache.cache` for the serving rules and
+:mod:`repro.semcache.residual` for the soundness argument behind them.
+"""
+
+from repro.semcache.cache import CacheAnswer, MaterializedView, SemanticCache
+from repro.semcache.minimize import CatalogMinimizer, MinimizationReport
+from repro.semcache.residual import (
+    ResidualPlan,
+    exposed_paths,
+    head_is_set_free,
+    residual_plan,
+)
+
+__all__ = [
+    "CacheAnswer",
+    "CatalogMinimizer",
+    "MaterializedView",
+    "MinimizationReport",
+    "ResidualPlan",
+    "SemanticCache",
+    "exposed_paths",
+    "head_is_set_free",
+    "residual_plan",
+]

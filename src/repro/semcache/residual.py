@@ -1,0 +1,191 @@
+"""Sound residual plans: answering a query from a materialized view.
+
+The containment engine proves ``Q ⊑ V`` (the view *subsumes* the
+query), but a verdict alone is not a rewriting — and for nested outputs
+even weak *equivalence* does not license serving V's materialized value
+verbatim: the Hoare preorder on nested sets is coarser than equality
+(Section 5 of the paper), so two weakly equivalent queries can
+materialize different values.  The semantic cache therefore serves only
+through plans whose exactness is syntactically certain:
+
+* **NF identity** — normalization (:mod:`repro.coql.normalize`) is an
+  exact NRC rewriting with canonically numbered variables, so two
+  queries with *equal* normal forms are the same query (alpha-renaming,
+  generator inlining, and condition simplification all wash out).  The
+  cache handles this case itself (a dict keyed by normal form); this
+  module handles the two value-level plans below.
+* **Equivalent, set-free output** — for set-free elements Hoare
+  domination degenerates to equality, so mutual containment of queries
+  with set-free heads forces literal set equality:
+  :func:`head_is_set_free` is the guard.
+* **Refinement residual** — when Q and V have *identical generator
+  lists* (the canonical numbering makes this a plain tuple comparison),
+  V's conditions are a subset of Q's, and V's head *exposes* (as
+  record-field paths to atoms) every path Q's extra conditions and head
+  consult, then Q's answer is computed from V's materialized rows by
+  filtering with the extra conditions and rebuilding Q's head
+  (:func:`residual_plan`).
+
+Soundness of the residual (why per-row evaluation is exact even though
+V's output is a *set*, i.e. deduplicated): Q's satisfying assignments
+are a subset of V's (same generators, more conditions).  Every exposed
+path value is recorded in the row a V-assignment produces, so all
+V-assignments collapsing into one materialized row agree on every value
+the extra conditions and Q's head consult — the row passes the filter
+iff each of those assignments satisfies Q, and then Q's head value is a
+function of the row alone.  Hence {rebuilt head | surviving row} equals
+{Q's head | Q-satisfying assignment} exactly.  When Q's head *is* V's
+head (any nesting), rebuilding is the identity and the same argument
+applies to pure filtering.
+"""
+
+from repro.coql.normalize import NFConst, NFPath, NFRecord, NFSet
+from repro.objects.values import CSet, Record
+
+__all__ = [
+    "ResidualPlan",
+    "residual_plan",
+    "head_is_set_free",
+    "exposed_paths",
+]
+
+
+def head_is_set_free(head):
+    """True when a normal-form head contains no set constructor.
+
+    Set-free heads produce atomic or flat-record elements, for which
+    the Hoare preorder is equality — the guard that lets mutual
+    containment license verbatim serving.
+    """
+    if isinstance(head, (NFConst, NFPath)):
+        return True
+    if isinstance(head, NFRecord):
+        return all(head_is_set_free(value) for __, value in head.fields)
+    return False  # NFSet / NFEmpty
+
+
+def exposed_paths(head, route=()):
+    """``{NFPath: record-field route}`` of the paths a head records.
+
+    Only paths reachable through record fields count — a path consulted
+    inside a nested :class:`NFSet` is evaluated per inner assignment,
+    not recorded per row, so it cannot be read back from a materialized
+    value.
+    """
+    out = {}
+    if isinstance(head, NFPath):
+        out.setdefault(head, route)
+    elif isinstance(head, NFRecord):
+        for name, value in head.fields:
+            for path, inner in exposed_paths(value, route + (name,)).items():
+                out.setdefault(path, inner)
+    return out
+
+
+def _canon(cond):
+    """An order-insensitive key for one equality condition."""
+    left, right = cond
+    return tuple(sorted((repr(left), repr(right))))
+
+
+class ResidualPlan:
+    """Evaluate a query over a subsuming view's materialized rows.
+
+    :param extra_conds: the query's conditions absent from the view
+        (normal-form ``(left, right)`` equalities over exposed paths
+        and constants).
+    :param exposed: ``{NFPath: record-field route}`` into each
+        materialized row (see :func:`exposed_paths`).
+    :param head: the query's normal-form head to rebuild per surviving
+        row, or None to emit rows unchanged (identical heads).
+    """
+
+    __slots__ = ("extra_conds", "exposed", "head")
+
+    def __init__(self, extra_conds, exposed, head):
+        self.extra_conds = tuple(extra_conds)
+        self.exposed = dict(exposed)
+        self.head = head
+
+    def _atom(self, row, side):
+        if isinstance(side, NFConst):
+            return side.value
+        value = row
+        for attr in self.exposed[side]:
+            value = value[attr]
+        return value
+
+    def _build(self, row, head):
+        if isinstance(head, NFConst):
+            return head.value
+        if isinstance(head, NFPath):
+            return self._atom(row, head)
+        return Record(
+            {name: self._build(row, value) for name, value in head.fields}
+        )
+
+    def evaluate(self, materialized):
+        """The query's answer, computed from the view's value."""
+        out = []
+        for row in materialized:
+            if all(
+                self._atom(row, left) == self._atom(row, right)
+                for left, right in self.extra_conds
+            ):
+                out.append(
+                    row if self.head is None else self._build(row, self.head)
+                )
+        return CSet(out)
+
+    def __repr__(self):
+        return "ResidualPlan(extra_conds=%d, exposed=%d%s)" % (
+            len(self.extra_conds), len(self.exposed),
+            ", identity head" if self.head is None else "",
+        )
+
+
+def residual_plan(query_nf, view_nf):
+    """A :class:`ResidualPlan` computing *query_nf* from *view_nf*'s
+    materialization, or None when the refinement fragment does not
+    apply.
+
+    The preconditions (checked syntactically on the canonical normal
+    forms; see the module docstring for why they suffice):
+
+    1. identical generator tuples;
+    2. the view's conditions are a subset of the query's (as unordered
+       equalities);
+    3. every path consulted by the extra conditions is exposed by the
+       view's head;
+    4. the query's head is either set-free with every path exposed
+       (rebuilt per row) or literally equal to the view's head (rows
+       pass through the filter unchanged).
+    """
+    if not isinstance(query_nf, NFSet) or not isinstance(view_nf, NFSet):
+        return None
+    if query_nf.gens != view_nf.gens:
+        return None
+    view_conds = {_canon(cond) for cond in view_nf.conds}
+    query_conds = {_canon(cond) for cond in query_nf.conds}
+    if not view_conds <= query_conds:
+        return None
+    extra = [
+        cond for cond in query_nf.conds if _canon(cond) not in view_conds
+    ]
+    exposed = exposed_paths(view_nf.head)
+    needed = {
+        side
+        for cond in extra
+        for side in cond
+        if isinstance(side, NFPath)
+    }
+    if query_nf.head == view_nf.head:
+        if needed <= set(exposed):
+            return ResidualPlan(extra, exposed, None)
+        return None
+    if not head_is_set_free(query_nf.head):
+        return None
+    needed |= set(exposed_paths(query_nf.head))
+    if not needed <= set(exposed):
+        return None
+    return ResidualPlan(extra, exposed, query_nf.head)

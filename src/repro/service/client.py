@@ -127,6 +127,15 @@ class ServiceClient:
             body["schema"] = schema
         return self._request("POST", "/v1/matrix", body)["matrix"]
 
+    def classify(self, query, views, schema=None, **knobs):
+        """``{view name: classification label}`` for *query* against
+        *views* (a ``{name: query text}`` mapping); None when the
+        service's deadline lapsed first."""
+        body = {"query": query, "views": dict(views), **knobs}
+        if schema is not None:
+            body["schema"] = schema
+        return self._request("POST", "/v1/classify", body)["classifications"]
+
     def lint(self, query=None, queries=None, schema=None, **knobs):
         """The lint report for one query or a batch of queries."""
         body = dict(knobs)

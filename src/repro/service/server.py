@@ -25,6 +25,10 @@ POST     /v1/matrix     ``{queries, schema, timeout_s?, ...}`` →
                         ``{"matrix": [[true|false|null|"undecided", ...]]}``
 POST     /v1/lint       ``{query | queries, schema, select?, ignore?}`` →
                         the CLI's JSON lint report shape
+POST     /v1/classify   ``{query, views: {name: text}, schema,
+                        timeout_s?, witnesses?, method?}`` →
+                        ``{"classifications": {name: "equivalent" |
+                        "subsuming" | "contained" | "irrelevant"}}``
 POST     /v1/flush      ``{}`` → ``{"flushed": n}`` (persist write-backs)
 GET      /v1/stats      service counters + engine stats + store accounting
 GET      /healthz       ``{"ok": true}``
@@ -316,6 +320,43 @@ class ContainmentService:
             "matrix": [[_verdict_payload(v) for v in row] for row in matrix]
         }
 
+    async def _handle_classify(self, body):
+        schema = self._schema_of(body)
+        query = self._query_field(body, "query")
+        views = body.get("views")
+        if (
+            not isinstance(views, dict)
+            or not views
+            or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in views.items()
+            )
+        ):
+            raise _HttpError(
+                400, "'views' must be a non-empty object of name -> query"
+            )
+        witnesses, method, timeout_s = self._knobs_of(body)
+        names = sorted(views)
+        loop = asyncio.get_running_loop()
+
+        def run():
+            labels = self._engine.classify_many(
+                query, [views[name] for name in names], schema,
+                witnesses=witnesses, method=method, timeout_s=timeout_s,
+                on_timeout="undecided",
+            )
+            self._flush()
+            return labels
+
+        # Each view costs two containment checks; scale the deadline.
+        budget = None if timeout_s is None else timeout_s * 2 * len(names)
+        labels, missed = await self._with_deadline(
+            loop.run_in_executor(self._executor, run), budget
+        )
+        if missed:
+            return 200, {"classifications": None, "deadline_exceeded": True}
+        return 200, {"classifications": dict(zip(names, labels))}
+
     async def _handle_lint(self, body):
         from repro.analysis import AnalysisConfig, analyze
 
@@ -416,6 +457,7 @@ class ContainmentService:
         ("POST", "/v1/equiv"): "_handle_equiv",
         ("POST", "/v1/matrix"): "_handle_matrix",
         ("POST", "/v1/lint"): "_handle_lint",
+        ("POST", "/v1/classify"): "_handle_classify",
         ("POST", "/v1/flush"): "_handle_flush",
     }
 

@@ -16,7 +16,14 @@ from repro.workloads.generators import (
     random_coql_deep,
     COQL_SCHEMA,
 )
-from repro.workloads.scenarios import Scenario, company_scenario, orders_scenario
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    Scenario,
+    company_scenario,
+    orders_scenario,
+    scenario_by_name,
+)
+from repro.workloads.simulator import WorkloadSimulator, oracle_mismatch
 
 __all__ = [
     "random_flat_database",
@@ -28,7 +35,11 @@ __all__ = [
     "random_coql",
     "random_coql_deep",
     "COQL_SCHEMA",
+    "SCENARIOS",
     "Scenario",
+    "WorkloadSimulator",
     "company_scenario",
+    "oracle_mismatch",
     "orders_scenario",
+    "scenario_by_name",
 ]

@@ -8,24 +8,55 @@ than synthetic r/s soup.
 
 import random
 
+from repro.errors import ReproError
 from repro.objects.database import Database
+from repro.objects.types import ATOM, RecordType
 
-__all__ = ["Scenario", "company_scenario", "orders_scenario"]
+
+def _row_types(schema):
+    """Flat-schema row types for :meth:`Database.from_dict`, so a
+    generator seed that leaves some relation empty still yields a
+    well-typed database."""
+    return {
+        name: RecordType({attr: ATOM for attr in attrs})
+        for name, attrs in schema.items()
+    }
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "company_scenario",
+    "orders_scenario",
+    "scenario_by_name",
+]
 
 
 class Scenario:
-    """A schema, a database generator, and named queries."""
+    """A schema, a database generator, and named queries.
 
-    __slots__ = ("name", "schema", "queries", "_generator")
+    *default_seed* is the generator seed used when :meth:`database` is
+    called without one — threaded from the scenario constructors so that
+    CLI ``--seed`` reaches every derived artifact.
+    """
 
-    def __init__(self, name, schema, queries, generator):
+    __slots__ = ("name", "schema", "queries", "_generator", "default_seed")
+
+    def __init__(self, name, schema, queries, generator, default_seed=0):
         self.name = name
         self.schema = schema
         self.queries = dict(queries)
         self._generator = generator
+        self.default_seed = default_seed
 
-    def database(self, scale=1, seed=0):
-        """A reproducible database at the given scale factor."""
+    def database(self, scale=1, seed=None):
+        """A reproducible database at the given scale factor.
+
+        Falls back to the scenario's *default_seed* when *seed* is
+        omitted, so ``company_scenario(seed=7).database()`` and
+        ``company_scenario().database(seed=7)`` agree.
+        """
+        if seed is None:
+            seed = self.default_seed
         return self._generator(scale, seed)
 
     def containment_matrix(self, engine=None, witnesses=None, jobs=None,
@@ -67,12 +98,13 @@ class Scenario:
         return "Scenario(%s, %d queries)" % (self.name, len(self.queries))
 
 
-def company_scenario():
+def company_scenario(seed=0):
     """Departments and employees (the OQL classic).
 
     Queries: group employees under their department; several
     reformulations with known relationships (equivalent, contained,
-    incomparable) for exercising the deciders.
+    incomparable) for exercising the deciders.  *seed* becomes the
+    scenario's :attr:`~Scenario.default_seed`.
     """
     schema = {
         "dept": ("dname", "floor"),
@@ -93,7 +125,9 @@ def company_scenario():
             }
             for i in range(6 * scale)
         ]
-        return Database.from_dict({"dept": departments, "emp": employees})
+        return Database.from_dict(
+            {"dept": departments, "emp": employees}, schema=_row_types(schema)
+        )
 
     queries = {
         "staff_by_dept": (
@@ -116,11 +150,14 @@ def company_scenario():
             " from x in dept"
         ),
     }
-    return Scenario("company", schema, queries, generate)
+    return Scenario("company", schema, queries, generate, default_seed=seed)
 
 
-def orders_scenario():
-    """Customers, orders, and a gold-tier side table."""
+def orders_scenario(seed=0):
+    """Customers, orders, and a gold-tier side table.
+
+    *seed* becomes the scenario's :attr:`~Scenario.default_seed`.
+    """
     schema = {
         "orders": ("cust", "item"),
         "catalog": ("item", "category"),
@@ -142,7 +179,8 @@ def orders_scenario():
         ]
         gold = [{"cust": c} for c in customers if rng.random() < 0.4]
         return Database.from_dict(
-            {"orders": orders, "catalog": catalog, "gold": gold}
+            {"orders": orders, "catalog": catalog, "gold": gold},
+            schema=_row_types(schema),
         )
 
     queries = {
@@ -163,4 +201,25 @@ def orders_scenario():
             " from o in orders"
         ),
     }
-    return Scenario("orders", schema, queries, generate)
+    return Scenario("orders", schema, queries, generate, default_seed=seed)
+
+
+SCENARIOS = {
+    "company": company_scenario,
+    "orders": orders_scenario,
+}
+
+
+def scenario_by_name(name, seed=0):
+    """Construct a registered scenario by name (CLI entry point).
+
+    :raises ReproError: on an unknown name, listing the known ones.
+    """
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ReproError(
+            "unknown scenario %r (known: %s)"
+            % (name, ", ".join(sorted(SCENARIOS)))
+        ) from None
+    return factory(seed=seed)

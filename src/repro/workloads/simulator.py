@@ -1,0 +1,250 @@
+"""A seedable workload simulator driving the semantic cache.
+
+:class:`WorkloadSimulator` replays a Zipf-distributed query stream
+drawn from one of the named scenarios (:mod:`repro.workloads.scenarios`)
+against a :class:`repro.semcache.SemanticCache`, recording hit-rate and
+latency trajectories.  The query pool mixes the scenario's named
+queries with mechanically derived full projections and equality
+refinements (constants sampled from the generated database itself, so
+refinements are non-vacuous), which is what gives the semantic layer
+something to do: refinements of an admitted query are served through
+residual plans rather than re-evaluated.
+
+Every source of randomness flows from the single *seed* (pool
+shuffling, Zipf draws, churn coin-flips, refinement constants), so a
+``(scenario, steps, seed, scale, zipf_s, churn, max_views)`` tuple
+pins the full trajectory — the differential-oracle tests rely on this.
+
+With ``oracle=True``, every cache-served answer (``exact`` and
+``residual`` alike) is compared against a direct
+:func:`repro.coql.eval.evaluate_coql` on the base database; any
+mismatch is recorded with the query, serving view, and verdict — the
+workload-scale soundness check for the serving rules.
+"""
+
+import time
+
+from repro.coql.eval import evaluate_coql
+
+__all__ = ["WorkloadSimulator", "oracle_mismatch"]
+
+
+def oracle_mismatch(query, answer, database, engine=None):
+    """Compare a cache answer against direct evaluation.
+
+    :param query: the COQL text (or Expr) that produced *answer*.
+    :param answer: a :class:`repro.semcache.CacheAnswer`.
+    :param database: the base database the cache serves.
+    :returns: None when the served value equals the directly evaluated
+        one; otherwise a dict with ``query``, ``view``, ``verdict``,
+        ``expected``, and ``got`` entries (the mismatch dossier the
+        differential tests dump).
+    """
+    if isinstance(query, str):
+        if engine is not None:
+            query_ast = engine.pipeline().parse(query)
+        else:
+            from repro.coql.parser import parse_coql
+
+            query_ast = parse_coql(query)
+    else:
+        query_ast = query
+    expected = evaluate_coql(query_ast, database)
+    if expected == answer.value:
+        return None
+    return {
+        "query": query if isinstance(query, str) else repr(query),
+        "view": answer.view,
+        "verdict": answer.classification,
+        "source": answer.source,
+        "expected": repr(expected),
+        "got": repr(answer.value),
+    }
+
+
+class WorkloadSimulator:
+    """Drive a :class:`~repro.semcache.SemanticCache` with a seeded
+    Zipf workload over one scenario.
+
+    :param scenario: a :class:`repro.workloads.Scenario` (its
+        *default_seed* seeds the database unless *seed* overrides both).
+    :param steps: number of lookups to replay.
+    :param seed: master seed for the stream (database generation uses
+        it too, keeping one knob on the CLI).
+    :param scale: database scale factor.
+    :param zipf_s: Zipf exponent for query popularity (rank-weighted
+        ``1/(rank+1)**s``); larger = hotter head.
+    :param churn: per-step probability of evicting one random unpinned
+        view (catalog churn; stresses re-admission).
+    :param max_views: the cache's admission budget.
+    :param oracle: compare every served answer against direct
+        evaluation (slower; records mismatches).
+    :param engine, store, jobs, timeout_s: forwarded to the cache.
+    """
+
+    def __init__(self, scenario, steps=200, seed=0, scale=1, zipf_s=1.1,
+                 churn=0.0, max_views=32, oracle=False, engine=None,
+                 store=None, jobs=None, timeout_s=None):
+        import random
+
+        from repro.semcache import SemanticCache
+
+        self._scenario = scenario
+        self._steps = steps
+        self._seed = seed
+        self._zipf_s = zipf_s
+        self._churn = churn
+        self._oracle = oracle
+        self._rng = random.Random(seed)
+        self._database = scenario.database(scale=scale, seed=seed)
+        self._cache = SemanticCache(
+            scenario.schema, self._database, engine=engine, store=store,
+            max_views=max_views, jobs=jobs, timeout_s=timeout_s,
+        )
+        self._pool = self._build_pool()
+        self._weights = [
+            1.0 / (rank + 1) ** zipf_s for rank in range(len(self._pool))
+        ]
+        self.trajectory = []
+        self.latencies_ms = []
+        self.mismatches = []
+        self.churn_evictions = 0
+
+    @property
+    def cache(self):
+        return self._cache
+
+    @property
+    def database(self):
+        return self._database
+
+    def pool(self):
+        """The ``(name, query text)`` pool, popularity rank order."""
+        return tuple(self._pool)
+
+    # -- pool construction ---------------------------------------------
+
+    def _build_pool(self):
+        """Named queries + full projections + sampled refinements,
+        shuffled once so popularity ranks differ across seeds."""
+        pool = [
+            (name, text) for name, text in sorted(
+                self._scenario.queries.items()
+            )
+        ]
+        for relation in sorted(self._scenario.schema):
+            attrs = self._scenario.schema[relation]
+            projection = "select [%s] from x in %s" % (
+                ", ".join("%s: x.%s" % (a, a) for a in attrs), relation,
+            )
+            pool.append(("%s_all" % relation, projection))
+            pool.extend(self._refinements(relation, attrs, projection))
+        self._rng.shuffle(pool)
+        return pool
+
+    def _refinements(self, relation, attrs, projection):
+        """Equality refinements of the full projection, with constants
+        sampled from the live database so the filters select rows."""
+        if relation not in self._database:
+            return []
+        rows = list(self._database[relation])
+        if not rows:
+            return []
+        out = []
+        for attr in attrs:
+            row = self._rng.choice(rows)
+            value = row[attr]
+            if isinstance(value, str):
+                literal = '"%s"' % value
+            else:
+                literal = repr(value)
+            out.append((
+                "%s_%s_eq" % (relation, attr),
+                "%s where x.%s = %s" % (projection, attr, literal),
+            ))
+        return out
+
+    # -- the replay loop -----------------------------------------------
+
+    def step(self):
+        """Replay one lookup; returns ``(query name, CacheAnswer)``."""
+        name, text = self._rng.choices(self._pool, weights=self._weights)[0]
+        start = time.perf_counter()
+        answer = self._cache.lookup(text)
+        self.latencies_ms.append((time.perf_counter() - start) * 1e3)
+        self.trajectory.append({
+            "step": len(self.trajectory),
+            "query": name,
+            "source": answer.source,
+            "view": answer.view,
+        })
+        if self._oracle and answer.hit:
+            mismatch = oracle_mismatch(
+                text, answer, self._database, engine=self._cache.engine()
+            )
+            if mismatch is not None:
+                mismatch["step"] = len(self.trajectory) - 1
+                mismatch["query_name"] = name
+                self.mismatches.append(mismatch)
+        if self._churn and self._rng.random() < self._churn:
+            victims = [
+                vname for vname in self._cache.views()
+                if not self._cache.view(vname).pinned
+            ]
+            if victims:
+                self._cache.evict(self._rng.choice(victims))
+                self.churn_evictions += 1
+        return name, answer
+
+    def run(self):
+        """Replay the full *steps* stream; returns :meth:`summary`."""
+        for __ in range(self._steps):
+            self.step()
+        return self.summary()
+
+    # -- reporting ------------------------------------------------------
+
+    @staticmethod
+    def _percentile(samples, q):
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self):
+        """A JSON-safe summary of the replay so far.
+
+        ``warm_hit_rate`` covers the second half of the stream — the
+        steady-state figure the benchmark seed gates on.  The
+        ``trajectory`` entries carry no latencies, so the summary minus
+        ``p50_ms``/``p99_ms`` is fully deterministic for a seed.
+        """
+        steps = len(self.trajectory)
+        sources = {"exact": 0, "residual": 0, "miss": 0}
+        for entry in self.trajectory:
+            sources[entry["source"]] += 1
+        hits = sources["exact"] + sources["residual"]
+        warm = self.trajectory[steps // 2:]
+        warm_hits = sum(1 for e in warm if e["source"] != "miss")
+        counters = self._cache.counters
+        return {
+            "scenario": self._scenario.name,
+            "steps": steps,
+            "seed": self._seed,
+            "zipf_s": self._zipf_s,
+            "churn": self._churn,
+            "pool": len(self._pool),
+            "sources": sources,
+            "hit_rate": hits / steps if steps else 0.0,
+            "warm_hit_rate": warm_hits / len(warm) if warm else 0.0,
+            "p50_ms": self._percentile(self.latencies_ms, 0.50),
+            "p99_ms": self._percentile(self.latencies_ms, 0.99),
+            "admitted": counters["admitted"],
+            "evicted": counters["evicted"],
+            "prefetch_hints": counters["prefetch_hints"],
+            "churn_evictions": self.churn_evictions,
+            "views": len(self._cache.views()),
+            "mismatches": list(self.mismatches),
+            "trajectory": list(self.trajectory),
+        }

@@ -1,0 +1,187 @@
+"""Unit tests of the semantic cache's serving rules and maintenance.
+
+The serving rules are the sound fragment worked out in
+:mod:`repro.semcache.residual`: NF-identity, equivalent-with-set-free
+head, and the refinement residual.  Everything outside them must MISS —
+in particular a weakly equivalent view with a *nested* head and a
+different normal form, where verbatim serving would be unsound (Hoare
+equivalence does not force value equality on nested sets).
+"""
+
+from repro.coql.eval import evaluate_coql
+from repro.coql.normalize import normalize
+from repro.coql.parser import parse_coql
+from repro.objects.database import Database
+from repro.semcache import (
+    CatalogMinimizer,
+    SemanticCache,
+    head_is_set_free,
+    residual_plan,
+)
+
+SCHEMA = {"dept": ("dname", "floor"), "emp": ("name", "dep", "salary_band")}
+
+DB = Database.from_dict({
+    "dept": [
+        {"dname": "d1", "floor": 2},
+        {"dname": "d2", "floor": 3},
+        {"dname": "d3", "floor": 2},
+    ],
+    "emp": [
+        {"name": "e1", "dep": "d1", "salary_band": 1},
+        {"name": "e2", "dep": "d1", "salary_band": 2},
+        {"name": "e3", "dep": "d2", "salary_band": 1},
+    ],
+})
+
+FLAT = "select [d: x.dname, floor: x.floor] from x in dept"
+NESTED = (
+    "select [d: x.dname,"
+    " staff: select [n: y.name] from y in emp where y.dep = x.dname]"
+    " from x in dept"
+)
+
+
+def _cache(**kwargs):
+    kwargs.setdefault("max_views", 8)
+    return SemanticCache(SCHEMA, DB, **kwargs)
+
+
+class TestServingRules:
+    def test_nf_identity_serves_alpha_renamed_nested_queries(self):
+        cache = _cache()
+        cache.add_view("nested", NESTED)
+        renamed = NESTED.replace("x", "qq").replace("y", "zz")
+        answer = cache.lookup(renamed)
+        assert answer.source == "exact" and answer.view == "nested"
+        assert answer.classification == "equivalent"
+        assert answer.value == evaluate_coql(parse_coql(NESTED), DB)
+        assert cache.counters["exact_hits"] == 1
+
+    def test_residual_serves_refinements_without_touching_the_db(self):
+        cache = _cache()
+        cache.add_view("flat", FLAT)
+        refined = FLAT + " where x.floor = 2"
+        answer = cache.lookup(refined)
+        assert answer.source == "residual" and answer.view == "flat"
+        assert answer.classification == "subsuming"
+        assert answer.value == evaluate_coql(parse_coql(refined), DB)
+        assert len(answer.value) == 2
+
+    def test_residual_rebuilds_a_narrower_head(self):
+        cache = _cache()
+        cache.add_view("flat", FLAT)
+        narrower = "select [d: x.dname] from x in dept where x.floor = 2"
+        answer = cache.lookup(narrower)
+        assert answer.source == "residual"
+        assert answer.value == evaluate_coql(parse_coql(narrower), DB)
+
+    def test_equivalent_nested_with_different_nf_is_not_served(self):
+        """Weak equivalence of nested outputs does not license verbatim
+        serving: the cache must fall through to a miss (and answer by
+        direct evaluation) rather than hand back the view's value."""
+        cache = _cache()
+        cache.add_view("nested", NESTED)
+        # Equivalent via the redundant generator z (z = x always
+        # satisfies it), but a different normal form.
+        redundant = (
+            "select [d: x.dname,"
+            " staff: select [n: y.name] from y in emp where y.dep = x.dname]"
+            " from x in dept, z in dept where z.dname = x.dname"
+        )
+        labels = cache.classify(redundant)
+        assert labels["nested"] == "equivalent"
+        answer = cache.lookup(redundant)
+        assert answer.source == "miss"
+        assert answer.value == evaluate_coql(parse_coql(redundant), DB)
+
+    def test_contained_views_become_prefetch_hints_not_answers(self):
+        cache = _cache()
+        restricted = FLAT + " where x.floor = 2"
+        cache.add_view("second_floor", restricted)
+        answer = cache.lookup(FLAT)
+        assert answer.source == "miss"
+        assert answer.prefetch == ("second_floor",)
+        assert cache.counters["prefetch_hints"] == 1
+
+    def test_miss_admits_and_next_lookup_hits(self):
+        cache = _cache()
+        first = cache.lookup(FLAT)
+        assert first.source == "miss" and first.view == "~q0"
+        second = cache.lookup(FLAT)
+        assert second.source == "exact" and second.view == "~q0"
+        refinement = FLAT + ' where x.dname = "d1"'
+        third = cache.lookup(refinement)
+        assert third.source == "residual" and third.view == "~q0"
+        assert third.value == evaluate_coql(parse_coql(refinement), DB)
+
+    def test_admission_disabled_with_zero_budget(self):
+        cache = _cache(max_views=0)
+        answer = cache.lookup(FLAT)
+        assert answer.source == "miss" and answer.view is None
+        assert cache.views() == ()
+
+
+class TestMaintenance:
+    def test_lru_eviction_spares_pinned_views(self):
+        cache = _cache(max_views=2)
+        cache.add_view("keep", FLAT, pinned=True)
+        cache.add_view("a", FLAT + " where x.floor = 2")
+        cache.add_view("b", FLAT + " where x.floor = 3")  # evicts "a"
+        assert set(cache.views()) == {"keep", "b"}
+        assert cache.counters["evicted"] == 1
+
+    def test_minimize_prunes_alpha_renamed_duplicates(self):
+        cache = _cache()
+        cache.add_view("orig", NESTED)
+        cache.add_view("dup", NESTED.replace("x", "qq").replace("y", "zz"))
+        cache.add_view("other", FLAT)
+        report = cache.minimize()
+        # Catalog order is sorted, so "dup" is kept and "orig" pruned.
+        assert report.removed == {"orig": "dup"}
+        assert set(cache.views()) == {"dup", "other"}
+        # The survivor still serves the evicted spelling.
+        answer = cache.lookup(NESTED)
+        assert answer.source == "exact"
+
+    def test_minimizer_keeps_merely_contained_views(self):
+        cache = _cache()
+        cache.add_view("all", FLAT)
+        cache.add_view("some", FLAT + " where x.floor = 2")
+        report = CatalogMinimizer(cache.catalog()).plan()
+        assert report.removed == {}
+        assert set(report.kept) == {"all", "some"}
+
+    def test_contradictory_query_answers_empty(self):
+        cache = _cache()
+        answer = cache.lookup(
+            FLAT + ' where x.dname = "d1" and x.dname = "d2"'
+        )
+        assert len(answer.value) == 0
+
+
+class TestResidualGuards:
+    def test_set_free_guard(self):
+        assert head_is_set_free(normalize(parse_coql(FLAT)).head)
+        assert not head_is_set_free(normalize(parse_coql(NESTED)).head)
+
+    def test_no_plan_when_needed_path_is_not_exposed(self):
+        view = normalize(parse_coql("select [d: x.dname] from x in dept"))
+        query = normalize(parse_coql(
+            "select [d: x.dname] from x in dept where x.floor = 2"
+        ))
+        assert residual_plan(query, view) is None  # floor not exposed
+
+    def test_no_plan_across_different_generators(self):
+        view = normalize(parse_coql(FLAT))
+        query = normalize(parse_coql("select [n: e.name] from e in emp"))
+        assert residual_plan(query, view) is None
+
+    def test_plan_is_exact_on_constant_conditions(self):
+        view = normalize(parse_coql(FLAT))
+        query = normalize(parse_coql(FLAT + " where x.floor = 2"))
+        plan = residual_plan(query, view)
+        assert plan is not None
+        materialized = evaluate_coql(parse_coql(FLAT), DB)
+        expected = evaluate_coql(parse_coql(FLAT + " where x.floor = 2"), DB)
+        assert plan.evaluate(materialized) == expected

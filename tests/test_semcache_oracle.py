@@ -1,0 +1,120 @@
+"""The differential workload oracle (satellite of the semantic cache).
+
+Every answer the cache *serves* (exact or residual — anything except a
+direct-evaluation miss) across long seeded simulator replays is
+compared against :func:`repro.coql.eval.evaluate_coql` on the base
+database.  The serving rules are proved sound in
+:mod:`repro.semcache.residual`; this is the workload-scale check that
+the implementation honors the proof — with churn, LRU eviction, and
+admission racing in the background.
+
+A mismatch dumps the (query, view, verdict) dossier so a failure here
+localizes to the serving rule that fired.
+"""
+
+import pytest
+
+from repro.semcache import CacheAnswer, SemanticCache
+from repro.workloads import (
+    WorkloadSimulator,
+    company_scenario,
+    oracle_mismatch,
+    orders_scenario,
+)
+
+
+def _format(mismatches):
+    return "\n".join(
+        "step %(step)d %(query_name)s via %(view)s (%(verdict)s, "
+        "%(source)s): %(query)s" % m for m in mismatches
+    )
+
+
+@pytest.mark.parametrize(
+    "scenario_factory, steps, seed, zipf_s, churn",
+    [
+        (company_scenario, 220, 17, 1.2, 0.03),
+        (orders_scenario, 200, 23, 1.1, 0.02),
+    ],
+    ids=["company", "orders"],
+)
+def test_oracle_zero_mismatches(scenario_factory, steps, seed, zipf_s, churn):
+    simulator = WorkloadSimulator(
+        scenario_factory(seed=seed), steps=steps, seed=seed,
+        zipf_s=zipf_s, churn=churn, max_views=16, oracle=True,
+    )
+    summary = simulator.run()
+    assert summary["steps"] == steps
+    assert not summary["mismatches"], _format(summary["mismatches"])
+    # The oracle must actually have exercised served answers, or the
+    # zero-mismatch claim is vacuous.
+    served = summary["sources"]["exact"] + summary["sources"]["residual"]
+    assert served > steps // 2
+    assert summary["sources"]["residual"] > 0
+
+
+def test_oracle_covers_both_serving_sources():
+    """Across the two scenarios the oracle checks both exact and
+    residual answers, not just the NF-identity fast path."""
+    sources = {"exact": 0, "residual": 0}
+    for factory, seed in ((company_scenario, 17), (orders_scenario, 23)):
+        simulator = WorkloadSimulator(
+            factory(seed=seed), steps=120, seed=seed, zipf_s=1.2,
+            oracle=True,
+        )
+        summary = simulator.run()
+        assert not summary["mismatches"], _format(summary["mismatches"])
+        for key in sources:
+            sources[key] += summary["sources"][key]
+    assert sources["exact"] > 0 and sources["residual"] > 0
+
+
+def test_oracle_detects_a_corrupted_view():
+    """Tamper with a materialized view: the oracle must notice, and its
+    dossier must carry the fields the dump format relies on."""
+    scenario = company_scenario(seed=5)
+    database = scenario.database()
+    cache = SemanticCache(scenario.schema, database)
+    query = "select [d: x.dname, floor: x.floor] from x in dept"
+    cache.add_view("depts", query)
+    from repro.objects.values import CSet
+
+    cache.view("depts").value = CSet()  # corrupt the materialization
+    answer = cache.lookup(query)
+    assert answer.source == "exact" and answer.view == "depts"
+    mismatch = oracle_mismatch(query, answer, database)
+    assert mismatch is not None
+    assert {"query", "view", "verdict", "expected", "got"} <= set(mismatch)
+    assert mismatch["view"] == "depts"
+
+
+def test_oracle_accepts_a_correct_answer():
+    scenario = company_scenario(seed=5)
+    database = scenario.database()
+    cache = SemanticCache(scenario.schema, database)
+    query = "select [d: x.dname] from x in dept"
+    cache.add_view("names", query)
+    answer = cache.lookup(query)
+    assert answer.hit
+    assert oracle_mismatch(query, answer, database) is None
+
+
+def test_oracle_checks_residual_answers():
+    """A handcrafted refinement served residually passes the oracle; a
+    corrupted residual source does not."""
+    scenario = company_scenario(seed=9)
+    database = scenario.database()
+    cache = SemanticCache(scenario.schema, database)
+    base = "select [d: x.dname, floor: x.floor] from x in dept"
+    refined = base + " where x.floor = 2"
+    cache.add_view("base", base)
+    answer = cache.lookup(refined)
+    assert answer.source == "residual" and answer.view == "base"
+    assert oracle_mismatch(refined, answer, database) is None
+    # Serving from a bogus value must be caught.
+    bogus = CacheAnswer(answer.value, "residual", "base", "subsuming")
+    wrong = CacheAnswer(
+        cache.view("base").value, "residual", "base", "subsuming"
+    )
+    assert oracle_mismatch(refined, bogus, database) is None
+    assert oracle_mismatch(refined, wrong, database) is not None

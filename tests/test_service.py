@@ -79,6 +79,24 @@ class TestProtocol:
         )
         assert report["summary"]["targets"] == 2
 
+    def test_classify(self, client):
+        labels = client.classify(
+            FLAT_RESTRICTED,
+            {"flat": FLAT, "same": FLAT_RESTRICTED, "nested": WIDER},
+            SCHEMA,
+        )
+        assert labels == {
+            "flat": "subsuming",
+            "same": "equivalent",
+            "nested": "irrelevant",
+        }
+
+    def test_classify_bad_views_is_400(self, client):
+        for views in ({}, {"v": 7}):
+            with pytest.raises(ServiceError) as info:
+                client.classify(FLAT, views, SCHEMA)
+            assert info.value.status == 400
+
     def test_incomparable_is_422_with_type(self, client):
         with pytest.raises(ServiceError) as info:
             client.contain(FLAT, UNLINKED, SCHEMA)

@@ -1,0 +1,289 @@
+"""Property-based invariants of the artifact-store tiers.
+
+Randomized interleavings of ``lookup`` / ``store`` / ``clear`` /
+``reset_counters`` / ``flush`` / ``set_persisted`` are replayed against
+executable reference models built from the *documented* semantics
+(:mod:`repro.pipeline.store`, :mod:`repro.pipeline.persist`):
+
+* :class:`ArtifactStore` — per-kind LRU bounds (``0`` disables, ``None``
+  unbounded), hit/miss/eviction accounting, ``clear`` keeping tallies
+  and ``reset_counters`` keeping entries;
+* :class:`TieredStore` — read-through with promotion, the write-back
+  dirty buffer (including finding an artifact evicted from the memory
+  LRU before its flush), per-kind deny-set semantics, and the
+  promotions/flushes accounting.
+
+Any divergence between the real store and the model under any
+interleaving is a bug in one of them — which is the point.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.persist import PersistentStore, TieredStore
+from repro.pipeline.store import MISSING, ArtifactStore
+
+LIMITS = {"small": 3, "off": 0, "wide": None}
+DEFAULT_MAXSIZE = 2
+
+KINDS = st.sampled_from(["small", "off", "wide", "auto"])
+KEYS = st.sampled_from(["k%d" % i for i in range(6)])
+VALUES = st.sampled_from([0, 1, 2, None, False, "v"])
+
+
+class ModelStore:
+    """The documented ArtifactStore semantics, executable."""
+
+    def __init__(self, limits, default_maxsize):
+        self._default = default_maxsize
+        self._limits = dict(limits)
+        self._segments = {}
+        for kind in limits:
+            self._segment(kind)
+
+    def _segment(self, kind):
+        if kind not in self._segments:
+            self._segments[kind] = {
+                "maxsize": self._limits.get(kind, self._default),
+                "data": OrderedDict(),
+                "hits": 0, "misses": 0, "evictions": 0,
+            }
+        return self._segments[kind]
+
+    def lookup(self, kind, key):
+        seg = self._segment(kind)
+        if seg["maxsize"] == 0:
+            seg["misses"] += 1
+            return MISSING
+        if key in seg["data"]:
+            seg["hits"] += 1
+            seg["data"].move_to_end(key)
+            return seg["data"][key]
+        seg["misses"] += 1
+        return MISSING
+
+    def store(self, kind, key, value):
+        seg = self._segment(kind)
+        if seg["maxsize"] == 0:
+            return
+        seg["data"][key] = value
+        seg["data"].move_to_end(key)
+        if seg["maxsize"] is not None and len(seg["data"]) > seg["maxsize"]:
+            seg["data"].popitem(last=False)
+            seg["evictions"] += 1
+
+    def clear(self, kind=None):
+        targets = (
+            [kind] if kind is not None else list(self._segments)
+        )
+        for name in targets:
+            if name in self._segments:
+                self._segments[name]["data"].clear()
+
+    def reset_counters(self):
+        for seg in self._segments.values():
+            seg["hits"] = seg["misses"] = seg["evictions"] = 0
+
+    def sizes(self):
+        return {
+            kind: len(seg["data"])
+            for kind, seg in sorted(self._segments.items())
+        }
+
+    def counters(self):
+        return {
+            kind: {
+                "hits": seg["hits"],
+                "misses": seg["misses"],
+                "evictions": seg["evictions"],
+            }
+            for kind, seg in sorted(self._segments.items())
+        }
+
+
+ARTIFACT_OPS = st.one_of(
+    st.tuples(st.just("store"), KINDS, KEYS, VALUES),
+    st.tuples(st.just("lookup"), KINDS, KEYS),
+    st.tuples(st.just("clear"), st.one_of(st.none(), KINDS)),
+    st.tuples(st.just("reset")),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(ARTIFACT_OPS, max_size=60))
+def test_artifact_store_matches_model(ops):
+    real = ArtifactStore(limits=dict(LIMITS), default_maxsize=DEFAULT_MAXSIZE)
+    model = ModelStore(LIMITS, DEFAULT_MAXSIZE)
+    lookups = {}
+    for op in ops:
+        if op[0] == "store":
+            __, kind, key, value = op
+            real.store(kind, key, value)
+            model.store(kind, key, value)
+        elif op[0] == "lookup":
+            __, kind, key = op
+            assert real.lookup(kind, key) is model.lookup(kind, key)
+            lookups[kind] = lookups.get(kind, 0) + 1
+        elif op[0] == "clear":
+            real.clear(op[1])
+            model.clear(op[1])
+        else:
+            real.reset_counters()
+            model.reset_counters()
+            lookups.clear()
+        assert real.sizes() == model.sizes()
+        assert real.counters() == model.counters()
+        # Bounds: never above maxsize; the disabled kind never stores.
+        for kind, size in real.sizes().items():
+            limit = real.limit(kind)
+            if limit is not None:
+                assert size <= limit
+        # Accounting closes: hits + misses == lookups since last reset.
+        for kind, tally in real.counters().items():
+            assert tally["hits"] + tally["misses"] == lookups.get(kind, 0)
+    assert len(real) == sum(model.sizes().values())
+
+
+class ModelTiered:
+    """The documented TieredStore semantics over a ModelStore memory
+    tier and plain-dict dirty/disk tiers."""
+
+    def __init__(self, limits, default_maxsize, batch):
+        self.memory = ModelStore(limits, default_maxsize)
+        self.dirty = {}
+        self.disk = {}
+        self.deny = set()
+        self.batch = batch
+        self.promotions = 0
+        self.flushes = 0
+
+    def persisted(self, kind):
+        return kind not in self.deny
+
+    def set_persisted(self, kind, enabled):
+        if enabled:
+            self.deny.discard(kind)
+        else:
+            self.deny.add(kind)
+
+    def lookup(self, kind, key):
+        value = self.memory.lookup(kind, key)
+        if value is not MISSING:
+            return value
+        if not self.persisted(kind):
+            return MISSING
+        if (kind, key) in self.dirty:
+            value = self.dirty[(kind, key)]
+            self.memory.store(kind, key, value)
+            return value
+        if (kind, key) in self.disk:
+            value = self.disk[(kind, key)]
+            self.memory.store(kind, key, value)
+            self.promotions += 1
+            return value
+        return MISSING
+
+    def store(self, kind, key, value):
+        self.memory.store(kind, key, value)
+        if not self.persisted(kind):
+            return
+        self.dirty[(kind, key)] = value
+        if len(self.dirty) >= self.batch:
+            self.flush()
+
+    def flush(self):
+        if not self.dirty:
+            return
+        self.disk.update(self.dirty)
+        self.dirty.clear()
+        self.flushes += 1
+
+    def clear(self, kind=None):
+        self.memory.clear(kind)
+        for tier in (self.dirty, self.disk):
+            for entry_kind, key in list(tier):
+                if kind is None or entry_kind == kind:
+                    del tier[(entry_kind, key)]
+
+    def disk_sizes(self):
+        sizes = {}
+        for kind, __ in self.disk:
+            sizes[kind] = sizes.get(kind, 0) + 1
+        return dict(sorted(sizes.items()))
+
+
+TIERED_OPS = st.one_of(
+    st.tuples(st.just("store"), KINDS, KEYS, VALUES),
+    st.tuples(st.just("lookup"), KINDS, KEYS),
+    st.tuples(st.just("flush")),
+    st.tuples(st.just("persist"), KINDS, st.booleans()),
+    st.tuples(st.just("clear"), st.one_of(st.none(), KINDS)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(TIERED_OPS, max_size=50))
+def test_tiered_store_matches_model(ops):
+    batch = 4
+    with PersistentStore(":memory:") as disk:
+        real = TieredStore(
+            disk=disk, limits=dict(LIMITS),
+            default_maxsize=DEFAULT_MAXSIZE, write_back_batch=batch,
+        )
+        model = ModelTiered(LIMITS, DEFAULT_MAXSIZE, batch)
+        for op in ops:
+            if op[0] == "store":
+                __, kind, key, value = op
+                real.store(kind, key, value)
+                model.store(kind, key, value)
+            elif op[0] == "lookup":
+                __, kind, key = op
+                got = real.lookup(kind, key)
+                want = model.lookup(kind, key)
+                assert (got is MISSING) == (want is MISSING)
+                if want is not MISSING:
+                    assert got == want
+            elif op[0] == "flush":
+                real.flush()
+                model.flush()
+            elif op[0] == "persist":
+                __, kind, enabled = op
+                real.set_persisted(kind, enabled)
+                model.set_persisted(kind, enabled)
+            else:
+                real.clear(op[1])
+                model.clear(op[1])
+            # Memory tier: exact sizes and accounting agree.
+            assert real.sizes() == model.memory.sizes()
+            assert real.memory.counters() == model.memory.counters()
+            assert real.promotions == model.promotions
+            assert real.flushes == model.flushes
+        # The persisted footprint agrees once write-backs settle.
+        real.flush()
+        model.flush()
+        assert real.disk.sizes() == model.disk_sizes()
+        # A denied kind never reaches disk after the deny.
+        real.set_persisted("wide", False)
+        model.set_persisted("wide", False)
+        before = real.disk.sizes().get("wide", 0)
+        real.store("wide", "denied", 9)
+        model.store("wide", "denied", 9)
+        real.flush()
+        model.flush()
+        assert real.disk.sizes().get("wide", 0) == before
+        assert real.lookup("wide", "denied") == 9  # memory still serves
+
+
+def test_dirty_buffer_survives_memory_eviction():
+    """An unflushed write-back evicted from the tiny memory LRU is
+    still found (via the dirty buffer), and re-promoted."""
+    with PersistentStore(":memory:") as disk:
+        store = TieredStore(disk=disk, limits={"k": 1},
+                            write_back_batch=100)
+        store.store("k", "first", 1)
+        store.store("k", "second", 2)  # evicts "first" from memory
+        assert store.memory.lookup("k", "first") is MISSING
+        assert store.disk.sizes() == {}  # nothing flushed yet
+        assert store.lookup("k", "first") == 1
+        assert store.flushes == 0
