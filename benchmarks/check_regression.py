@@ -42,6 +42,20 @@ file is loaded and rows are joined by ``fullname``.  Two comparisons:
   drop means a serving rule stopped firing, not that a machine got
   slow.
 
+* **certificate soundness** — a fresh row recording both
+  ``predicted_nodes`` (the cost certificate's sound search bound) and
+  ``nodes`` (the measured effort of the same check) must satisfy
+  ``predicted >= actual``; a violation is a **failure** regardless of
+  ``--strict-time`` — the bound is mathematical, an unsound one is a
+  bug in the abstract interpreter, not noise.
+* **cost-ordering competitiveness** — fresh rows tagged with both
+  ``suite`` and ``ordering`` are grouped per suite; the ``cost`` row's
+  median wall time must stay within ``--cost-margin`` (default 10%) of
+  the best *fixed* ordering's median, with an absolute
+  ``--wall-floor-ms`` grace (default 1ms) so sub-millisecond suites
+  don't fail on scheduler jitter.  Compared within the fresh run only,
+  so machine speed cancels; a violation is a **failure**.
+
 Rows present only on one side are reported (new benchmarks are fine;
 vanished ones are a failure, they usually mean a silently skipped
 case).  Exit status 0 = clean, 1 = regression.
@@ -129,6 +143,52 @@ def compare_module(name, seed_rows, fresh_rows, tolerance, floor,
     return failures, warnings
 
 
+def check_certificate_soundness(fresh_rows):
+    """``predicted_nodes >= nodes`` on every fresh row recording both."""
+    failures = []
+    for fullname, fresh in sorted(fresh_rows.items()):
+        extra = fresh.get("extra", {})
+        predicted = extra.get("predicted_nodes")
+        actual = extra.get("nodes")
+        if predicted is None or actual is None:
+            continue
+        if int(actual) > int(predicted):
+            failures.append(
+                "%s: certificate UNSOUND: predicted bound %s < actual %s "
+                "search nodes" % (fullname, predicted, actual)
+            )
+    return failures
+
+
+def check_cost_ordering(fresh_rows, cost_margin, wall_floor_s):
+    """The ``cost`` ordering's median vs the best fixed ordering, per
+    suite, within one fresh run."""
+    failures = []
+    by_suite = {}
+    for fresh in fresh_rows.values():
+        extra = fresh.get("extra", {})
+        suite = extra.get("suite")
+        ordering = extra.get("ordering")
+        median = fresh.get("stats", {}).get("median")
+        if suite and ordering and median:
+            by_suite.setdefault(suite, {})[ordering] = median
+    for suite, medians in sorted(by_suite.items()):
+        cost = medians.get("cost")
+        fixed = [t for o, t in medians.items() if o != "cost"]
+        if cost is None or not fixed:
+            continue
+        best = min(fixed)
+        limit = max(best * (1.0 + cost_margin), best + wall_floor_s)
+        if cost > limit:
+            failures.append(
+                "suite %s: cost-ordering median %.4fms exceeds the best "
+                "fixed ordering's %.4fms by more than %d%% (+%.2fms floor)"
+                % (suite, cost * 1000.0, best * 1000.0,
+                   int(cost_margin * 100), wall_floor_s * 1000.0)
+            )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", default="seeds",
@@ -147,6 +207,14 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="minimum acceptable cold/warm ratio for rows "
                              "recording one (default 2.0)")
+    parser.add_argument("--cost-margin", type=float, default=0.10,
+                        help="allowed fractional excess of the cost "
+                             "ordering's median over the best fixed "
+                             "ordering's, per suite (default 0.10)")
+    parser.add_argument("--wall-floor-ms", type=float, default=1.0,
+                        help="absolute grace in milliseconds added to the "
+                             "cost-ordering limit so sub-millisecond "
+                             "suites don't fail on jitter (default 1.0)")
     options = parser.parse_args(argv)
 
     seed_files = sorted(
@@ -164,15 +232,21 @@ def main(argv=None):
         if not os.path.exists(fresh_path):
             all_failures.append("%s: fresh file missing" % name)
             continue
+        fresh_rows = load_rows(fresh_path)
         failures, warnings = compare_module(
             name,
             load_rows(os.path.join(options.seeds, name)),
-            load_rows(fresh_path),
+            fresh_rows,
             options.tolerance,
             options.floor,
             options.strict_time,
             options.min_speedup,
         )
+        failures.extend(check_certificate_soundness(fresh_rows))
+        failures.extend(check_cost_ordering(
+            fresh_rows, options.cost_margin,
+            options.wall_floor_ms / 1000.0,
+        ))
         for message in warnings:
             print("WARN  %s" % message)
         for message in failures:

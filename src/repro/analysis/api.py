@@ -4,9 +4,13 @@
 >>> diagnostics = analyze(
 ...     "select [a: x.a] from x in r, y in r", {"r": {"a": "atom"}})
 >>> [d.code for d in diagnostics]
-['COQL001', 'COQL003']
+['COQL003', 'COQL005', 'COQL001']
 
-:func:`analyze` runs every registered query rule (COQL001 … COQL007)
+(Diagnostics sort by path, then source position, then code — the
+cartesian-product and redundant-generator findings point at the whole
+query ``$``, the unused-generator finding at ``$.from[1]``.)
+
+:func:`analyze` runs every registered query rule (COQL001 … COQL011)
 over one query; front-end failures — parse errors, type errors,
 queries outside the encodable fragment — come back as ``COQL000``
 diagnostics instead of exceptions, so the analyzer never raises on a

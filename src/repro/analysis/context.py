@@ -27,16 +27,22 @@ class AnalysisConfig:
         the minimizer and therefore the containment oracle itself).  The
         engine's opt-in pre-check passes False so analysis stays a
         cheap companion to the check it precedes.
-    :param witnesses: witness-copy count forwarded to the minimizer.
+    :param witnesses: witness-copy count forwarded to the minimizer and
+        the cost certificate (COQL011).
+    :param stats: optional
+        :class:`repro.analysis.interp.DatabaseStatistics` sampled from a
+        witness database; sharpens the interpreter's cardinality
+        intervals and enables COQL009's value-set refutations.
     """
 
-    __slots__ = ("complexity_budget", "expensive", "witnesses")
+    __slots__ = ("complexity_budget", "expensive", "witnesses", "stats")
 
     def __init__(self, complexity_budget=10**8, expensive=True,
-                 witnesses=None):
+                 witnesses=None, stats=None):
         self.complexity_budget = complexity_budget
         self.expensive = expensive
         self.witnesses = witnesses
+        self.stats = stats
 
     def __repr__(self):
         return "AnalysisConfig(budget=%d, expensive=%s)" % (

@@ -96,9 +96,16 @@ class Diagnostic(PicklableSlots):
         )
 
     def sort_key(self):
+        """Total order: ``(target, path, line, col, code, message)``.
+
+        Including ``path`` makes report order independent of rule
+        registration and dict iteration order, so JSON reports are
+        byte-stable across runs and refactors.
+        """
         big = 1 << 30
         return (
             self.target or "",
+            self.path or "",
             self.line if self.line is not None else big,
             self.col if self.col is not None else big,
             self.code,

@@ -118,4 +118,4 @@ def _validated(codes):
 def _load():
     # Rule modules self-register on import; importing here avoids a
     # cycle (rules import the registry).
-    from repro.analysis import rules, truncation  # noqa: F401
+    from repro.analysis import cost, rules, truncation  # noqa: F401

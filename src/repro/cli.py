@@ -5,7 +5,8 @@ Usage::
     python -m repro contain  --schema 'r:a,b;s:k,b' SUP SUB [--jobs N --timeout-s T --stats --trace-out trace.json]
     python -m repro matrix   --schema 'r:a,b' Q1 Q2 Q3 [--jobs N --timeout-s T]
     python -m repro equiv    --schema 'r:a,b' Q1 Q2 [--weak]
-    python -m repro lint     --schema 'r:a,b' QUERY_OR_FILE... [--format json]
+    python -m repro lint     --schema 'r:a,b' QUERY_OR_FILE... [--format json --explain COQLNNN]
+    python -m repro analyze  --schema 'r:a,b' QUERY_OR_FILE... [--against Q --witnesses N --budget B --data db.json --format json]
     python -m repro eval     --schema 'r:a,b' --data db.json QUERY
     python -m repro minimize --schema 'r:a,b' QUERY
     python -m repro cq-contain 'q(X) :- r(X,Y)' 'q(X) :- r(X,Y), s(Y)'
@@ -192,11 +193,37 @@ def _read_coql_file(text):
     return "\n".join(lines), schema
 
 
+def _explain_rule(code):
+    from repro.analysis import get_rule
+
+    rule = get_rule(code)  # unknown codes raise ReproError -> exit 2
+    print("%s (%s)" % (rule.code, rule.name))
+    print("severity: %s%s" % (rule.severity,
+                              "  [expensive]" if rule.expensive else ""))
+    print("paper: %s" % rule.paper)
+    print("kind: %s" % rule.kind)
+    print()
+    print(rule.summary)
+    doc = rule.check.__doc__ if rule.check is not None else None
+    if doc:
+        import inspect
+
+        print()
+        print(inspect.cleandoc(doc))
+    return 0
+
+
 def _cmd_lint(args):
     import os
 
     from repro.analysis import ERROR, AnalysisConfig, analyze
     from repro.engine import ContainmentEngine
+
+    if args.explain:
+        return _explain_rule(args.explain)
+    if not args.targets:
+        raise ReproError("no targets (pass queries/.coql files, or "
+                         "--explain CODE)")
 
     engine = ContainmentEngine()
     config = AnalysisConfig(
@@ -259,6 +286,81 @@ def _cmd_lint(args):
     if args.stats:
         _print_stats(engine)
     return 1 if counts[ERROR] else 0
+
+
+def _analyze_stats(path):
+    from repro.analysis import DatabaseStatistics
+    from repro.objects import Database
+
+    with open(path) as handle:
+        tables = json.load(handle)
+    return DatabaseStatistics.sample(Database.from_dict(tables))
+
+
+def _cmd_analyze(args):
+    import os
+
+    from repro.engine import ContainmentEngine
+
+    engine = ContainmentEngine()
+    base_schema = _parse_schema(args.schema) if args.schema else None
+    stats = _analyze_stats(args.data) if args.data else None
+    over_budget = 0
+    reports = []
+    for target in args.targets:
+        if target.endswith(".coql") or os.path.exists(target):
+            with open(target) as handle:
+                query, schema = _read_coql_file(handle.read())
+            schema = schema or base_schema
+        else:
+            query, schema = target, base_schema
+        if schema is None:
+            raise ReproError(
+                "no schema for %r: pass --schema or a '# schema: ...' "
+                "directive" % (target,)
+            )
+        certificate = engine.cost_certificate(
+            query, schema, against=args.against, witnesses=args.witnesses,
+            stats=stats,
+        )
+        if args.budget is not None and certificate.total_bound > args.budget:
+            over_budget += 1
+        reports.append((target, certificate))
+
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "targets": [
+                {
+                    "target": target,
+                    "certificate": certificate.as_dict(),
+                    "facts": (
+                        certificate.facts.as_dict()
+                        if certificate.facts is not None else None
+                    ),
+                }
+                for target, certificate in reports
+            ],
+            "summary": {
+                "targets": len(reports),
+                "over_budget": over_budget,
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for target, certificate in reports:
+            print("%s:" % target)
+            for line in certificate.explain().splitlines():
+                print("  " + line)
+            if (args.budget is not None
+                    and certificate.total_bound > args.budget):
+                print("  OVER BUDGET (%d > %d)"
+                      % (certificate.total_bound, args.budget))
+    if args.stats:
+        _print_stats(engine)
+    if args.trace_out:
+        _write_trace(engine, args.trace_out)
+    return 1 if over_budget else 0
 
 
 def _cmd_eval(args):
@@ -465,10 +567,46 @@ def build_parser():
                    help="skip the expensive COQL005 minimization rule")
     p.add_argument("--stats", action="store_true",
                    help="print engine statistics to stderr")
-    p.add_argument("targets", nargs="+", metavar="QUERY_OR_FILE",
+    p.add_argument("--explain", default=None, metavar="CODE",
+                   help="print a rule's documentation (severity, paper "
+                        "section, full docstring) and exit")
+    p.add_argument("targets", nargs="*", metavar="QUERY_OR_FILE",
                    help="COQL query text, or a .coql file (# comments; "
                         "'# schema: r:a,b' directive)")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="abstract-interpretation cost certificates: sound search "
+             "bounds, fan-out/cardinality facts, ordering plan",
+    )
+    p.add_argument("--schema", default=None,
+                   help="schema for targets without a '# schema:' directive")
+    p.add_argument("--against", default=None, metavar="QUERY",
+                   help="superquery to certify the check against "
+                        "(default: the query itself)")
+    p.add_argument("--witnesses", type=int, default=None,
+                   help="pin the witness-copy stage (default: model the "
+                        "engine's 1-then-escalate schedule)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="exit 1 when a certificate's total node bound "
+                        "exceeds this")
+    p.add_argument("--data", default=None, metavar="FILE",
+                   help="JSON database to sample DatabaseStatistics from "
+                        "(sharpens cardinality intervals)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (json is schema-stable: "
+                        "{version, targets, summary})")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine statistics to stderr")
+    p.add_argument("--trace-out", default=None, dest="trace_out",
+                   metavar="FILE",
+                   help="write the per-stage trace as Chrome trace_event "
+                        "JSON")
+    p.add_argument("targets", nargs="+", metavar="QUERY_OR_FILE",
+                   help="COQL query text, or a .coql file (# comments; "
+                        "'# schema: r:a,b' directive)")
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("eval", help="evaluate a COQL query over a JSON db")
     p.add_argument("--schema", required=False, default="")

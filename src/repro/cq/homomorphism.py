@@ -19,7 +19,11 @@ hardness results).  Three atom-selection strategies are available via
   and connected-component decomposition;
 * ``"adaptive"`` — most-constrained-atom-first with per-node candidate
   rescans (the previous default, kept as an ablation baseline);
-* ``"static"`` — source order (ablation baseline).
+* ``"static"`` — source order (ablation baseline);
+* ``"cost"`` — the cost-model hybrid: per connected component, plain
+  backtracking when the estimated work is tiny (the CSP overhead would
+  dominate), the full propagating machinery otherwise — the runtime
+  side of the :class:`repro.analysis.interp.CostCertificate` plan.
 
 All strategies enumerate the same homomorphism *set*; orders may differ
 between strategies but are deterministic (target rows are deduplicated
@@ -139,6 +143,10 @@ def find_all_homomorphisms(
     if ordering == "propagating":
         yield from propagating_search(
             source_atoms, compiled, binding, allowed or {}
+        )
+    elif ordering == "cost":
+        yield from propagating_search(
+            source_atoms, compiled, binding, allowed or {}, cost=True
         )
     elif ordering == "adaptive":
         yield from _search(list(source_atoms), compiled.rows, binding,

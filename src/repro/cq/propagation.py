@@ -60,10 +60,19 @@ __all__ = [
     "default_ordering",
     "use_ordering",
     "ORDERINGS",
+    "component_cost_estimate",
+    "component_strategy",
+    "COST_SIMPLE_THRESHOLD",
 ]
 
 #: The recognized atom-selection strategies, in default-first order.
-ORDERINGS = ("propagating", "adaptive", "static")
+#: ``"cost"`` is the cost-model-driven hybrid: it decides *per connected
+#: component* (from the compiled candidate counts, the same quantities
+#: the static :class:`repro.analysis.interp.CostCertificate` bounds)
+#: whether the CSP machinery is worth its overhead, running tiny
+#: components with plain backtracking and large ones with the full
+#: propagating engine.
+ORDERINGS = ("propagating", "adaptive", "static", "cost")
 
 _DEFAULT_ORDERING = "propagating"
 
@@ -166,6 +175,49 @@ class _Unbound:
 
 _UNBOUND = _Unbound()
 _EMPTY = frozenset()
+
+
+# -- the per-component cost model -------------------------------------------
+
+#: Estimated-work threshold below which a component is solved by plain
+#: backtracking instead of forward checking.  Forward checking touches
+#: the inverted index once per (extension, remaining atom) pair; when the
+#: whole component's optimistic search tree is this small, the pruning
+#: bookkeeping costs more than the nodes it could save.
+COST_SIMPLE_THRESHOLD = 64
+
+
+def component_cost_estimate(candidate_counts):
+    """The optimistic work estimate of one component: the sum of prefix
+    products of its candidate-row counts, smallest lists first.
+
+    This models a best-case most-constrained-first search tree (level k
+    holds at most the product of the k smallest candidate lists).  It is
+    an *estimate* for strategy selection, not a sound bound — the sound
+    per-component node bound (``prod(1 + c_i) - 1``, every consistent
+    partial assignment counted once) lives in
+    :func:`repro.analysis.interp.component_node_bound` and is what the
+    :class:`~repro.analysis.interp.CostCertificate` certifies.
+    """
+    total = 0
+    product = 1
+    for count in sorted(candidate_counts):
+        product *= count
+        total += product
+    return total
+
+
+def component_strategy(candidate_counts):
+    """``"simple"`` or ``"propagate"`` for one component's candidates.
+
+    The decision rule behind ``ordering="cost"`` — shared with the
+    static analyzer, whose :class:`~repro.analysis.interp.CostCertificate`
+    records the same per-component recommendation, so the certificate
+    and the runtime search can never disagree about the plan.
+    """
+    if component_cost_estimate(candidate_counts) <= COST_SIMPLE_THRESHOLD:
+        return "simple"
+    return "propagate"
 
 
 class CompiledTarget:
@@ -456,6 +508,46 @@ def _solve_component(order, source_atoms, keys, compiled, candidates,
     yield from descend(list(order), {})
 
 
+def _solve_component_simple(order, source_atoms, keys, compiled, candidates,
+                            binding, counters):
+    """The ``"cost"`` strategy's solver for tiny components.
+
+    Identical search tree shape to :func:`_solve_component` (same
+    most-constrained-first atom choice over the same candidate lists,
+    rows in insertion order, so the two solvers enumerate the same
+    solutions in the same order) but with no forward checking: below
+    :data:`COST_SIMPLE_THRESHOLD` the pruning bookkeeping dominates the
+    work it saves.
+    """
+
+    def descend(remaining, assigned):
+        if not remaining:
+            yield dict(assigned)
+            return
+        best = min(remaining, key=lambda p: (len(candidates[p]), p))
+        if not candidates[best]:
+            return
+        rest = [p for p in remaining if p != best]
+        atom = source_atoms[best]
+        rows = compiled.rows[keys[best]]
+        for row_id in candidates[best]:
+            extension = _match_row(atom, rows[row_id], binding)
+            if extension is None:
+                continue
+            if counters is not None:
+                counters.nodes += 1
+            binding.update(extension)
+            assigned.update(extension)
+            yield from descend(rest, assigned)
+            for var in extension:
+                del binding[var]
+                del assigned[var]
+            if counters is not None:
+                counters.backtracks += 1
+
+    yield from descend(list(order), {})
+
+
 class _LazySolutions:
     """A generator with positional access and caching.
 
@@ -504,7 +596,8 @@ def _cross(lazies, binding):
     yield from descend(0, dict(binding))
 
 
-def propagating_search(source_atoms, compiled, binding, allowed, ac3=True):
+def propagating_search(source_atoms, compiled, binding, allowed, ac3=True,
+                       cost=False):
     """Yield every homomorphism under the propagating strategy.
 
     :param source_atoms: tuple of source atoms.
@@ -514,6 +607,13 @@ def propagating_search(source_atoms, compiled, binding, allowed, ac3=True):
     :param allowed: ``{Var: allowed values}`` restrictions.
     :param ac3: run the arc-consistency preprocessing fixpoint before
         search (on by default; turn off to measure its contribution).
+    :param cost: the ``ordering="cost"`` hybrid — choose a solver per
+        connected component via :func:`component_strategy`: plain
+        backtracking for components whose estimated work is below
+        :data:`COST_SIMPLE_THRESHOLD`, the full propagating machinery
+        (and the AC-3 pass, run only when some component needs it)
+        otherwise.  Enumerates the same homomorphism set as every other
+        strategy.
     """
     counters = _counters
     keys = tuple((atom.pred, atom.arity) for atom in source_atoms)
@@ -535,16 +635,30 @@ def propagating_search(source_atoms, compiled, binding, allowed, ac3=True):
                 counters.domain_wipeouts += 1
             return
         candidates.append(feasible)
-    if ac3 and not _ac3(
+    components = _components(source_atoms, binding)
+    if cost:
+        plans = [
+            component_strategy(
+                [len(candidates[position]) for position in order]
+            )
+            for order in components
+        ]
+        run_ac3 = ac3 and any(plan == "propagate" for plan in plans)
+    else:
+        plans = ["propagate"] * len(components)
+        run_ac3 = ac3
+    if run_ac3 and not _ac3(
         source_atoms, keys, compiled, candidates, domains, binding, counters
     ):
         return
-    components = _components(source_atoms, binding)
     lazies = []
-    for order in components:
+    for order, plan in zip(components, plans):
         if counters is not None:
             counters.components_solved += 1
-        generator = _solve_component(
+        solve = (
+            _solve_component_simple if plan == "simple" else _solve_component
+        )
+        generator = solve(
             order,
             source_atoms,
             keys,

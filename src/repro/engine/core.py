@@ -185,6 +185,7 @@ _CACHE_KINDS = (
     ("obligation_verdicts", "obligation_verdicts"),
     ("nonempty", "nonempty"),
     ("targets", "targets"),
+    ("cost_certificate", "cost_certificate"),
 )
 
 
@@ -251,6 +252,7 @@ class ContainmentEngine:
                 "nonempty": verdict_cache_size,
                 "targets": target_cache_size,
                 "classification": verdict_cache_size,
+                "cost_certificate": target_cache_size,
             }
             if store_path is not None:
                 from repro.pipeline.persist import TieredStore
@@ -505,6 +507,31 @@ class ContainmentEngine:
                     sub, sup, witnesses=witnesses, stats=self._stats,
                     cache=self._pipeline.target_cache(),
                 )
+
+    def cost_certificate(self, query, schema, against=None, witnesses=None,
+                         stats=None):
+        """The static :class:`repro.analysis.interp.CostCertificate` for
+        checking *query* against *against* (default: itself).
+
+        One traced ``check`` span of kind ``analyze_cost``; the core
+        pair certificate is cached under the ``cost_certificate``
+        artifact kind, and the certificate's non-emptiness tests share
+        this engine's memoized ``nonempty`` cache — so a later
+        :meth:`contains` on the same pair replays them for free.
+        *stats* is an optional
+        :class:`repro.analysis.interp.DatabaseStatistics` sharpening the
+        AST-level cardinality facts.
+        """
+        from repro.analysis.interp import cost_certificate
+
+        if witnesses is None:
+            witnesses = self._default_witnesses
+        with self._check("analyze_cost"):
+            self._stats.tally("analyze_cost_calls")
+            return cost_certificate(
+                query, schema, against=against, engine=self,
+                witnesses=witnesses, stats=stats,
+            )
 
     def minimize(self, query, schema, witnesses=None):
         """Remove redundant generators/conditions (weak-equivalence

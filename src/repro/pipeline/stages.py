@@ -95,6 +95,11 @@ STAGES = (
           cache_kind="obligation_verdicts",
           cache_key="sha256(sub_t, sup_t, witnesses, method)",
           spans=("decide", "simulation"), paper="Thm. 4.1 (simulation)"),
+    Stage("analyze_cost", ("grouping_query", "grouping_query", "witnesses"),
+          "cost_certificate", cache_kind="cost_certificate",
+          cache_key="sha256(sub_query, sup_query, witnesses)",
+          spans=("analyze_cost",),
+          paper="Thm. 5.1 (search-space bound)"),
 )
 
 
@@ -115,6 +120,7 @@ DEFAULT_LIMITS = {
     "nonempty": 8192,
     "targets": 1024,
     "classification": 8192,
+    "cost_certificate": 1024,
 }
 
 
@@ -306,6 +312,43 @@ class Pipeline:
             span.annotate(verdict=verdict)
             self._store("obligation_verdicts", key, verdict)
             return verdict
+
+    # -- static analysis: cost certificates ----------------------------
+
+    def analyze_cost(self, sub_query, sup_query, witnesses=None):
+        """Stage ``analyze_cost``: the pair's :class:`CostCertificate`.
+
+        Cached under kind ``cost_certificate`` keyed on the aligned
+        grouping pair and the witness knob.  The certificate's own
+        non-emptiness tests go through :meth:`provably_nonempty`, so the
+        enumerated obligation patterns are exactly the ones
+        :meth:`enumerate_obligations` would produce for the same pair.
+        """
+        from repro.analysis.interp import pair_certificate
+
+        with self.tracer.span("analyze_cost") as span:
+            key = None
+            if self.store is not None:
+                key = artifact_key(
+                    "cost_certificate", sub_query, sup_query, witnesses
+                )
+                cached = self._lookup("cost_certificate", key)
+                if cached is not MISSING:
+                    self._tally("cost_certificate_hits")
+                    span.annotate(cache="hit")
+                    return cached
+                self._tally("cost_certificate_misses")
+                span.annotate(cache="miss")
+            certificate = pair_certificate(
+                sub_query, sup_query, witnesses=witnesses,
+                is_nonempty=self.provably_nonempty,
+            )
+            span.annotate(
+                patterns=certificate.patterns,
+                total_bound=str(certificate.total_bound),
+            )
+            self._store("cost_certificate", key, certificate)
+            return certificate
 
     # -- back half: compiled simulation targets ------------------------
 

@@ -1,0 +1,316 @@
+"""Tests for the cost-certificate rules (COQL008-011), the ``repro
+analyze`` / ``lint --explain`` CLI, and diagnostic-report stability.
+
+The rules consume :mod:`repro.analysis.interp` facts rather than the
+raw AST, so each gets a positive (fires) and negative (silent) case
+against the interpreter's promises.  The report tests pin two
+regressions: multi-line ``.coql`` source spans must survive the CLI
+round trip, and JSON reports must be byte-stable (diagnostics sorted
+by path, then position, then code).
+"""
+
+import json
+
+from repro.analysis import (
+    AnalysisConfig,
+    DatabaseStatistics,
+    Diagnostic,
+    analyze,
+)
+from repro.cli import main
+from repro.objects import Database
+
+SCHEMA = {"r": ("a", "b"), "s": ("b", "c")}
+
+DB = Database.from_dict({
+    "r": [{"a": 1, "b": 2}, {"a": 2, "b": 3}],
+    "s": [{"b": 2, "c": 10}],
+})
+
+#: A head-nested select joining two unbounded generators.
+FANOUT_HAZARD = (
+    "select [a: x.a, pairs: select [b: y.b, c: z.c]"
+    " from y in s, z in s] from x in r"
+)
+
+NESTED_SAFE = (
+    "select [a: x.a, ys: select y.c from y in s where y.b = x.b]"
+    " from x in r"
+)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+# -- COQL008: unbounded fan-out join -----------------------------------
+
+
+class TestUnboundedFanout:
+    def test_fires_on_nested_unbounded_join(self):
+        found = [d for d in analyze(FANOUT_HAZARD, SCHEMA)
+                 if d.code == "COQL008"]
+        assert len(found) == 1
+        assert "'y'" in found[0].message and "'z'" in found[0].message
+        assert found[0].path.startswith("$.head")
+
+    def test_silent_on_single_generator_nesting(self):
+        assert "COQL008" not in codes(analyze(NESTED_SAFE, SCHEMA))
+
+    def test_silent_on_top_level_join(self):
+        flat = "select [v: x.a] from x in r, y in s where x.b = y.b"
+        assert "COQL008" not in codes(analyze(flat, SCHEMA))
+
+    def test_statistics_silence_the_rule(self):
+        config = AnalysisConfig(stats=DatabaseStatistics.sample(DB))
+        found = [d for d in analyze(FANOUT_HAZARD, SCHEMA, config=config)
+                 if d.code == "COQL008"]
+        assert found == []  # both generators now have finite bounds
+
+
+# -- COQL009: interval-refuted condition -------------------------------
+
+
+class TestIntervalRefutedCondition:
+    DEAD = "select [v: x.a] from x in r where x.a = 5"
+
+    def test_fires_only_with_statistics(self):
+        config = AnalysisConfig(stats=DatabaseStatistics.sample(DB))
+        found = [d for d in analyze(self.DEAD, SCHEMA, config=config)
+                 if d.code == "COQL009"]
+        assert len(found) == 1
+        assert "sampled database" in found[0].message
+        assert "COQL009" not in codes(analyze(self.DEAD, SCHEMA))
+
+    def test_universal_contradictions_stay_coql002(self):
+        query = "select [v: x.a] from x in r where x.a = 1 and x.a = 2"
+        config = AnalysisConfig(stats=DatabaseStatistics.sample(DB))
+        found = codes(analyze(query, SCHEMA, config=config))
+        assert "COQL002" in found
+        assert "COQL009" not in found
+
+    def test_silent_on_satisfiable_condition(self):
+        query = "select [v: x.a] from x in r where x.a = 1"
+        config = AnalysisConfig(stats=DatabaseStatistics.sample(DB))
+        assert "COQL009" not in codes(
+            analyze(query, SCHEMA, config=config)
+        )
+
+
+# -- COQL010: singleton generator --------------------------------------
+
+
+class TestSingletonGenerator:
+    def test_fires_on_singleton_source(self):
+        query = "select [v: x.a] from x in {[a: 1, b: 2]}"
+        found = [d for d in analyze(query, SCHEMA)
+                 if d.code == "COQL010"]
+        assert len(found) == 1
+        assert "'x'" in found[0].message
+
+    def test_silent_on_relation_source(self):
+        assert "COQL010" not in codes(
+            analyze("select [v: x.a] from x in r", SCHEMA)
+        )
+
+
+# -- COQL011: certified complexity budget ------------------------------
+
+
+class TestCertifiedComplexity:
+    def test_fires_under_a_tiny_budget(self):
+        config = AnalysisConfig(complexity_budget=0)
+        found = [d for d in analyze(NESTED_SAFE, SCHEMA, config=config)
+                 if d.code == "COQL011"]
+        assert len(found) == 1
+        message = found[0].message
+        # Evidence-carrying: the certificate's own numbers.
+        assert "pattern" in message and "witness stages" in message
+
+    def test_silent_under_the_default_budget(self):
+        assert "COQL011" not in codes(analyze(NESTED_SAFE, SCHEMA))
+
+
+# -- diagnostic report stability (satellite: ordering fix) -------------
+
+
+class TestReportOrdering:
+    def test_sort_key_orders_by_position_then_code(self):
+        def mk(code, path, line, col):
+            span = (line, col) if line is not None else None
+            return Diagnostic(code, "warning", "m", rule="x",
+                              path=path, span=span)
+        scrambled = [
+            mk("COQL009", "$.b", 1, 1),
+            mk("COQL001", "$.b", 1, 1),
+            mk("COQL002", "$.a", 9, 9),
+            mk("COQL002", "$.b", None, None),
+            mk("COQL002", "$.b", 1, 2),
+        ]
+        ordered = sorted(scrambled, key=Diagnostic.sort_key)
+        assert [(d.path, d.line, d.col, d.code) for d in ordered] == [
+            ("$.a", 9, 9, "COQL002"),
+            ("$.b", 1, 1, "COQL001"),
+            ("$.b", 1, 1, "COQL009"),
+            ("$.b", 1, 2, "COQL002"),
+            ("$.b", None, None, "COQL002"),  # unpositioned sorts last
+        ]
+
+    def test_json_report_is_byte_stable(self, capsys):
+        argv = [
+            "lint", "--schema", "r:a,b;s:b,c", "--format", "json",
+            "--no-minimize", FANOUT_HAZARD,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        report = json.loads(first)
+        (entry,) = report["targets"]
+        big = 1 << 30
+        keys = [
+            (
+                d["path"] or "",
+                d["line"] if d["line"] is not None else big,
+                d["col"] if d["col"] is not None else big,
+                d["code"],
+            )
+            for d in entry["diagnostics"]
+        ]
+        assert len(keys) >= 2  # the hazard trips several rules
+        assert keys == sorted(keys)
+
+
+# -- multi-line source spans through the CLI (satellite) ---------------
+
+
+class TestMultilineSpans:
+    SOURCE = (
+        "# fixture: the contradiction lives on lines 5-6\n"
+        "# schema: r:a,b\n"
+        "select [v: x.a]\n"
+        "from x in r\n"
+        "where x.a = 1\n"
+        "  and x.a = 2\n"
+    )
+
+    def test_lint_reports_the_later_lines(self, tmp_path, capsys):
+        target = tmp_path / "multiline.coql"
+        target.write_text(self.SOURCE)
+        code = main(["lint", "--format", "json", str(target)])
+        assert code == 1  # COQL002 is an error
+        report = json.loads(capsys.readouterr().out)
+        (entry,) = report["targets"]
+        dead = [d for d in entry["diagnostics"] if d["code"] == "COQL002"]
+        assert dead
+        assert all(d["line"] is not None and d["line"] >= 5 for d in dead)
+
+    def test_analyze_accepts_the_same_file(self, tmp_path, capsys):
+        target = tmp_path / "multiline.coql"
+        target.write_text(self.SOURCE)
+        code = main(["analyze", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The contradiction settles the self-containment statically
+        # (the explanation stops before any search bounds).
+        assert "settled statically: contained" in out
+
+
+# -- CLI: lint --explain (satellite) -----------------------------------
+
+
+class TestExplain:
+    def test_known_code_prints_the_rule_docs(self, capsys):
+        assert main(["lint", "--explain", "COQL008"]) == 0
+        out = capsys.readouterr().out
+        assert "COQL008 (unbounded-fanout-join)" in out
+        assert "severity: warning" in out
+        assert "paper:" in out
+        # The check function's docstring rides along.
+        assert "fan-out" in out
+
+    def test_expensive_rules_are_flagged(self, capsys):
+        assert main(["lint", "--explain", "COQL005"]) == 0
+        assert "[expensive]" in capsys.readouterr().out
+
+    def test_unknown_code_is_usage_error(self, capsys):
+        assert main(["lint", "--explain", "COQL999"]) == 2
+        assert "COQL999" in capsys.readouterr().err
+
+    def test_explain_needs_no_targets_or_schema(self, capsys):
+        assert main(["lint", "--explain", "COQL001"]) == 0
+
+    def test_no_targets_without_explain_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "no targets" in capsys.readouterr().err
+
+
+# -- CLI: repro analyze ------------------------------------------------
+
+
+class TestAnalyzeCli:
+    def test_text_report(self, capsys):
+        code = main(["analyze", "--schema", "r:a,b;s:b,c", NESTED_SAFE])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost certificate" in out
+        assert "total node bound" in out
+        assert "fan-out" in out
+
+    def test_json_report_is_schema_stable(self, capsys):
+        code = main([
+            "analyze", "--schema", "r:a,b;s:b,c", "--format", "json",
+            NESTED_SAFE,
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert report["summary"] == {"targets": 1, "over_budget": 0}
+        (entry,) = report["targets"]
+        certificate = entry["certificate"]
+        for key in ("total_bound", "search_bound", "components",
+                    "witness_stages", "patterns"):
+            assert key in certificate
+        assert entry["facts"] is not None
+
+    def test_budget_violation_is_exit_one(self, capsys):
+        code = main([
+            "analyze", "--schema", "r:a,b;s:b,c", "--budget", "0",
+            NESTED_SAFE,
+        ])
+        assert code == 1
+        assert "OVER BUDGET" in capsys.readouterr().out
+
+    def test_against_bounds_the_pair_check(self, capsys):
+        code = main([
+            "analyze", "--schema", "r:a,b",
+            "--against", "select [v: x.a] from x in r",
+            "select [v: x.a] from x in r, y in r where y.a = x.a",
+        ])
+        assert code == 0
+        assert "total node bound" in capsys.readouterr().out
+
+    def test_data_enables_statistics(self, tmp_path, capsys):
+        data = tmp_path / "db.json"
+        data.write_text(json.dumps({
+            "r": [{"a": 1, "b": 2}],
+            "s": [{"b": 2, "c": 10}],
+        }))
+        code = main([
+            "analyze", "--schema", "r:a,b;s:b,c", "--data", str(data),
+            "--format", "json", NESTED_SAFE,
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        (entry,) = report["targets"]
+        # With one r-row and one s-row the output cardinality is pinned.
+        assert entry["certificate"]["output_cardinality"]["hi"] == 1
+
+    def test_missing_schema_is_usage_error(self, capsys):
+        assert main(["analyze", NESTED_SAFE]) == 2
+        assert "no schema" in capsys.readouterr().err
+
+    def test_parse_error_is_usage_error(self, capsys):
+        assert main(
+            ["analyze", "--schema", "r:a,b", "select from x in"]
+        ) == 2

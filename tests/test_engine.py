@@ -123,6 +123,7 @@ class TestMemoization:
             "obligation_verdicts": 0,
             "nonempty": 0,
             "targets": 0,
+            "cost_certificate": 0,
         }
         engine.reset_stats()
         assert engine.stats().as_dict()["homomorphism_nodes"] == 0

@@ -188,6 +188,7 @@ class TestEngineStoreSemantics:
         engine = ContainmentEngine()
         assert set(engine.cache_sizes()) == {
             "prepare", "obligation_verdicts", "nonempty", "targets",
+            "cost_certificate",
         }
 
     def test_reset_stats_keeps_entries_and_zeroes_store_tallies(self):
@@ -435,6 +436,7 @@ class TestStageDeclarations:
         assert names == [
             "parse", "typecheck", "analyze", "encode", "build_grouping",
             "minimize", "enumerate_obligations", "compile_target", "decide",
+            "analyze_cost",
         ]
         assert set(stage_table()) == set(names)
 
@@ -452,6 +454,7 @@ class TestStageDeclarations:
         # (internal to the pipeline; not surfaced by cache_sizes()).
         assert kinds == {
             "parse", "prepare", "obligation_verdicts", "nonempty", "targets",
+            "cost_certificate",
         }
 
     def test_parse_stage_returns_shared_ast_on_hit(self):
