@@ -158,8 +158,8 @@ ORDERING_SUITES = {
         True,
     ),
     "adversary": lambda: (
-        padded_clique_grouping(4, 2, "k4"),
         padded_clique_grouping(5, 2, "k5"),
+        padded_clique_grouping(6, 2, "k6"),
         1,
         False,
     ),

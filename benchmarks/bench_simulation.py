@@ -110,7 +110,8 @@ def test_ordering_ablation_reflexive(benchmark, ordering, search_effort):
 
     verdict, effort = search_effort(run)
     benchmark(run)
-    record(benchmark, experiment="E11", ordering=ordering, verdict=verdict)
+    record(benchmark, experiment="E11", suite="reflexive",
+           ordering=ordering, verdict=verdict)
     record_effort(benchmark, effort)
     assert verdict
 
@@ -118,8 +119,10 @@ def test_ordering_ablation_reflexive(benchmark, ordering, search_effort):
 @pytest.mark.parametrize("ordering", list(ORDERINGS))
 def test_ordering_ablation_adversary(benchmark, ordering, search_effort):
     """E11 — the padded pigeonhole adversary as a simulation check."""
-    sub = padded_clique_grouping(4, 2, "k4")
-    sup = padded_clique_grouping(5, 2, "k5")
+    # K6 ⊴? K5: large enough that search (not pipeline overhead)
+    # dominates, so the kernel gate measures the kernel.
+    sub = padded_clique_grouping(5, 2, "k5")
+    sup = padded_clique_grouping(6, 2, "k6")
 
     def run():
         with use_ordering(ordering):
@@ -127,7 +130,8 @@ def test_ordering_ablation_adversary(benchmark, ordering, search_effort):
 
     verdict, effort = search_effort(run)
     benchmark(run)
-    record(benchmark, experiment="E11", ordering=ordering, verdict=verdict)
+    record(benchmark, experiment="E11", suite="adversary",
+           ordering=ordering, verdict=verdict)
     record_effort(benchmark, effort)
     assert not verdict
 

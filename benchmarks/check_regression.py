@@ -55,6 +55,13 @@ file is loaded and rows are joined by ``fullname``.  Two comparisons:
   ``--wall-floor-ms`` grace (default 1ms) so sub-millisecond suites
   don't fail on scheduler jitter.  Compared within the fresh run only,
   so machine speed cancels; a violation is a **failure**.
+* **bitset kernel speedup** — on every *adversary* suite (a ``suite``
+  tag containing ``"adversary"``), the ``bitset`` ordering's median
+  wall time must be at least ``--bitset-speedup`` (default 2.0) times
+  faster than the ``propagating`` ordering's median, again with the
+  ``--wall-floor-ms`` absolute grace.  Like the cost gate this is
+  intra-run, so machine speed cancels; a violation is a **failure** —
+  it means the compiled mask kernel lost its reason to be the default.
 
 Rows present only on one side are reported (new benchmarks are fine;
 vanished ones are a failure, they usually mean a silently skipped
@@ -189,6 +196,35 @@ def check_cost_ordering(fresh_rows, cost_margin, wall_floor_s):
     return failures
 
 
+def check_bitset_speedup(fresh_rows, min_ratio, wall_floor_s):
+    """The bitset kernel's median vs the propagating kernel's, per
+    adversary suite, within one fresh run."""
+    failures = []
+    by_suite = {}
+    for fresh in fresh_rows.values():
+        extra = fresh.get("extra", {})
+        suite = extra.get("suite")
+        ordering = extra.get("ordering")
+        median = fresh.get("stats", {}).get("median")
+        if suite and ordering and median and "adversary" in suite:
+            by_suite.setdefault(suite, {})[ordering] = median
+    for suite, medians in sorted(by_suite.items()):
+        bitset = medians.get("bitset")
+        propagating = medians.get("propagating")
+        if bitset is None or propagating is None:
+            continue
+        limit = max(propagating / min_ratio, wall_floor_s)
+        if bitset > limit:
+            failures.append(
+                "suite %s: bitset median %.4fms is not %.1fx faster than "
+                "propagating's %.4fms (limit %.4fms incl. %.2fms floor)"
+                % (suite, bitset * 1000.0, min_ratio,
+                   propagating * 1000.0, limit * 1000.0,
+                   wall_floor_s * 1000.0)
+            )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", default="seeds",
@@ -215,6 +251,10 @@ def main(argv=None):
                         help="absolute grace in milliseconds added to the "
                              "cost-ordering limit so sub-millisecond "
                              "suites don't fail on jitter (default 1.0)")
+    parser.add_argument("--bitset-speedup", type=float, default=2.0,
+                        help="minimum median wall-time ratio of the "
+                             "propagating ordering over the bitset "
+                             "ordering on adversary suites (default 2.0)")
     options = parser.parse_args(argv)
 
     seed_files = sorted(
@@ -245,6 +285,10 @@ def main(argv=None):
         failures.extend(check_certificate_soundness(fresh_rows))
         failures.extend(check_cost_ordering(
             fresh_rows, options.cost_margin,
+            options.wall_floor_ms / 1000.0,
+        ))
+        failures.extend(check_bitset_speedup(
+            fresh_rows, options.bitset_speedup,
             options.wall_floor_ms / 1000.0,
         ))
         for message in warnings:

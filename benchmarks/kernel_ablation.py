@@ -1,0 +1,147 @@
+"""Kernel ablation: the bitset kernel vs the list kernel, head to head.
+
+Runs the E11 instances (a benign reflexive simulation and the padded
+pigeonhole adversary) plus a raw homomorphism enumeration under every
+``ordering`` and writes one JSON report::
+
+    python kernel_ablation.py --out out/kernel_ablation.json [--budget-s 0.5]
+
+Per (instance, ordering) row: median wall time over ``--rounds`` timed
+batches, search ``nodes``, and the verdict.  The script **fails** (exit
+1) on any differential mismatch — every ordering must return the same
+verdict / homomorphism count — and reports the bitset-over-propagating
+speedup per instance for the artifact trail; the hard wall-time *gate*
+lives in ``check_regression.py`` (``--bitset-speedup``), which compares
+medians recorded by the benchmark suites proper.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+from time import perf_counter
+
+from repro.cq.homomorphism import (
+    ORDERINGS,
+    SearchCounters,
+    count_homomorphisms,
+    install_search_counters,
+    use_ordering,
+)
+from repro.grouping import is_simulated
+from repro.workloads import chain_grouping_query
+
+from bench_simulation import padded_clique_grouping
+from bench_cq_baseline import padded_pigeonhole
+
+
+def _simulation_instance(sub, sup, witnesses):
+    return lambda: is_simulated(sub, sup, witnesses=witnesses)
+
+
+def _homomorphism_instance(source, target):
+    return lambda: count_homomorphisms(source, target)
+
+
+def instances():
+    chain = chain_grouping_query(3)
+    source, target = padded_pigeonhole(6, 2, 4)
+    return {
+        "reflexive_chain": _simulation_instance(
+            chain, chain.rename_apart("_p"), None
+        ),
+        "adversary_clique": _simulation_instance(
+            padded_clique_grouping(5, 2, "k5"),
+            padded_clique_grouping(6, 2, "k6"),
+            1,
+        ),
+        "adversary_homomorphism": _homomorphism_instance(source, target),
+    }
+
+
+def time_once(run, budget_s):
+    """(median seconds per call, result) over three timed batches."""
+    result = run()  # warm caches so every ordering pays the same prep
+    samples = []
+    for __ in range(3):
+        started = perf_counter()
+        calls = 0
+        while perf_counter() - started < budget_s:
+            run()
+            calls += 1
+        samples.append((perf_counter() - started) / calls)
+    return statistics.median(samples), result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="out/kernel_ablation.json")
+    parser.add_argument("--budget-s", type=float, default=0.3,
+                        help="wall-time budget per timed batch "
+                             "(default 0.3s; three batches per row)")
+    options = parser.parse_args(argv)
+
+    rows = []
+    mismatches = []
+    for name, run in sorted(instances().items()):
+        results = {}
+        for ordering in ORDERINGS:
+            sink = SearchCounters()
+            previous = install_search_counters(sink)
+            try:
+                with use_ordering(ordering):
+                    median_s, result = time_once(run, options.budget_s)
+            finally:
+                install_search_counters(previous)
+            results[ordering] = result
+            rows.append({
+                "instance": name,
+                "ordering": ordering,
+                "median_s": median_s,
+                "nodes": sink.nodes,
+                "mask_intersections": sink.mask_intersections,
+                "result": result,
+            })
+        reference = results["propagating"]
+        for ordering, result in sorted(results.items()):
+            if result != reference:
+                mismatches.append(
+                    "%s: ordering %r returned %r, propagating returned %r"
+                    % (name, ordering, result, reference)
+                )
+
+    speedups = {}
+    by_instance = {}
+    for row in rows:
+        by_instance.setdefault(row["instance"], {})[row["ordering"]] = row
+    for name, per_ordering in sorted(by_instance.items()):
+        speedups[name] = (
+            per_ordering["propagating"]["median_s"]
+            / per_ordering["bitset"]["median_s"]
+        )
+        print("%-24s bitset %.4fms  propagating %.4fms  (%.2fx)" % (
+            name,
+            per_ordering["bitset"]["median_s"] * 1000.0,
+            per_ordering["propagating"]["median_s"] * 1000.0,
+            speedups[name],
+        ))
+
+    report = {
+        "version": 1,
+        "rows": rows,
+        "bitset_speedup": speedups,
+        "mismatches": mismatches,
+    }
+    with open(options.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print("wrote %s (%d rows)" % (options.out, len(rows)))
+
+    if mismatches:
+        for message in mismatches:
+            print("FAIL  %s" % message)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

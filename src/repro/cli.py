@@ -25,7 +25,9 @@ Exit codes, uniform across the decision subcommands (see docs/API.md):
 * **1** — negative verdict: not contained / not equivalent / an
   undecided or incomparable matrix cell / error-severity lint findings;
 * **2** — usage error: bad flags, bad schema, a query that does not
-  parse (``lint`` reports parse errors as COQL000 findings instead);
+  parse (``lint`` reports parse errors as COQL000 findings instead).
+  An unknown ``--ordering`` value is a usage error: argparse rejects
+  anything outside ``repro.cq.propagation.ORDERINGS`` and exits 2;
 * **3** — UNDECIDED: a ``contain --timeout-s`` check timed out.
 """
 
@@ -83,6 +85,15 @@ def _write_trace(engine, path):
     print("trace written to %s" % path, file=sys.stderr)
 
 
+def _ordering_context(ordering):
+    """``use_ordering(ordering)``, or a no-op context for None."""
+    from contextlib import nullcontext
+
+    from repro.cq.propagation import use_ordering
+
+    return use_ordering(ordering) if ordering else nullcontext()
+
+
 def _cmd_contain(args):
     from repro.engine import UNDECIDED, ContainmentEngine, ParallelContainmentEngine
 
@@ -90,13 +101,16 @@ def _cmd_contain(args):
     if args.jobs is not None or args.timeout_s is not None:
         engine = ParallelContainmentEngine(
             jobs=args.jobs, timeout_s=args.timeout_s, method=args.method,
-            store_path=args.store_path,
+            store_path=args.store_path, ordering=args.ordering,
         )
         with engine:
             verdict = engine.contains(args.sup, args.sub, schema)
     else:
         engine = ContainmentEngine(store_path=args.store_path)
-        verdict = engine.contains(args.sup, args.sub, schema, method=args.method)
+        with _ordering_context(args.ordering):
+            verdict = engine.contains(
+                args.sup, args.sub, schema, method=args.method
+            )
         store = engine.store()
         if hasattr(store, "flush"):
             store.flush()
@@ -121,7 +135,8 @@ def _cmd_matrix(args):
 
     schema = _parse_schema(args.schema)
     engine = ParallelContainmentEngine(
-        jobs=args.jobs, timeout_s=args.timeout_s, method=args.method
+        jobs=args.jobs, timeout_s=args.timeout_s, method=args.method,
+        ordering=args.ordering,
     )
     with engine:
         matrix = engine.pairwise_matrix(args.queries, schema)
@@ -319,10 +334,11 @@ def _cmd_analyze(args):
                 "no schema for %r: pass --schema or a '# schema: ...' "
                 "directive" % (target,)
             )
-        certificate = engine.cost_certificate(
-            query, schema, against=args.against, witnesses=args.witnesses,
-            stats=stats,
-        )
+        with _ordering_context(args.ordering):
+            certificate = engine.cost_certificate(
+                query, schema, against=args.against, witnesses=args.witnesses,
+                stats=stats,
+            )
         if args.budget is not None and certificate.total_bound > args.budget:
             over_budget += 1
         reports.append((target, certificate))
@@ -473,6 +489,15 @@ def _cmd_cq_contain(args):
     return 0 if verdict else 1
 
 
+def _add_ordering_flag(p):
+    from repro.cq.propagation import ORDERINGS
+
+    p.add_argument("--ordering", choices=ORDERINGS, default=None,
+                   help="homomorphism-search kernel for every check "
+                        "(default: the engine default, bitset); values "
+                        "outside the choices are a usage error (exit 2)")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -505,6 +530,7 @@ def build_parser():
                    metavar="FILE",
                    help="SQLite artifact store: reuse cached pipeline "
                         "artifacts across runs and persist new ones")
+    _add_ordering_flag(p)
     p.add_argument("sup", help="the containing query")
     p.add_argument("sub", help="the contained query")
     p.set_defaults(func=_cmd_contain)
@@ -526,6 +552,7 @@ def build_parser():
                    metavar="FILE",
                    help="write the per-stage trace (locally decided "
                         "checks only) as Chrome trace_event JSON")
+    _add_ordering_flag(p)
     p.add_argument("queries", nargs="+", help="two or more COQL queries")
     p.set_defaults(func=_cmd_matrix)
 
@@ -603,6 +630,7 @@ def build_parser():
                    metavar="FILE",
                    help="write the per-stage trace as Chrome trace_event "
                         "JSON")
+    _add_ordering_flag(p)
     p.add_argument("targets", nargs="+", metavar="QUERY_OR_FILE",
                    help="COQL query text, or a .coql file (# comments; "
                         "'# schema: r:a,b' directive)")

@@ -10,19 +10,24 @@ simulation certificates of ``repro.grouping``, where index variables may
 only map to witness-copy values).
 
 The search is NP-complete in general (the paper leans on this for its
-hardness results).  Three atom-selection strategies are available via
+hardness results).  Five atom-selection strategies are available via
 ``ordering=``:
 
-* ``"propagating"`` (the default) — the constraint-propagation engine
-  of :mod:`repro.cq.propagation`: inverted-index candidate lookup,
-  per-variable domains with AC-3-style preprocessing, forward checking,
-  and connected-component decomposition;
+* ``"bitset"`` (the default) — the constraint-propagation engine of
+  :mod:`repro.cq.propagation` on its bitset kernel: candidate sets are
+  integer bitmasks (``&`` intersection, cached ``.bit_count()``
+  cardinality), each source atom gets a generated matcher closure, and
+  forward checking is mask intersection;
+* ``"propagating"`` — the same search over list candidate sets and the
+  frozenset inverted index (the previous default, kept as the bitset
+  kernel's differential twin: identical search tree, identical
+  enumeration order);
 * ``"adaptive"`` — most-constrained-atom-first with per-node candidate
-  rescans (the previous default, kept as an ablation baseline);
+  rescans (ablation baseline);
 * ``"static"`` — source order (ablation baseline);
 * ``"cost"`` — the cost-model hybrid: per connected component, plain
-  backtracking when the estimated work is tiny (the CSP overhead would
-  dominate), the full propagating machinery otherwise — the runtime
+  mask backtracking when the estimated work is tiny (the CSP overhead
+  would dominate), the full bitset machinery otherwise — the runtime
   side of the :class:`repro.analysis.interp.CostCertificate` plan.
 
 All strategies enumerate the same homomorphism *set*; orders may differ
@@ -86,8 +91,9 @@ def find_homomorphism(
     :param fixed: optional ``{Var: value}`` pinning some variables.
     :param allowed: optional ``{Var: set-of-values}`` restricting some
         variables' images (variables not listed are unrestricted).
-    :param ordering: ``"propagating"``, ``"adaptive"``, or ``"static"``
-        (None = the process default, normally ``"propagating"``).
+    :param ordering: one of :data:`ORDERINGS` — ``"bitset"``,
+        ``"propagating"``, ``"adaptive"``, ``"static"``, or ``"cost"``
+        (None = the process default, normally ``"bitset"``).
     :returns: a complete ``{Var: value}`` mapping or ``None``.
     """
     for mapping in find_all_homomorphisms(
@@ -124,12 +130,16 @@ def find_all_homomorphisms(
     pin such variables should include them in *fixed* (they are then
     echoed in the result).
 
-    *ordering* selects the atom-selection strategy: ``"propagating"``
-    (constraint propagation, the default), ``"adaptive"``
-    (most-constrained-first), or ``"static"`` (source order) — the
-    legacy strategies are kept for the ablation benchmarks.  Enumeration
-    order is deterministic for each strategy: target rows are
-    deduplicated in insertion order, never hash order.
+    *ordering* selects the atom-selection strategy: ``"bitset"`` (the
+    constraint-propagating search on mask candidate sets, the default),
+    ``"propagating"`` (the same search on lists), ``"cost"`` (the
+    per-component hybrid), ``"adaptive"`` (most-constrained-first), or
+    ``"static"`` (source order) — the legacy strategies are kept for
+    the ablation benchmarks.  Enumeration order is deterministic for
+    each strategy (and identical between ``"bitset"`` and
+    ``"propagating"``): target rows are deduplicated in insertion
+    order, never hash order, and the bitset kernel walks set bits in
+    ascending row-id order.
     """
     source_atoms = tuple(source_atoms)
     compiled = compile_target(target_atoms)
@@ -140,9 +150,13 @@ def find_all_homomorphisms(
         for var, values in allowed.items():
             if var in binding and binding[var] not in values:
                 return
-    if ordering == "propagating":
+    if ordering == "bitset":
         yield from propagating_search(
-            source_atoms, compiled, binding, allowed or {}
+            source_atoms, compiled, binding, allowed or {}, kernel="bitset"
+        )
+    elif ordering == "propagating":
+        yield from propagating_search(
+            source_atoms, compiled, binding, allowed or {}, kernel="list"
         )
     elif ordering == "cost":
         yield from propagating_search(

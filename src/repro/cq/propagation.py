@@ -5,20 +5,24 @@ the Theorem 4.1 simulation certificate, strong simulation, and the
 weak-equivalence truncation sweep — bottoms out in the homomorphism
 search of :mod:`repro.cq.homomorphism`, the NP-complete kernel the paper
 leans on for its hardness results (Theorem 5.1).  This module is the
-engine behind the default ``ordering="propagating"`` strategy; the
-legacy strategies (``"adaptive"``, ``"static"``) live in
-:mod:`repro.cq.homomorphism` as ablation baselines.
+engine behind the default ``ordering="bitset"`` strategy and its
+list-based twin ``ordering="propagating"``; the legacy strategies
+(``"adaptive"``, ``"static"``) live in :mod:`repro.cq.homomorphism` as
+ablation baselines.
 
 The propagating search replaces the legacy per-node rescans with
 classic CSP machinery:
 
 * **Compiled targets** — :func:`compile_target` turns ground target
   atoms into a :class:`CompiledTarget`: deduplicated rows in insertion
-  order (so enumeration is deterministic, independent of hash seeds)
-  plus a per-``(pred, position, value)`` inverted index, so candidate
-  rows are fetched by lookup instead of scanning.  Compiled targets are
-  reusable and cacheable — every search entry point accepts one in
-  place of raw atoms.
+  order (so enumeration is deterministic, independent of hash seeds),
+  a per-``(pred, position, value)`` inverted index, and the same index
+  as **integer bitmasks** over row ids (bit ``i`` set ⇔ row ``i``
+  carries the value), so candidate rows are fetched by lookup instead
+  of scanning.  Compiled targets are reusable and cacheable — every
+  search entry point accepts one in place of raw atoms, and the
+  engine's target cache amortizes mask construction along with the
+  rest of the compile.
 * **Variable domains + AC-3 preprocessing** — every unbound variable
   starts with the intersection, over its occurrences, of the values
   seen at that column (further cut by the caller's ``allowed`` sets);
@@ -26,9 +30,9 @@ classic CSP machinery:
   generalized-arc-consistency over whole atoms) narrows domains to
   values supported by some candidate row of every atom.  An empty
   domain refutes the instance with **no search tree at all**.
-* **Forward checking** — each assignment prunes the candidate-row lists
+* **Forward checking** — each assignment prunes the candidate sets
   of the still-unsolved atoms that share a just-bound variable, via the
-  inverted index; a pruned-to-empty list (a *domain wipeout*) backtracks
+  inverted index; a pruned-to-empty set (a *domain wipeout*) backtracks
   immediately instead of rediscovering the conflict atoms later.
 * **Component decomposition** — after ``fixed``/constant substitution
   the source atoms split into connected components (atoms linked by
@@ -38,11 +42,30 @@ classic CSP machinery:
   a join of independent subqueries is decided componentwise —
   multiplicative search cost becomes additive.
 
+The **bitset kernel** (``ordering="bitset"``, the default) runs the
+same search over a vectorized representation: candidate sets are
+arbitrary-precision Python ints (intersection is ``&``, emptiness is
+``== 0``, cardinality is a cached ``.bit_count()``), trail entries are
+``(position, old mask, old count)`` tuples, and each source atom gets a
+:class:`_AtomPlan` with a **generated matcher closure** that fuses its
+constant-position checks and repeated-variable equalities into
+straight-line code — no per-row ``isinstance``/``zip`` interpretation.
+Row enumeration walks set bits in ascending row-id order, which is
+exactly insertion order, so the bitset kernel enumerates the identical
+homomorphism sequence as ``ordering="propagating"`` and visits the
+identical search tree (the differential suite in
+``tests/test_bitset_kernel.py`` pins this).  ``ordering="cost"``
+chooses per component, from :func:`component_cost_estimate`, between
+plain mask backtracking (``"simple"``) and the full bitset machinery
+(``"bitset"``).
+
 Search effort is reported through :class:`SearchCounters` (installed
 process-wide with :func:`install_search_counters`): ``nodes`` and
-``backtracks`` as before, plus ``domain_wipeouts`` (refutations by
-propagation) and ``components_solved`` (independent component
-searches).
+``backtracks`` as before, ``domain_wipeouts`` (refutations by
+propagation), ``components_solved`` (independent component searches),
+``mask_intersections`` (bitmask ``&`` operations on the bitset hot
+path), and ``kernel_selected`` (components solved by the bitset
+forward-checking kernel).
 """
 
 from contextlib import contextmanager
@@ -66,19 +89,22 @@ __all__ = [
 ]
 
 #: The recognized atom-selection strategies, in default-first order.
+#: ``"bitset"`` (the default) and ``"propagating"`` run the same
+#: constraint-propagating search over bitmask and list candidate sets
+#: respectively — identical search tree, identical enumeration order.
 #: ``"cost"`` is the cost-model-driven hybrid: it decides *per connected
 #: component* (from the compiled candidate counts, the same quantities
 #: the static :class:`repro.analysis.interp.CostCertificate` bounds)
 #: whether the CSP machinery is worth its overhead, running tiny
 #: components with plain backtracking and large ones with the full
-#: propagating engine.
-ORDERINGS = ("propagating", "adaptive", "static", "cost")
+#: bitset engine.
+ORDERINGS = ("bitset", "propagating", "adaptive", "static", "cost")
 
-_DEFAULT_ORDERING = "propagating"
+_DEFAULT_ORDERING = "bitset"
 
 
 def default_ordering():
-    """The process-wide default ordering strategy (``"propagating"``)."""
+    """The process-wide default ordering strategy (``"bitset"``)."""
     return _DEFAULT_ORDERING
 
 
@@ -111,9 +137,14 @@ class SearchCounters:
     ``nodes`` counts candidate-row extensions applied (search-tree nodes
     visited); ``backtracks`` counts extensions undone;
     ``domain_wipeouts`` counts refutations by constraint propagation (an
-    empty variable domain before search, or a candidate list pruned to
+    empty variable domain before search, or a candidate set pruned to
     empty by forward checking); ``components_solved`` counts independent
-    connected-component searches.  Install an instance with
+    connected-component searches; ``mask_intersections`` counts bitmask
+    ``&`` operations performed by the bitset kernel (zero under the
+    list-based strategies); ``kernel_selected`` counts components
+    solved by the bitset forward-checking kernel (every component under
+    ``ordering="bitset"``, the cost model's picks under
+    ``ordering="cost"``).  Install an instance with
     :func:`install_search_counters` to have every search in the process
     report into it; the :class:`repro.engine.core.ContainmentEngine`
     does this around each decision.
@@ -128,6 +159,8 @@ class SearchCounters:
     backtracks: int = 0
     domain_wipeouts: int = 0
     components_solved: int = 0
+    mask_intersections: int = 0
+    kernel_selected: int = 0
 
     def reset(self):
         """Zero every counter field."""
@@ -208,16 +241,18 @@ def component_cost_estimate(candidate_counts):
 
 
 def component_strategy(candidate_counts):
-    """``"simple"`` or ``"propagate"`` for one component's candidates.
+    """``"simple"`` or ``"bitset"`` for one component's candidates.
 
     The decision rule behind ``ordering="cost"`` — shared with the
     static analyzer, whose :class:`~repro.analysis.interp.CostCertificate`
     records the same per-component recommendation, so the certificate
     and the runtime search can never disagree about the plan.
+    ``"simple"`` is plain mask backtracking (no forward checking);
+    ``"bitset"`` is the full forward-checking bitset kernel.
     """
     if component_cost_estimate(candidate_counts) <= COST_SIMPLE_THRESHOLD:
         return "simple"
-    return "propagate"
+    return "bitset"
 
 
 class CompiledTarget:
@@ -230,23 +265,33 @@ class CompiledTarget:
             rows (and therefore homomorphisms) in a deterministic,
             hash-seed-independent order.
         index: ``{(pred, arity): per-position ({value: frozenset of row
-            positions})}`` — the inverted index forward checking prunes
-            with.
+            positions})}`` — the inverted index the list-based
+            ``"propagating"`` strategy prunes with.
         domains: ``{(pred, arity): per-position frozenset of values}`` —
             the column value sets that seed variable domains.
+        masks: ``{(pred, arity): per-position ({value: int bitmask})}``
+            — the inverted index as arbitrary-precision integer
+            bitmasks over row ids (bit ``i`` set ⇔ ``rows[key][i]``
+            carries the value at that position); the bitset kernel's
+            hot-path representation.
+        full_masks: ``{(pred, arity): int}`` — the all-rows mask
+            ``(1 << len(rows[key])) - 1`` per predicate.
 
     Instances are immutable by convention and safe to cache and share
     across searches (the :class:`repro.engine.core.ContainmentEngine`
-    does, keyed on the originating query and witness count).
+    does, keyed on the originating query and witness count, so cache
+    hits amortize mask construction too).
     """
 
-    __slots__ = ("atoms", "rows", "index", "domains")
+    __slots__ = ("atoms", "rows", "index", "domains", "masks", "full_masks")
 
-    def __init__(self, atoms, rows, index, domains):
+    def __init__(self, atoms, rows, index, domains, masks, full_masks):
         self.atoms = atoms
         self.rows = rows
         self.index = index
         self.domains = domains
+        self.masks = masks
+        self.full_masks = full_masks
 
     def __repr__(self):
         return "CompiledTarget(preds=%d, rows=%d)" % (
@@ -279,6 +324,8 @@ def compile_target(target_atoms):
     rows = {key: tuple(seen) for key, seen in deduped.items()}
     index = {}
     domains = {}
+    masks = {}
+    full_masks = {}
     for key, key_rows in rows.items():
         per_position = [{} for __ in range(key[1])]
         for row_id, row in enumerate(key_rows):
@@ -289,7 +336,22 @@ def compile_target(target_atoms):
             for column in per_position
         )
         domains[key] = tuple(frozenset(column) for column in per_position)
-    return CompiledTarget(atoms, rows, index, domains)
+        masks[key] = tuple(
+            {
+                value: _ids_to_mask(ids)
+                for value, ids in column.items()
+            }
+            for column in per_position
+        )
+        full_masks[key] = (1 << len(key_rows)) - 1
+    return CompiledTarget(atoms, rows, index, domains, masks, full_masks)
+
+
+def _ids_to_mask(row_ids):
+    mask = 0
+    for row_id in row_ids:
+        mask |= 1 << row_id
+    return mask
 
 
 def _row_feasible(atom, row, binding, domains):
@@ -328,6 +390,355 @@ def _match_row(atom, row, binding):
         elif bound != value:
             return None
     return extension
+
+
+# -- the bitset kernel -------------------------------------------------------
+#
+# The same search as the list-based machinery below, over a vectorized
+# representation: a candidate set is one arbitrary-precision int (bit i
+# set <=> target row i is still viable), and each source atom carries a
+# matcher closure generated once — straight-line code for its constant
+# positions and repeated variables instead of a per-row zip/isinstance
+# interpreter.  Enumeration walks set bits lowest-first, i.e. ascending
+# row id, i.e. target insertion order, so the bitset kernel visits the
+# identical search tree (same variable choices, same row order, same
+# node/backtrack/wipeout counts) as ``ordering="propagating"``.
+
+
+class _AtomPlan:
+    """One source atom compiled for the bitset kernel.
+
+    ``const_positions`` is ``((position, value), ...)`` for the atom's
+    constant arguments; ``var_positions`` is ``((var, (positions, ...)),
+    ...)`` in first-occurrence order, one entry per distinct variable;
+    ``match`` is the generated matcher closure — ``match(row, binding)``
+    returns the ``{Var: value}`` extension or None, fusing constant
+    checks, repeated-variable equality, and binding consistency.
+    """
+
+    __slots__ = ("const_positions", "var_positions", "match")
+
+    def __init__(self, const_positions, var_positions, match):
+        self.const_positions = const_positions
+        self.var_positions = var_positions
+        self.match = match
+
+
+def _generate_matcher(const_positions, var_positions):
+    """Build the specialized matcher closure for one atom shape.
+
+    The function body is generated source — one comparison per constant
+    position, one per repeated occurrence, one binding probe per
+    distinct variable — compiled once and reused for every row the atom
+    is ever matched against.
+    """
+    env = {"_UNBOUND": _UNBOUND}
+    lines = ["def match(row, binding):"]
+    for i, (position, value) in enumerate(const_positions):
+        env["c%d" % i] = value
+        lines.append("    if row[%d] != c%d:" % (position, i))
+        lines.append("        return None")
+    for i, (var, positions) in enumerate(var_positions):
+        env["v%d" % i] = var
+        lines.append("    value%d = row[%d]" % (i, positions[0]))
+        for position in positions[1:]:
+            lines.append("    if row[%d] != value%d:" % (position, i))
+            lines.append("        return None")
+    lines.append("    extension = {}")
+    for i, (var, positions) in enumerate(var_positions):
+        lines.append("    bound = binding.get(v%d, _UNBOUND)" % i)
+        lines.append("    if bound is _UNBOUND:")
+        lines.append("        extension[v%d] = value%d" % (i, i))
+        lines.append("    elif bound != value%d:" % i)
+        lines.append("        return None")
+    lines.append("    return extension")
+    namespace = {}
+    exec("\n".join(lines), env, namespace)  # noqa: S102 - generated from terms
+    return namespace["match"]
+
+
+_PLAN_CACHE = {}
+_PLAN_CACHE_LIMIT = 4096
+
+
+def _atom_plan(atom):
+    """The (memoized) :class:`_AtomPlan` of one source atom."""
+    plan = _PLAN_CACHE.get(atom)
+    if plan is not None:
+        return plan
+    const_positions = []
+    occurrences = {}
+    for position, term in enumerate(atom.args):
+        if isinstance(term, Const):
+            const_positions.append((position, term.value))
+        else:
+            occurrences.setdefault(term, []).append(position)
+    const_positions = tuple(const_positions)
+    var_positions = tuple(
+        (var, tuple(positions)) for var, positions in occurrences.items()
+    )
+    plan = _AtomPlan(
+        const_positions,
+        var_positions,
+        _generate_matcher(const_positions, var_positions),
+    )
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+        _PLAN_CACHE.clear()
+    _PLAN_CACHE[atom] = plan
+    return plan
+
+
+def _feasible_mask(plan, columns, start, column_domains, binding, domains):
+    """Narrow *start* to the rows the atom can map onto.
+
+    The mask analogue of filtering with :func:`_row_feasible`: a row
+    survives iff every constant position matches, every bound variable's
+    value matches at each occurrence, and every unbound variable finds a
+    single in-domain value across all its occurrences.  Returns
+    ``(mask, intersections performed)``.
+    """
+    mask = start
+    intersections = 0
+    for position, value in plan.const_positions:
+        mask &= columns[position].get(value, 0)
+        intersections += 1
+        if not mask:
+            return mask, intersections
+    for var, positions in plan.var_positions:
+        bound = binding.get(var, _UNBOUND)
+        if bound is not _UNBOUND:
+            for position in positions:
+                mask &= columns[position].get(bound, 0)
+                intersections += 1
+            if not mask:
+                return mask, intersections
+            continue
+        domain = domains[var]
+        if len(positions) == 1:
+            position = positions[0]
+            if len(domain) == len(column_domains[position]):
+                # The domain covers every value of the column: every row
+                # passes, the union of the per-value masks is `start`.
+                continue
+            column = columns[position]
+            union = 0
+            for value in domain:
+                entry = column.get(value)
+                if entry:
+                    union |= entry
+            intersections += 1
+            mask &= union
+        else:
+            # A repeated variable: a row survives when some in-domain
+            # value occupies *all* of its positions.
+            union = 0
+            first = columns[positions[0]]
+            for value in domain:
+                rows_with_value = first.get(value, 0)
+                if not rows_with_value:
+                    continue
+                for position in positions[1:]:
+                    rows_with_value &= columns[position].get(value, 0)
+                    intersections += 1
+                union |= rows_with_value
+            intersections += 1
+            mask &= union
+        if not mask:
+            return mask, intersections
+    return mask, intersections
+
+
+def _ac3_masks(source_atoms, plans, keys, compiled, candidates, counts,
+               domains, binding, counters):
+    """Generalized arc consistency over mask candidate sets.
+
+    The mask twin of :func:`_ac3`: identical revision order, identical
+    narrowing, identical fixpoint — only the candidate representation
+    differs.  Returns False on a domain wipeout.
+    """
+    intersections = 0
+    changed = True
+    while changed:
+        changed = False
+        for position_in_source, atom in enumerate(source_atoms):
+            key = keys[position_in_source]
+            columns = compiled.masks.get(key)
+            if columns is None:
+                kept = 0
+            else:
+                kept, used = _feasible_mask(
+                    plans[position_in_source], columns,
+                    candidates[position_in_source], compiled.domains[key],
+                    binding, domains,
+                )
+                intersections += used
+            if not kept:
+                if counters is not None:
+                    counters.mask_intersections += intersections
+                    counters.domain_wipeouts += 1
+                return False
+            if kept != candidates[position_in_source]:
+                candidates[position_in_source] = kept
+                counts[position_in_source] = kept.bit_count()
+            for var, positions in plans[position_in_source].var_positions:
+                if var in binding:
+                    continue
+                for position in positions:
+                    column = columns[position]
+                    domain = domains[var]
+                    narrowed = frozenset(
+                        value
+                        for value in domain
+                        if kept & column.get(value, 0)
+                    )
+                    intersections += len(domain)
+                    if len(narrowed) < len(domain):
+                        domains[var] = narrowed
+                        changed = True
+                        if not narrowed:
+                            if counters is not None:
+                                counters.mask_intersections += intersections
+                                counters.domain_wipeouts += 1
+                            return False
+    if counters is not None:
+        counters.mask_intersections += intersections
+    return True
+
+
+def _forward_check_masks(extension, rest, plans, keys, compiled, candidates,
+                         counts, trail):
+    """Prune the mask candidate sets of *rest* atoms against *extension*.
+
+    Pruned sets are pushed onto *trail* as ``(position, old mask, old
+    count)`` for O(1) restoration on backtrack.  Returns ``(consistent,
+    intersections performed)``; inconsistent means some atom lost every
+    candidate row.
+    """
+    intersections = 0
+    for position_in_source in rest:
+        columns = compiled.masks.get(keys[position_in_source])
+        mask = candidates[position_in_source]
+        old = mask
+        for var, positions in plans[position_in_source].var_positions:
+            value = extension.get(var, _UNBOUND)
+            if value is _UNBOUND:
+                continue
+            if columns is None:
+                mask = 0
+                break
+            for position in positions:
+                mask &= columns[position].get(value, 0)
+                intersections += 1
+            if not mask:
+                break
+        if mask != old:
+            trail.append(
+                (position_in_source, old, counts[position_in_source])
+            )
+            candidates[position_in_source] = mask
+            counts[position_in_source] = mask.bit_count()
+            if not mask:
+                return False, intersections
+    return True, intersections
+
+
+def _solve_component_masks(order, plans, keys, compiled, candidates, counts,
+                           binding, counters):
+    """The bitset kernel's per-component search (forward checking).
+
+    *candidates* and *counts* are ``{atom position: mask}`` /
+    ``{atom position: cardinality}`` private to this component; the
+    cached cardinalities make the most-constrained-first choice an O(1)
+    dict probe per remaining atom instead of a recount.
+    """
+
+    def descend(remaining, assigned):
+        if not remaining:
+            yield dict(assigned)
+            return
+        best = min(remaining, key=lambda p: (counts[p], p))
+        mask = candidates[best]
+        if not mask:
+            return
+        rest = [p for p in remaining if p != best]
+        match = plans[best].match
+        rows = compiled.rows[keys[best]]
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            extension = match(rows[low.bit_length() - 1], binding)
+            if extension is None:
+                continue
+            if counters is not None:
+                counters.nodes += 1
+            binding.update(extension)
+            assigned.update(extension)
+            trail = []
+            consistent = True
+            if extension and rest:
+                consistent, used = _forward_check_masks(
+                    extension, rest, plans, keys, compiled, candidates,
+                    counts, trail,
+                )
+                if counters is not None:
+                    counters.mask_intersections += used
+            if consistent:
+                yield from descend(rest, assigned)
+            elif counters is not None:
+                counters.domain_wipeouts += 1
+            for pruned_position, old_mask, old_count in trail:
+                candidates[pruned_position] = old_mask
+                counts[pruned_position] = old_count
+            for var in extension:
+                del binding[var]
+                del assigned[var]
+            if counters is not None:
+                counters.backtracks += 1
+
+    yield from descend(list(order), {})
+
+
+def _solve_component_simple_masks(order, plans, keys, compiled, candidates,
+                                  counts, binding, counters):
+    """The ``"cost"`` strategy's mask solver for tiny components.
+
+    Identical search tree shape to :func:`_solve_component_masks` (same
+    most-constrained-first atom choice over the same candidate masks,
+    set bits in ascending row-id order, so the two solvers enumerate
+    the same solutions in the same order) but with no forward checking:
+    below :data:`COST_SIMPLE_THRESHOLD` the pruning bookkeeping
+    dominates the work it saves.
+    """
+
+    def descend(remaining, assigned):
+        if not remaining:
+            yield dict(assigned)
+            return
+        best = min(remaining, key=lambda p: (counts[p], p))
+        mask = candidates[best]
+        if not mask:
+            return
+        rest = [p for p in remaining if p != best]
+        match = plans[best].match
+        rows = compiled.rows[keys[best]]
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            extension = match(rows[low.bit_length() - 1], binding)
+            if extension is None:
+                continue
+            if counters is not None:
+                counters.nodes += 1
+            binding.update(extension)
+            assigned.update(extension)
+            yield from descend(rest, assigned)
+            for var in extension:
+                del binding[var]
+                del assigned[var]
+            if counters is not None:
+                counters.backtracks += 1
+
+    yield from descend(list(order), {})
 
 
 def _initial_domains(source_atoms, keys, compiled, binding, allowed):
@@ -425,12 +836,14 @@ def _components(source_atoms, binding):
 
 
 def _forward_check(extension, rest, source_atoms, keys, compiled,
-                   candidates, trail):
+                   candidates, counts, trail):
     """Prune candidate lists of *rest* atoms against the new *extension*.
 
-    Pruned lists are pushed onto *trail* as ``(position, old list)`` for
-    restoration on backtrack.  Returns False on a wipeout (some atom
-    lost every candidate row).
+    Pruned lists are pushed onto *trail* as ``(position, old list, old
+    count)`` for restoration on backtrack; *counts* mirrors
+    ``len(candidates[p])`` so the variable-ordering heuristic never
+    recounts.  Returns False on a wipeout (some atom lost every
+    candidate row).
     """
     for position_in_source in rest:
         atom = source_atoms[position_in_source]
@@ -452,27 +865,32 @@ def _forward_check(extension, rest, source_atoms, keys, compiled,
             if all(row_id in rows for rows in required)
         ]
         if len(narrowed) != len(old):
-            trail.append((position_in_source, old))
+            trail.append(
+                (position_in_source, old, counts[position_in_source])
+            )
             candidates[position_in_source] = narrowed
+            counts[position_in_source] = len(narrowed)
             if not narrowed:
                 return False
     return True
 
 
-def _solve_component(order, source_atoms, keys, compiled, candidates,
+def _solve_component(order, source_atoms, keys, compiled, candidates, counts,
                      binding, counters):
     """Yield every assignment of one component's unbound variables.
 
-    *candidates* and *binding* are private to this component (the caller
-    copies them), so paused generators of sibling components never
-    interfere.
+    *candidates*, *counts*, and *binding* are private to this component
+    (the caller copies them), so paused generators of sibling components
+    never interfere.  *counts* caches each candidate list's length,
+    maintained incrementally by :func:`_forward_check` and the trail, so
+    the most-constrained-first ``min`` is a dict probe, not a recount.
     """
 
     def descend(remaining, assigned):
         if not remaining:
             yield dict(assigned)
             return
-        best = min(remaining, key=lambda p: (len(candidates[p]), p))
+        best = min(remaining, key=lambda p: (counts[p], p))
         if not candidates[best]:
             return
         rest = [p for p in remaining if p != best]
@@ -491,54 +909,15 @@ def _solve_component(order, source_atoms, keys, compiled, candidates,
             if extension and rest:
                 consistent = _forward_check(
                     extension, rest, source_atoms, keys, compiled,
-                    candidates, trail,
+                    candidates, counts, trail,
                 )
             if consistent:
                 yield from descend(rest, assigned)
             elif counters is not None:
                 counters.domain_wipeouts += 1
-            for pruned_position, old in trail:
+            for pruned_position, old, old_count in trail:
                 candidates[pruned_position] = old
-            for var in extension:
-                del binding[var]
-                del assigned[var]
-            if counters is not None:
-                counters.backtracks += 1
-
-    yield from descend(list(order), {})
-
-
-def _solve_component_simple(order, source_atoms, keys, compiled, candidates,
-                            binding, counters):
-    """The ``"cost"`` strategy's solver for tiny components.
-
-    Identical search tree shape to :func:`_solve_component` (same
-    most-constrained-first atom choice over the same candidate lists,
-    rows in insertion order, so the two solvers enumerate the same
-    solutions in the same order) but with no forward checking: below
-    :data:`COST_SIMPLE_THRESHOLD` the pruning bookkeeping dominates the
-    work it saves.
-    """
-
-    def descend(remaining, assigned):
-        if not remaining:
-            yield dict(assigned)
-            return
-        best = min(remaining, key=lambda p: (len(candidates[p]), p))
-        if not candidates[best]:
-            return
-        rest = [p for p in remaining if p != best]
-        atom = source_atoms[best]
-        rows = compiled.rows[keys[best]]
-        for row_id in candidates[best]:
-            extension = _match_row(atom, rows[row_id], binding)
-            if extension is None:
-                continue
-            if counters is not None:
-                counters.nodes += 1
-            binding.update(extension)
-            assigned.update(extension)
-            yield from descend(rest, assigned)
+                counts[pruned_position] = old_count
             for var in extension:
                 del binding[var]
                 del assigned[var]
@@ -597,7 +976,7 @@ def _cross(lazies, binding):
 
 
 def propagating_search(source_atoms, compiled, binding, allowed, ac3=True,
-                       cost=False):
+                       cost=False, kernel=None):
     """Yield every homomorphism under the propagating strategy.
 
     :param source_atoms: tuple of source atoms.
@@ -608,12 +987,17 @@ def propagating_search(source_atoms, compiled, binding, allowed, ac3=True,
     :param ac3: run the arc-consistency preprocessing fixpoint before
         search (on by default; turn off to measure its contribution).
     :param cost: the ``ordering="cost"`` hybrid — choose a solver per
-        connected component via :func:`component_strategy`: plain
+        connected component via :func:`component_strategy`: plain mask
         backtracking for components whose estimated work is below
-        :data:`COST_SIMPLE_THRESHOLD`, the full propagating machinery
-        (and the AC-3 pass, run only when some component needs it)
+        :data:`COST_SIMPLE_THRESHOLD`, the full bitset machinery (and
+        the AC-3 pass, run only when some component needs it)
         otherwise.  Enumerates the same homomorphism set as every other
         strategy.
+    :param kernel: ``"bitset"`` (the default: mask candidate sets and
+        generated matchers) or ``"list"`` (the list-based machinery,
+        kept as ``ordering="propagating"`` for ablation).  ``cost=True``
+        always runs on masks.  Both kernels visit the identical search
+        tree and enumerate the identical homomorphism sequence.
     """
     counters = _counters
     keys = tuple((atom.pred, atom.arity) for atom in source_atoms)
@@ -621,6 +1005,14 @@ def propagating_search(source_atoms, compiled, binding, allowed, ac3=True,
     if any(not domain for domain in domains.values()):
         if counters is not None:
             counters.domain_wipeouts += 1
+        return
+    if kernel is None:
+        kernel = "bitset"
+    if cost or kernel == "bitset":
+        yield from _masked_search(
+            source_atoms, keys, compiled, binding, domains, ac3, cost,
+            counters,
+        )
         return
     candidates = []
     for atom, key in zip(source_atoms, keys):
@@ -636,34 +1028,96 @@ def propagating_search(source_atoms, compiled, binding, allowed, ac3=True,
             return
         candidates.append(feasible)
     components = _components(source_atoms, binding)
-    if cost:
-        plans = [
-            component_strategy(
-                [len(candidates[position]) for position in order]
-            )
-            for order in components
-        ]
-        run_ac3 = ac3 and any(plan == "propagate" for plan in plans)
-    else:
-        plans = ["propagate"] * len(components)
-        run_ac3 = ac3
-    if run_ac3 and not _ac3(
+    if ac3 and not _ac3(
         source_atoms, keys, compiled, candidates, domains, binding, counters
     ):
         return
     lazies = []
-    for order, plan in zip(components, plans):
+    for order in components:
         if counters is not None:
             counters.components_solved += 1
-        solve = (
-            _solve_component_simple if plan == "simple" else _solve_component
-        )
-        generator = solve(
+        generator = _solve_component(
             order,
             source_atoms,
             keys,
             compiled,
             {position: list(candidates[position]) for position in order},
+            {position: len(candidates[position]) for position in order},
+            dict(binding),
+            counters,
+        )
+        lazy = _LazySolutions(generator)
+        if lazy.get(0) is None:
+            return
+        lazies.append(lazy)
+    yield from _cross(lazies, binding)
+
+
+def _masked_search(source_atoms, keys, compiled, binding, domains, ac3, cost,
+                   counters):
+    """The bitset kernel's pipeline behind :func:`propagating_search`.
+
+    Same stages as the list pipeline — initial feasibility, optional
+    AC-3, component decomposition, per-component lazy solve, lazy cross
+    product — over mask candidate sets, with the ``cost`` hybrid
+    choosing ``"simple"`` vs ``"bitset"`` per component.
+    """
+    plans = tuple(_atom_plan(atom) for atom in source_atoms)
+    candidates = []
+    counts = []
+    intersections = 0
+    for plan, key in zip(plans, keys):
+        columns = compiled.masks.get(key)
+        if columns is None:
+            mask = 0
+        else:
+            mask, used = _feasible_mask(
+                plan, columns, compiled.full_masks[key],
+                compiled.domains[key], binding, domains,
+            )
+            intersections += used
+        if not mask:
+            if counters is not None:
+                counters.mask_intersections += intersections
+                counters.domain_wipeouts += 1
+            return
+        candidates.append(mask)
+        counts.append(mask.bit_count())
+    if counters is not None:
+        counters.mask_intersections += intersections
+    components = _components(source_atoms, binding)
+    if cost:
+        strategies = [
+            component_strategy([counts[position] for position in order])
+            for order in components
+        ]
+        run_ac3 = ac3 and any(s == "bitset" for s in strategies)
+    else:
+        strategies = ["bitset"] * len(components)
+        run_ac3 = ac3
+    if run_ac3 and not _ac3_masks(
+        source_atoms, plans, keys, compiled, candidates, counts, domains,
+        binding, counters,
+    ):
+        return
+    lazies = []
+    for order, strategy in zip(components, strategies):
+        if counters is not None:
+            counters.components_solved += 1
+            if strategy == "bitset":
+                counters.kernel_selected += 1
+        solve = (
+            _solve_component_simple_masks
+            if strategy == "simple"
+            else _solve_component_masks
+        )
+        generator = solve(
+            order,
+            plans,
+            keys,
+            compiled,
+            {position: candidates[position] for position in order},
+            {position: counts[position] for position in order},
             dict(binding),
             counters,
         )

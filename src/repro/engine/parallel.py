@@ -48,13 +48,14 @@ import threading
 from time import monotonic
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 
 from repro.errors import (
     ContainmentTimeout,
     IncomparableQueriesError,
     UnsupportedQueryError,
 )
+from repro.cq.propagation import ORDERINGS, use_ordering
 from repro.engine.core import ContainmentEngine
 from repro.engine.stats import EngineStats
 
@@ -175,9 +176,11 @@ def _flush_store(engine):
         flush()
 
 
-def _decide_one(engine, kind, pair, schema, witnesses, method, timeout_s):
+def _decide_one(engine, kind, pair, schema, witnesses, method, timeout_s,
+                ordering=None):
+    swap = use_ordering(ordering) if ordering is not None else nullcontext()
     try:
-        with _deadline(timeout_s):
+        with _deadline(timeout_s), swap:
             if kind == "contains":
                 sup, sub = pair
                 return (
@@ -194,7 +197,8 @@ def _decide_one(engine, kind, pair, schema, witnesses, method, timeout_s):
         return ("error", exc)
 
 
-def _run_chunk(chunk_index, kind, pairs, schema, witnesses, method, timeout_s):
+def _run_chunk(chunk_index, kind, pairs, schema, witnesses, method, timeout_s,
+               ordering=None):
     engine = _worker_engine
     if engine is None:  # pool built without initializer (executor=)
         _init_worker({})
@@ -202,7 +206,8 @@ def _run_chunk(chunk_index, kind, pairs, schema, witnesses, method, timeout_s):
     engine.reset_stats()
     engine.clear_trace()
     outcomes = [
-        _decide_one(engine, kind, pair, schema, witnesses, method, timeout_s)
+        _decide_one(engine, kind, pair, schema, witnesses, method, timeout_s,
+                    ordering)
         for pair in pairs
     ]
     _flush_store(engine)
@@ -234,6 +239,11 @@ class ParallelContainmentEngine:
         checks as :data:`UNDECIDED`; ``"raise"`` propagates
         :class:`ContainmentTimeout` after the batch completes.
     :param witnesses, method: as for :class:`ContainmentEngine`.
+    :param ordering: homomorphism-search strategy applied to every
+        check (one of :data:`repro.cq.propagation.ORDERINGS`; None =
+        the process default, normally ``"bitset"``).  Threaded to pool
+        workers per chunk, so kernel ablations work without in-process
+        ``use_ordering()`` hacks.
     :param engine: the in-process sequential engine to use for single
         checks, degraded batches, and stats aggregation (a fresh one is
         created otherwise).  Worker engines are configured with the same
@@ -256,11 +266,17 @@ class ParallelContainmentEngine:
                  witnesses=None, method="certificate",
                  on_timeout="undecided", engine=None, executor=None,
                  prepare_cache_size=512, verdict_cache_size=8192,
-                 target_cache_size=1024, store=None, store_path=None):
+                 target_cache_size=1024, store=None, store_path=None,
+                 ordering=None):
         if on_timeout not in ("undecided", "raise"):
             raise UnsupportedQueryError(
                 "on_timeout must be 'undecided' or 'raise', got %r"
                 % (on_timeout,)
+            )
+        if ordering is not None and ordering not in ORDERINGS:
+            raise UnsupportedQueryError(
+                "unknown ordering %r (expected one of %s)"
+                % (ordering, ", ".join(ORDERINGS))
             )
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -274,6 +290,7 @@ class ParallelContainmentEngine:
         self._timeout_s = timeout_s
         self._chunk_size = chunk_size
         self._on_timeout = on_timeout
+        self._ordering = ordering
         self._worker_options = {
             "witnesses": witnesses,
             "method": method,
@@ -394,7 +411,8 @@ class ParallelContainmentEngine:
         stats.merge(worker_stats)
         stats.tally("worker_cache_hits", hits)
 
-    def _run_batch(self, kind, pairs, schema, witnesses, method, timeout_s):
+    def _run_batch(self, kind, pairs, schema, witnesses, method, timeout_s,
+                   ordering=None):
         """Decide every pair; returns outcome tuples in input order."""
         stats = self.stats()
         stats.tally("batch_calls")
@@ -407,7 +425,7 @@ class ParallelContainmentEngine:
                 futures = [
                     pool.submit(
                         _run_chunk, index, kind, pairs[start:stop],
-                        schema, witnesses, method, timeout_s,
+                        schema, witnesses, method, timeout_s, ordering,
                     )
                     for index, (start, stop) in enumerate(spans)
                 ]
@@ -425,7 +443,8 @@ class ParallelContainmentEngine:
                 self._mark_pool_broken()  # fall through: decide in-process
         outcomes = [
             _decide_one(
-                self._engine, kind, pair, schema, witnesses, method, timeout_s
+                self._engine, kind, pair, schema, witnesses, method,
+                timeout_s, ordering,
             )
             for pair in pairs
         ]
@@ -449,7 +468,8 @@ class ParallelContainmentEngine:
                 results.append(value)
         return results
 
-    def _defaults(self, witnesses, method, timeout_s, on_timeout):
+    def _defaults(self, witnesses, method, timeout_s, on_timeout,
+                  ordering=None):
         if witnesses is None:
             witnesses = self._worker_options["witnesses"]
         if method is None:
@@ -458,29 +478,37 @@ class ParallelContainmentEngine:
             timeout_s = self._timeout_s
         if on_timeout is None:
             on_timeout = self._on_timeout
-        return witnesses, method, timeout_s, on_timeout
+        if ordering is None:
+            ordering = self._ordering
+        elif ordering not in ORDERINGS:
+            raise UnsupportedQueryError(
+                "unknown ordering %r (expected one of %s)"
+                % (ordering, ", ".join(ORDERINGS))
+            )
+        return witnesses, method, timeout_s, on_timeout, ordering
 
     # -- public decisions ----------------------------------------------
 
     def contains(self, sup, sub, schema, witnesses=None, method=None,
-                 timeout_s=_UNSET, on_timeout=None):
+                 timeout_s=_UNSET, on_timeout=None, ordering=None):
         """``sub ⊑ sup``, decided in-process under the timeout budget.
 
         A single check never pays pool dispatch; it runs on the local
         engine (sharing its caches) with the same timeout semantics as
         the batch paths.
         """
-        witnesses, method, timeout_s, on_timeout = self._defaults(
-            witnesses, method, timeout_s, on_timeout
+        witnesses, method, timeout_s, on_timeout, ordering = self._defaults(
+            witnesses, method, timeout_s, on_timeout, ordering
         )
         outcome = _decide_one(
             self._engine, "contains", (sup, sub), schema,
-            witnesses, method, timeout_s,
+            witnesses, method, timeout_s, ordering,
         )
         return self._resolve([outcome], "raise", on_timeout)[0]
 
     def contains_many(self, pairs, schema, witnesses=None, method=None,
-                      on_error="raise", timeout_s=_UNSET, on_timeout=None):
+                      on_error="raise", timeout_s=_UNSET, on_timeout=None,
+                      ordering=None):
         """Decide ``sub ⊑ sup`` for every ``(sup, sub)`` pair, sharded.
 
         Same contract as :meth:`ContainmentEngine.contains_many` — in
@@ -494,16 +522,17 @@ class ParallelContainmentEngine:
             raise UnsupportedQueryError(
                 "on_error must be 'raise' or 'capture', got %r" % (on_error,)
             )
-        witnesses, method, timeout_s, on_timeout = self._defaults(
-            witnesses, method, timeout_s, on_timeout
+        witnesses, method, timeout_s, on_timeout, ordering = self._defaults(
+            witnesses, method, timeout_s, on_timeout, ordering
         )
         outcomes = self._run_batch(
-            "contains", list(pairs), schema, witnesses, method, timeout_s
+            "contains", list(pairs), schema, witnesses, method, timeout_s,
+            ordering,
         )
         return self._resolve(outcomes, on_error, on_timeout)
 
     def pairwise_matrix(self, queries, schema, witnesses=None, method=None,
-                        timeout_s=_UNSET, on_timeout=None):
+                        timeout_s=_UNSET, on_timeout=None, ordering=None):
         """The N×N containment matrix of *queries*, sharded.
 
         ``matrix[i][j]`` is True iff ``queries[j] ⊑ queries[i]``, None
@@ -512,12 +541,12 @@ class ParallelContainmentEngine:
         default policy).
         """
         queries = list(queries)
-        witnesses, method, timeout_s, on_timeout = self._defaults(
-            witnesses, method, timeout_s, on_timeout
+        witnesses, method, timeout_s, on_timeout, ordering = self._defaults(
+            witnesses, method, timeout_s, on_timeout, ordering
         )
         pairs = [(sup, sub) for sup in queries for sub in queries]
         outcomes = self._run_batch(
-            "contains", pairs, schema, witnesses, method, timeout_s
+            "contains", pairs, schema, witnesses, method, timeout_s, ordering
         )
         flat = []
         for tag, value in outcomes:
@@ -534,7 +563,8 @@ class ParallelContainmentEngine:
         return [flat[row * size:(row + 1) * size] for row in range(size)]
 
     def classify_many(self, query, candidates, schema, witnesses=None,
-                      method=None, timeout_s=_UNSET, on_timeout=None):
+                      method=None, timeout_s=_UNSET, on_timeout=None,
+                      ordering=None):
         """Label every candidate view's usability for *query*, sharded.
 
         Same contract and label caching as
@@ -549,8 +579,8 @@ class ParallelContainmentEngine:
         """
         from repro.engine.core import resolve_classifications
 
-        witnesses, method, timeout_s, on_timeout = self._defaults(
-            witnesses, method, timeout_s, on_timeout
+        witnesses, method, timeout_s, on_timeout, ordering = self._defaults(
+            witnesses, method, timeout_s, on_timeout, ordering
         )
         self.stats().tally("classify_calls")
         return resolve_classifications(
@@ -559,12 +589,12 @@ class ParallelContainmentEngine:
             lambda pairs: self.contains_many(
                 pairs, schema, witnesses=witnesses, method=method,
                 on_error="capture", timeout_s=timeout_s,
-                on_timeout=on_timeout,
+                on_timeout=on_timeout, ordering=ordering,
             ),
         )
 
     def simulated_many(self, pairs, witnesses=None, on_error="raise",
-                       timeout_s=_UNSET, on_timeout=None):
+                       timeout_s=_UNSET, on_timeout=None, ordering=None):
         """Batch grouping-query simulation: one verdict per ``(sub,
         sup)`` :class:`GroupingQuery` pair (Theorem 5.1's relation,
         ``sub ≼ sup``), sharded with the same chunking, ordering, and
@@ -578,10 +608,11 @@ is_simulated` and the brute-force canonical-database check.
             raise UnsupportedQueryError(
                 "on_error must be 'raise' or 'capture', got %r" % (on_error,)
             )
-        witnesses, method, timeout_s, on_timeout = self._defaults(
-            witnesses, None, timeout_s, on_timeout
+        witnesses, method, timeout_s, on_timeout, ordering = self._defaults(
+            witnesses, None, timeout_s, on_timeout, ordering
         )
         outcomes = self._run_batch(
-            "simulate", list(pairs), None, witnesses, method, timeout_s
+            "simulate", list(pairs), None, witnesses, method, timeout_s,
+            ordering,
         )
         return self._resolve(outcomes, on_error, on_timeout)

@@ -519,7 +519,7 @@ class TestCostCertificate:
             certificate.components
         )
         assert set(certificate.recommended_orderings) <= {
-            "simple", "propagate"
+            "simple", "bitset"
         }
 
     def test_certificate_is_picklable(self):

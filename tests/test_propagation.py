@@ -155,9 +155,10 @@ class TestDeterminism:
 
 
 class TestOrderingParameter:
-    def test_default_is_propagating(self):
-        assert default_ordering() == "propagating"
-        assert ORDERINGS[0] == "propagating"
+    def test_default_is_bitset(self):
+        assert default_ordering() == "bitset"
+        assert ORDERINGS[0] == "bitset"
+        assert "propagating" in ORDERINGS  # the differential twin stays
 
     def test_unknown_ordering_raises(self):
         source = atoms("r(X, Y)")
@@ -169,13 +170,13 @@ class TestOrderingParameter:
                 pass
 
     def test_use_ordering_swaps_and_restores_default(self):
-        assert default_ordering() == "propagating"
+        assert default_ordering() == "bitset"
         with use_ordering("static"):
             assert default_ordering() == "static"
             with use_ordering("adaptive"):
                 assert default_ordering() == "adaptive"
             assert default_ordering() == "static"
-        assert default_ordering() == "propagating"
+        assert default_ordering() == "bitset"
 
     def test_count_homomorphisms_respects_ordering(self, counters):
         source = atoms("r(X, Y)", "r(Y, Z)")
@@ -186,10 +187,16 @@ class TestOrderingParameter:
             counts[ordering] = count_homomorphisms(
                 source, target, ordering=ordering
             )
-            if ordering in ("propagating", "cost"):
+            if ordering in ("bitset", "propagating", "cost"):
                 assert counters.components_solved > 0
             else:
                 assert counters.components_solved == 0
+            if ordering == "bitset":
+                assert counters.kernel_selected > 0
+                assert counters.mask_intersections > 0
+            elif ordering in ("adaptive", "static"):
+                assert counters.kernel_selected == 0
+                assert counters.mask_intersections == 0
         assert len(set(counts.values())) == 1
 
 
@@ -364,7 +371,7 @@ class TestAdversary:
             )
             for ordering in ORDERINGS
         ]
-        assert sets[0] == sets[1] == sets[2]
+        assert all(found == sets[0] for found in sets)
         assert len(sets[0]) == 24  # the 4! vertex permutations
 
 

@@ -71,8 +71,8 @@ def clique(size, name):
     )
 
 
-HARD_SUB = clique(7, "k7_target")  # K8 -> K7: pigeonhole, no simulation
-HARD_SUP = clique(8, "k8")
+HARD_SUB = clique(8, "k8_target")  # K9 -> K8: pigeonhole, no simulation
+HARD_SUP = clique(9, "k9")
 
 EASY_PAIRS = [
     (flat(chain_query(6, head_arity=1), "chain6"),
