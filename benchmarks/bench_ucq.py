@@ -1,0 +1,144 @@
+"""E17 — union families, the Sagiv–Yannakakis reduction, and the chase.
+
+Two row groups, both deterministic for ``check_regression.py``:
+
+* **union width sweep** — ``sub`` and ``sup`` unions of width W where
+  every sub branch is covered by the *first* sup branch.  The inner
+  short-circuit of the reduction must therefore decide exactly W branch
+  pairs no matter how wide the sup family is; the recorded
+  ``branches_decided`` (the cold-engine ``union_branches_decided``
+  delta) is gated against ``union_width`` — more decisions than
+  branches on a contained pair means the short-circuit broke.  The
+  benchmarked body is the warm repeat, i.e. the ``branch_verdict``
+  memo-table path a workload actually rides.
+
+* **chase on/off** — the committed flip pair (``r[a] -> s[a]`` makes
+  the r-projection contained in the s-projection) measured with the
+  dependency installed and without, plus a non-contained two-variable
+  sup whose witness escalation re-reads the chase artifact within one
+  cold check.  The recorded ``chase_hit_rate`` must stay positive: the
+  replay is deterministic, so a zero means the content-addressed chase
+  memoization stopped firing.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.constraints import parse_constraint
+from repro.engine import ContainmentEngine
+
+SCHEMA = {"r": ("a", "b"), "s": ("a", "b")}
+DEP = parse_constraint("r[a] -> s[a]")
+
+WIDTHS = (1, 2, 4, 8)
+
+FLIP_SUP = "select [a: y.a] from y in s"
+FLIP_SUB = "select [a: x.a] from x in r"
+ESCALATING_SUP = "select [a: y.a] from y in s, z in s where y.a = z.b"
+
+
+def sub_branch(index):
+    """The universal r-projection joined with *index* extra copies of r
+    — contained in the bare projection, distinct per index."""
+    extras = "".join(", y%d in r" % i for i in range(index))
+    return "select [a: x.a] from x in r%s" % extras
+
+
+def sup_branch(index):
+    """Decoy sup branches over s that cover no sub branch."""
+    extras = "".join(", w%d in s" % i for i in range(index))
+    return "select [a: z.b] from z in s%s" % extras
+
+
+def union_of(branches):
+    if len(branches) == 1:
+        return branches[0]
+    return " union ".join("(%s)" % b for b in branches)
+
+
+def chase_counters(engine):
+    counters = engine.stats().counters
+    hits = counters.get("chase_hits", 0)
+    misses = counters.get("chase_misses", 0)
+    rate = hits / (hits + misses) if hits + misses else 0.0
+    return hits, misses, rate
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_union_width(benchmark, width):
+    sub = union_of([sub_branch(i) for i in range(width)])
+    sup = union_of([FLIP_SUB] + [sup_branch(i) for i in range(width - 1)])
+    engine = ContainmentEngine()
+    before = engine.stats().counter("union_branches_decided")
+    verdict = engine.contains(sup, sub, SCHEMA)
+    decided = engine.stats().counter("union_branches_decided") - before
+    assert verdict is True
+    benchmark(lambda: engine.contains(sup, sub, SCHEMA))
+    record(
+        benchmark,
+        experiment="E17",
+        union_width=width,
+        sup_width=width,
+        branches_decided=decided,
+        contained=True,
+        branch_verdict_entries=engine.cache_sizes().get("branch_verdict", 0),
+    )
+
+
+def test_chase_off_baseline(benchmark):
+    engine = ContainmentEngine()
+    verdict = engine.contains(FLIP_SUP, FLIP_SUB, SCHEMA)
+    assert verdict is False
+    benchmark(lambda: engine.contains(FLIP_SUP, FLIP_SUB, SCHEMA))
+    hits, misses, __ = chase_counters(engine)
+    record(
+        benchmark,
+        experiment="E17",
+        pair="flip",
+        constraints="off",
+        contained=False,
+        chase_hits=hits,
+        chase_misses=misses,
+    )
+
+
+def test_chase_on_flip(benchmark):
+    engine = ContainmentEngine(constraints=(DEP,))
+    verdict = engine.contains(FLIP_SUP, FLIP_SUB, SCHEMA)
+    assert verdict is True
+    benchmark(lambda: engine.contains(FLIP_SUP, FLIP_SUB, SCHEMA))
+    hits, misses, __ = chase_counters(engine)
+    record(
+        benchmark,
+        experiment="E17",
+        pair="flip",
+        constraints=repr(DEP),
+        contained=True,
+        chase_hits=hits,
+        chase_misses=misses,
+    )
+
+
+def test_chase_artifact_warm_replay(benchmark):
+    # The two-variable sup forces a witness escalation; the flat sub's
+    # canonical witness has the same ground atoms at every witness
+    # count, so the escalated rebuild re-reads the chase artifact —
+    # a warm hit within a single cold check.
+    engine = ContainmentEngine(constraints=(DEP,))
+    verdict = engine.contains(ESCALATING_SUP, FLIP_SUB, SCHEMA)
+    assert verdict is False
+    hits, misses, rate = chase_counters(engine)
+    assert hits >= 1, "witness escalation no longer replays the chase"
+    benchmark(lambda: engine.contains(ESCALATING_SUP, FLIP_SUB, SCHEMA))
+    record(
+        benchmark,
+        experiment="E17",
+        pair="escalating",
+        constraints=repr(DEP),
+        contained=False,
+        chase_hits=hits,
+        chase_misses=misses,
+        chase_hit_rate=round(rate, 4),
+        witness_escalations=engine.stats().counter("witness_escalations"),
+    )

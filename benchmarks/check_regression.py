@@ -55,6 +55,18 @@ file is loaded and rows are joined by ``fullname``.  Two comparisons:
   ``--wall-floor-ms`` grace (default 1ms) so sub-millisecond suites
   don't fail on scheduler jitter.  Compared within the fresh run only,
   so machine speed cancels; a violation is a **failure**.
+* **union short-circuit** — a fresh row recording both ``union_width``
+  and ``branches_decided`` with ``contained`` true (the ucq benchmark's
+  width sweep, built so the first sup branch covers every sub branch)
+  must satisfy ``branches_decided <= union_width``; more decisions than
+  sub branches is a **failure** regardless of ``--strict-time`` — the
+  Sagiv–Yannakakis inner loop is deterministic, so exceeding the bound
+  means the short-circuit (or the ``branch_verdict`` memo) broke.
+* **chase artifact hit rate** — a fresh row recording
+  ``chase_hit_rate`` (the ucq benchmark's witness-escalation replay)
+  must keep it positive; zero is a **failure** regardless of
+  ``--strict-time``, because the replay is deterministic — it means the
+  content-addressed chase memoization silently recomputes saturations.
 * **bitset kernel speedup** — on every *adversary* suite (a ``suite``
   tag containing ``"adversary"``), the ``bitset`` ordering's median
   wall time must be at least ``--bitset-speedup`` (default 2.0) times
@@ -196,6 +208,40 @@ def check_cost_ordering(fresh_rows, cost_margin, wall_floor_s):
     return failures
 
 
+def check_union_short_circuit(fresh_rows):
+    """``branches_decided <= union_width`` on contained union rows."""
+    failures = []
+    for fullname, fresh in sorted(fresh_rows.items()):
+        extra = fresh.get("extra", {})
+        width = extra.get("union_width")
+        decided = extra.get("branches_decided")
+        if width is None or decided is None or not extra.get("contained"):
+            continue
+        if int(decided) > int(width):
+            failures.append(
+                "%s: decided %s branch pairs for a contained union of "
+                "width %s — the Sagiv-Yannakakis short-circuit broke"
+                % (fullname, decided, width)
+            )
+    return failures
+
+
+def check_chase_hit_rate(fresh_rows):
+    """``chase_hit_rate`` must stay positive wherever it is recorded."""
+    failures = []
+    for fullname, fresh in sorted(fresh_rows.items()):
+        rate = fresh.get("extra", {}).get("chase_hit_rate")
+        if rate is None:
+            continue
+        if not rate:
+            failures.append(
+                "%s: chase artifact hit rate dropped to zero — witness "
+                "escalation recomputes saturations instead of replaying "
+                "the content-addressed chase artifact" % fullname
+            )
+    return failures
+
+
 def check_bitset_speedup(fresh_rows, min_ratio, wall_floor_s):
     """The bitset kernel's median vs the propagating kernel's, per
     adversary suite, within one fresh run."""
@@ -291,6 +337,8 @@ def main(argv=None):
             fresh_rows, options.bitset_speedup,
             options.wall_floor_ms / 1000.0,
         ))
+        failures.extend(check_union_short_circuit(fresh_rows))
+        failures.extend(check_chase_hit_rate(fresh_rows))
         for message in warnings:
             print("WARN  %s" % message)
         for message in failures:

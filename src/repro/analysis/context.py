@@ -33,16 +33,22 @@ class AnalysisConfig:
         :class:`repro.analysis.interp.DatabaseStatistics` sampled from a
         witness database; sharpens the interpreter's cardinality
         intervals and enables COQL009's value-set refutations.
+    :param constraints: tuple of
+        :class:`repro.constraints.InclusionDependency` declarations the
+        analyzed queries hold under; containment-backed rules (COQL005,
+        COQL012) decide their oracle calls with the chase enabled.
     """
 
-    __slots__ = ("complexity_budget", "expensive", "witnesses", "stats")
+    __slots__ = ("complexity_budget", "expensive", "witnesses", "stats",
+                 "constraints")
 
     def __init__(self, complexity_budget=10**8, expensive=True,
-                 witnesses=None, stats=None):
+                 witnesses=None, stats=None, constraints=()):
         self.complexity_budget = complexity_budget
         self.expensive = expensive
         self.witnesses = witnesses
         self.stats = stats
+        self.constraints = tuple(constraints)
 
     def __repr__(self):
         return "AnalysisConfig(budget=%d, expensive=%s)" % (
@@ -74,10 +80,34 @@ class AnalysisContext:
         self._encoded = _UNSET
 
     def encoded(self):
-        """The query's :class:`EncodedQuery`, or None when unavailable."""
-        from repro.errors import ReproError
+        """The query's :class:`EncodedQuery`, or None when unavailable.
+
+        A union body has no single encoding — the engine decides it per
+        branch — so for union queries this returns None *without* a
+        front-end error as long as the union typechecks and every branch
+        encodes.  Union shape mismatches are left to COQL013, which
+        owns that wording; any other branch failure still surfaces as
+        COQL000.
+        """
+        from repro.errors import ReproError, TypeCheckError
 
         if self._encoded is _UNSET:
+            from repro.coql.family import contains_union, union_branches
+
+            if contains_union(self.query):
+                self._encoded = None
+                try:
+                    from repro.coql.typecheck import typecheck
+
+                    typecheck(self.query, self.schema)
+                    for branch in union_branches(self.query):
+                        self.engine.prepare(branch, self.schema)
+                except TypeCheckError as exc:
+                    if not str(exc).startswith("union branch"):
+                        self.front_end_error = exc
+                except ReproError as exc:
+                    self.front_end_error = exc
+                return self._encoded
             try:
                 self._encoded = self.engine.prepare(self.query, self.schema)
             except ReproError as exc:

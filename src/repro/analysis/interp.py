@@ -944,6 +944,33 @@ def _trivial_certificate(name: str, settled: bool) -> CostCertificate:
     )
 
 
+def _fold_union_certificates(
+    name: str, certificates: List[CostCertificate]
+) -> CostCertificate:
+    """One certificate dominating a Sagiv–Yannakakis family check.
+
+    The reduction decides at most every (sub branch, sup branch) pair,
+    each bounded by its own pair certificate — so the sums below stay
+    sound search bounds for the whole union-vs-union check.
+    """
+    return CostCertificate(
+        name=name,
+        paths=sum(c.paths for c in certificates),
+        variables=sum(c.variables for c in certificates),
+        witness_stages=max(
+            (c.witness_stages for c in certificates), key=len
+        ),
+        patterns=sum(c.patterns for c in certificates),
+        patterns_enumerated=all(c.patterns_enumerated for c in certificates),
+        components=tuple(
+            comp for c in certificates for comp in c.components
+        ),
+        search_bound=sum(c.search_bound for c in certificates),
+        nonempty_bound=sum(c.nonempty_bound for c in certificates),
+        total_bound=sum(c.total_bound for c in certificates),
+    )
+
+
 def cost_certificate(
     query: Any,
     schema: Any,
@@ -960,8 +987,14 @@ def cost_certificate(
     ``contains``, and bounds the resulting search.  With no *against*,
     the self-containment pair is bounded — the canonical workload for
     "how expensive is checking against this query".
+
+    Union queries are bounded family-wise: the branch-pair certificates
+    of the Sagiv–Yannakakis reduction are summed (the reduction decides
+    at most every pair), so ``analyze`` accepts the same query set the
+    engine does.
     """
     from repro.coql.encode import paired_encoding
+    from repro.coql.family import contains_union, union_branches
     from repro.coql.parser import parse_coql
 
     if engine is None:
@@ -971,6 +1004,38 @@ def cost_certificate(
 
     ast = parse_coql(query) if isinstance(query, str) else query
     facts = interpret(ast, schema, stats)
+
+    against_ast = (
+        parse_coql(against) if isinstance(against, str) else against
+    )
+    if contains_union(ast) or (
+        against_ast is not None and contains_union(against_ast)
+    ):
+        sub_branches = union_branches(ast)
+        sup_branches = (
+            union_branches(against_ast)
+            if against_ast is not None
+            else sub_branches
+        )
+        pair_certificates = [
+            cost_certificate(
+                sub_branch, schema, against=sup_branch, engine=engine,
+                witnesses=witnesses, stats=stats,
+            )
+            for sub_branch in sub_branches
+            for sup_branch in sup_branches
+        ]
+        core = _fold_union_certificates(
+            "union(%d) vs union(%d)" % (len(sub_branches),
+                                        len(sup_branches)),
+            pair_certificates,
+        )
+        return replace(
+            core,
+            fanout=facts.fanout(),
+            output_cardinality=(facts.card.lo, facts.card.hi),
+            facts=facts,
+        )
 
     sub_encoded = engine.prepare(query, schema, name="sub")
     sup_encoded = (

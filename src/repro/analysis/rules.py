@@ -1,4 +1,5 @@
-"""The query-level analysis rules (COQL001 … COQL005, COQL007).
+"""The query-level analysis rules (COQL001 … COQL005, COQL007,
+COQL012, COQL013).
 
 Each rule is a function ``check(ctx, rule) -> iterable[Diagnostic]``
 over an :class:`repro.analysis.context.AnalysisContext`; rules register
@@ -30,6 +31,8 @@ __all__ = [
     "check_empty_set_hazard",
     "check_redundant",
     "check_complexity",
+    "check_redundant_union_branch",
+    "check_union_shape",
 ]
 
 
@@ -435,4 +438,120 @@ register(Rule(
     "budget",
     paper="Theorem 5.1 (simulation is NP-complete)",
     check=check_complexity,
+))
+
+
+# -- COQL012: redundant union branch (expensive) -----------------------
+
+
+def check_redundant_union_branch(ctx, rule):
+    """A union branch contained in the rest of the union is dead weight.
+
+    Minimization-backed, like COQL005: the branches the greedy
+    Sagiv–Yannakakis minimizer (drop any branch contained in a
+    *surviving* sibling, repeat to fixpoint) would remove are flagged —
+    never both of a mutually-equivalent pair, since one survivor always
+    keeps serving the other's answers.  Each pairwise test is a full
+    engine containment check (memoized under ``branch_verdict``), hence
+    ``expensive``; declared inclusion dependencies
+    (``AnalysisConfig.constraints``) sharpen the verdicts via the
+    chase.
+    """
+    from repro.coql.family import contains_union, union_branches
+
+    if not contains_union(ctx.query):
+        return []
+    try:
+        branches = union_branches(ctx.query)
+    except ReproError:
+        return []  # non-linear union placement: the front end reports it
+    if len(branches) < 2:
+        return []
+    constraints = ctx.config.constraints or None
+
+    def covered(candidate, sibling):
+        try:
+            return ctx.engine.contains(
+                sibling, candidate, ctx.schema,
+                witnesses=ctx.config.witnesses, constraints=constraints,
+            )
+        except ReproError:
+            return False
+
+    dropped = []
+    kept = list(range(len(branches)))
+    changed = True
+    while changed:
+        changed = False
+        for position, index in enumerate(kept):
+            rest = kept[:position] + kept[position + 1:]
+            winner = next(
+                (j for j in rest if covered(branches[index], branches[j])),
+                None,
+            )
+            if winner is not None:
+                dropped.append((index, winner))
+                kept = rest
+                changed = True
+                break
+    out = []
+    for index, winner in sorted(dropped):
+        out.append(rule.diagnostic(
+            "union branch %d is contained in branch %d; dropping it "
+            "leaves an equivalent union" % (index + 1, winner + 1),
+            path="$.union[%d]" % index,
+            span=branches[index].span or ctx.query.span,
+        ))
+    return out
+
+
+register(Rule(
+    "COQL012", "redundant-union-branch", INFO,
+    "a union branch is contained in a sibling branch; the union is "
+    "equivalent without it",
+    paper="Sagiv-Yannakakis union reduction (related work [36])",
+    expensive=True,
+    check=check_redundant_union_branch,
+))
+
+
+# -- COQL013: union branch shape mismatch ------------------------------
+
+
+def check_union_shape(ctx, rule):
+    """Union branches whose head shapes do not join.
+
+    COQL types a union body as the join of its branches' set types;
+    branches with different head arities (or shapes that do not join at
+    all) make the union ill-typed, and every containment check against
+    it raises.  The finding carries the type checker's span, which
+    points at the first offending branch.
+    """
+    from repro.coql.ast import UnionBody
+    from repro.coql.typecheck import typecheck
+    from repro.errors import TypeCheckError
+
+    def has_union(expr):
+        if isinstance(expr, UnionBody):
+            return True
+        return any(has_union(child) for child in expr.children())
+
+    if not has_union(ctx.query):
+        return []
+    try:
+        typecheck(ctx.query, ctx.schema)
+    except TypeCheckError as exc:
+        if str(exc).startswith("union branch"):
+            return [rule.diagnostic(
+                str(exc), path="$", span=getattr(exc, "span", None),
+            )]
+    return []
+
+
+register(Rule(
+    "COQL013", "union-branch-shape-mismatch", ERROR,
+    "union branches have incompatible head shapes (different arities, "
+    "or set types that do not join)",
+    paper="Section 3 (union bodies type as the join of branch types)",
+    check=check_union_shape,
 ))

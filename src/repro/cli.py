@@ -16,7 +16,18 @@ Usage::
 Schemas are written ``name:attr,attr;name:attr`` (attributes atomic).
 Databases for ``eval`` are JSON files ``{"relation": [{"attr": value}]}``.
 ``lint`` targets are inline queries or ``.coql`` files (``#`` comments;
-a ``# schema: r:a,b`` directive overrides ``--schema``).
+a ``# schema: r:a,b`` directive overrides ``--schema``, and
+``# constraint: r[a] -> s[b]`` directives declare inclusion
+dependencies for that file).
+
+Inclusion dependencies (``repro.constraints``) enter through
+``--constraints DEP_OR_FILE`` (repeatable) on ``contain`` / ``matrix``
+/ ``equiv`` / ``lint`` / ``serve``: each value is either an inline
+dependency ``r[a,b] -> s[x,y]`` or a path to a file of one dependency
+per line (``#`` comments allowed).  Declared dependencies feed the
+chase stage — the sub-side's canonical witnesses are saturated before
+the simulation search, so verdicts hold over databases satisfying the
+dependencies.
 
 Exit codes, uniform across the decision subcommands (see docs/API.md):
 
@@ -53,6 +64,30 @@ def _parse_schema(text):
     if not schema:
         raise ReproError("empty schema (expected 'name:attr,attr;...')")
     return schema
+
+
+def _load_constraints(values):
+    """``--constraints`` values → a tuple of InclusionDependency.
+
+    Each value is either an inline dependency (``r[a] -> s[b]``) or a
+    path to a file of one dependency per line (blank lines and ``#``
+    comments skipped).  Malformed dependencies raise
+    :class:`~repro.errors.ReproError` — a usage error (exit 2).
+    """
+    import os
+
+    from repro.constraints import parse_constraint, parse_constraints
+
+    dependencies = []
+    for value in values or ():
+        if os.path.exists(value):
+            with open(value) as handle:
+                dependencies.extend(
+                    parse_constraints(handle.read().splitlines())
+                )
+        else:
+            dependencies.append(parse_constraint(value))
+    return tuple(dependencies)
 
 
 def _print_stats(engine):
@@ -98,15 +133,19 @@ def _cmd_contain(args):
     from repro.engine import UNDECIDED, ContainmentEngine, ParallelContainmentEngine
 
     schema = _parse_schema(args.schema)
+    constraints = _load_constraints(args.constraints)
     if args.jobs is not None or args.timeout_s is not None:
         engine = ParallelContainmentEngine(
             jobs=args.jobs, timeout_s=args.timeout_s, method=args.method,
             store_path=args.store_path, ordering=args.ordering,
+            constraints=constraints,
         )
         with engine:
             verdict = engine.contains(args.sup, args.sub, schema)
     else:
-        engine = ContainmentEngine(store_path=args.store_path)
+        engine = ContainmentEngine(
+            store_path=args.store_path, constraints=constraints
+        )
         with _ordering_context(args.ordering):
             verdict = engine.contains(
                 args.sup, args.sub, schema, method=args.method
@@ -136,7 +175,7 @@ def _cmd_matrix(args):
     schema = _parse_schema(args.schema)
     engine = ParallelContainmentEngine(
         jobs=args.jobs, timeout_s=args.timeout_s, method=args.method,
-        ordering=args.ordering,
+        ordering=args.ordering, constraints=_load_constraints(args.constraints),
     )
     with engine:
         matrix = engine.pairwise_matrix(args.queries, schema)
@@ -165,7 +204,7 @@ def _cmd_equiv(args):
     from repro.engine import ContainmentEngine
 
     schema = _parse_schema(args.schema)
-    engine = ContainmentEngine()
+    engine = ContainmentEngine(constraints=_load_constraints(args.constraints))
     if args.weak:
         verdict = engine.weakly_equivalent(
             args.q1, args.q2, schema, method=args.method
@@ -188,13 +227,18 @@ def _codes(text):
 
 
 def _read_coql_file(text):
-    """Split a ``.coql`` file into (query text, schema or None).
+    """Split a ``.coql`` file into (query text, schema, constraints).
 
     ``#`` lines are comments; a ``# schema: r:a,b;s:k`` directive names
-    the schema the file is linted against.  Comment lines are blanked,
-    not removed, so diagnostic line numbers match the file.
+    the schema the file is linted against, and each
+    ``# constraint: r[a] -> s[b]`` directive declares an inclusion
+    dependency the file's checks hold under.  Comment lines are
+    blanked, not removed, so diagnostic line numbers match the file.
     """
+    from repro.constraints import parse_constraint
+
     schema = None
+    constraints = []
     lines = []
     for line in text.splitlines():
         stripped = line.strip()
@@ -202,10 +246,14 @@ def _read_coql_file(text):
             directive = stripped.lstrip("#").strip()
             if directive.lower().startswith("schema:"):
                 schema = _parse_schema(directive[len("schema:"):])
+            elif directive.lower().startswith("constraint:"):
+                constraints.append(
+                    parse_constraint(directive[len("constraint:"):])
+                )
             lines.append("")
             continue
         lines.append(line)
-    return "\n".join(lines), schema
+    return "\n".join(lines), schema, tuple(constraints)
 
 
 def _explain_rule(code):
@@ -241,24 +289,29 @@ def _cmd_lint(args):
                          "--explain CODE)")
 
     engine = ContainmentEngine()
-    config = AnalysisConfig(
-        complexity_budget=args.budget, expensive=not args.no_minimize
-    )
+    base_constraints = _load_constraints(args.constraints)
     base_schema = _parse_schema(args.schema) if args.schema else None
     results = []
     counts = {"error": 0, "warning": 0, "info": 0}
     for target in args.targets:
         if target.endswith(".coql") or os.path.exists(target):
             with open(target) as handle:
-                query, schema = _read_coql_file(handle.read())
+                query, schema, file_constraints = _read_coql_file(
+                    handle.read()
+                )
             schema = schema or base_schema
         else:
             query, schema = target, base_schema
+            file_constraints = ()
         if schema is None:
             raise ReproError(
                 "no schema for %r: pass --schema or a '# schema: ...' "
                 "directive" % (target,)
             )
+        config = AnalysisConfig(
+            complexity_budget=args.budget, expensive=not args.no_minimize,
+            constraints=base_constraints + file_constraints,
+        )
         diagnostics = [
             d.with_target(target)
             for d in analyze(
@@ -325,7 +378,7 @@ def _cmd_analyze(args):
     for target in args.targets:
         if target.endswith(".coql") or os.path.exists(target):
             with open(target) as handle:
-                query, schema = _read_coql_file(handle.read())
+                query, schema, __ = _read_coql_file(handle.read())
             schema = schema or base_schema
         else:
             query, schema = target, base_schema
@@ -415,6 +468,7 @@ def _cmd_serve(args):
         max_batch=args.max_batch,
         default_schema=_parse_schema(args.schema) if args.schema else None,
         preload=args.preload,
+        constraints=_load_constraints(args.constraints),
     )
 
     async def run():
@@ -489,6 +543,16 @@ def _cmd_cq_contain(args):
     return 0 if verdict else 1
 
 
+def _add_constraints_flag(p):
+    p.add_argument("--constraints", action="append", default=None,
+                   metavar="DEP_OR_FILE",
+                   help="inclusion dependency 'r[a] -> s[b]' or a file "
+                        "of one dependency per line (repeatable); "
+                        "declared dependencies saturate the sub-side's "
+                        "canonical witnesses via the chase before the "
+                        "simulation search")
+
+
 def _add_ordering_flag(p):
     from repro.cq.propagation import ORDERINGS
 
@@ -531,6 +595,7 @@ def build_parser():
                    help="SQLite artifact store: reuse cached pipeline "
                         "artifacts across runs and persist new ones")
     _add_ordering_flag(p)
+    _add_constraints_flag(p)
     p.add_argument("sup", help="the containing query")
     p.add_argument("sub", help="the contained query")
     p.set_defaults(func=_cmd_contain)
@@ -553,6 +618,7 @@ def build_parser():
                    help="write the per-stage trace (locally decided "
                         "checks only) as Chrome trace_event JSON")
     _add_ordering_flag(p)
+    _add_constraints_flag(p)
     p.add_argument("queries", nargs="+", help="two or more COQL queries")
     p.set_defaults(func=_cmd_matrix)
 
@@ -569,13 +635,14 @@ def build_parser():
                    metavar="FILE",
                    help="write the per-stage trace as Chrome trace_event "
                         "JSON")
+    _add_constraints_flag(p)
     p.add_argument("q1")
     p.add_argument("q2")
     p.set_defaults(func=_cmd_equiv)
 
     p = sub.add_parser(
         "lint",
-        help="static-analysis lint of COQL queries (rules COQL001-COQL007)",
+        help="static-analysis lint of COQL queries (rules COQL001-COQL013)",
     )
     p.add_argument("--schema", default=None,
                    help="schema for targets without a '# schema:' directive")
@@ -597,6 +664,7 @@ def build_parser():
     p.add_argument("--explain", default=None, metavar="CODE",
                    help="print a rule's documentation (severity, paper "
                         "section, full docstring) and exit")
+    _add_constraints_flag(p)
     p.add_argument("targets", nargs="*", metavar="QUERY_OR_FILE",
                    help="COQL query text, or a .coql file (# comments; "
                         "'# schema: r:a,b' directive)")
@@ -679,6 +747,7 @@ def build_parser():
     p.add_argument("--preload", action="store_true",
                    help="warm the in-memory cache from --store-path at "
                         "startup")
+    _add_constraints_flag(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

@@ -1,0 +1,166 @@
+"""Schema constraints: linear inclusion dependencies on the flat encoding.
+
+The decision procedure of the paper assumes an unconstrained schema;
+real view-based rewriting almost always runs under constraints.  This
+package adds the classic first step: **linear inclusion dependencies**
+over the flat index encoding (Section 5.1's relations), in the style of
+Ontop's containment-under-LIDs check — containment *under* a set Σ of
+dependencies holds iff the unconstrained check succeeds against the
+sub-side's canonical database **saturated by the chase** with Σ
+(:mod:`repro.constraints.chase`).
+
+A dependency ``R[a, b] ⊆ S[x, y]`` (text syntax ``R[a,b] -> S[x,y]``)
+states that the projection of ``R`` onto ``(a, b)`` is included in the
+projection of ``S`` onto ``(x, y)``: every ``R`` row entails an ``S``
+row agreeing on the mapped attributes, with the unmapped attributes of
+``S`` existentially quantified (labelled nulls in the chase).  *Linear*
+means a single atom on each side — the fragment whose chase step is a
+simple per-atom rule, which is what makes Ontop's memoized
+``chaseAllAtoms`` shape applicable.
+
+Declarations are picklable value objects (they cross the parallel
+engine's process boundary and participate in content-addressed artifact
+keys) and are parsed either from CLI/service strings
+(:func:`parse_constraint`/:func:`parse_constraints`) or from ``.coql``
+file ``# constraint:`` directives (:mod:`repro.cli`).
+"""
+
+from repro.errors import ParseError, SchemaError
+from repro.pickling import PicklableSlots
+
+from repro.constraints.chase import chase_atoms, resolve_dependencies
+
+__all__ = [
+    "InclusionDependency",
+    "parse_constraint",
+    "parse_constraints",
+    "validate_constraints",
+    "chase_atoms",
+    "resolve_dependencies",
+]
+
+
+class InclusionDependency(PicklableSlots):
+    """A linear inclusion dependency ``source[attrs] ⊆ target[attrs]``.
+
+    Immutable, hashable, and fingerprintable (``__slots__`` value
+    object), so a tuple of dependencies participates directly in
+    content-addressed artifact keys (``chase``, ``branch_verdict``,
+    ``obligation_verdicts``) and pickles to pool workers.
+    """
+
+    __slots__ = ("source", "source_attrs", "target", "target_attrs")
+
+    def __init__(self, source, source_attrs, target, target_attrs):
+        source_attrs = tuple(source_attrs)
+        target_attrs = tuple(target_attrs)
+        if not source_attrs or len(source_attrs) != len(target_attrs):
+            raise SchemaError(
+                "an inclusion dependency maps a non-empty attribute list "
+                "onto one of the same length, got %r -> %r"
+                % (source_attrs, target_attrs)
+            )
+        if len(set(source_attrs)) != len(source_attrs) or len(
+            set(target_attrs)
+        ) != len(target_attrs):
+            raise SchemaError(
+                "inclusion dependency attributes must be distinct: %r -> %r"
+                % (source_attrs, target_attrs)
+            )
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "source_attrs", source_attrs)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "target_attrs", target_attrs)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("InclusionDependency is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, InclusionDependency)
+            and other.source == self.source
+            and other.source_attrs == self.source_attrs
+            and other.target == self.target
+            and other.target_attrs == self.target_attrs
+        )
+
+    def __hash__(self):
+        return hash((
+            "InclusionDependency", self.source, self.source_attrs,
+            self.target, self.target_attrs,
+        ))
+
+    def __repr__(self):
+        return "%s[%s] -> %s[%s]" % (
+            self.source, ",".join(self.source_attrs),
+            self.target, ",".join(self.target_attrs),
+        )
+
+
+def parse_constraint(text):
+    """Parse ``R[a,b] -> S[x,y]`` into an :class:`InclusionDependency`.
+
+    Whitespace is free; ``=>`` and ``⊆`` are accepted for ``->``.
+    """
+    normalized = text.strip().replace("⊆", "->").replace("=>", "->")
+    parts = normalized.split("->")
+    if len(parts) != 2:
+        raise ParseError(
+            "an inclusion dependency reads R[a,b] -> S[x,y], got %r" % text
+        )
+    source, source_attrs = _parse_side(parts[0], text)
+    target, target_attrs = _parse_side(parts[1], text)
+    return InclusionDependency(source, source_attrs, target, target_attrs)
+
+
+def _parse_side(side, original):
+    side = side.strip()
+    if "[" not in side or not side.endswith("]"):
+        raise ParseError(
+            "each side of an inclusion dependency reads NAME[attr,...], "
+            "got %r (in %r)" % (side, original)
+        )
+    name, __, attrs = side[:-1].partition("[")
+    name = name.strip()
+    attr_list = tuple(a.strip() for a in attrs.split(",") if a.strip())
+    if not name or not attr_list:
+        raise ParseError(
+            "each side of an inclusion dependency needs a relation name "
+            "and at least one attribute, got %r (in %r)" % (side, original)
+        )
+    return (name, attr_list)
+
+
+def parse_constraints(texts):
+    """Parse an iterable of declaration strings (blank lines and ``#``
+    comment lines skipped) into a tuple of dependencies."""
+    out = []
+    for text in texts:
+        text = text.strip()
+        if not text or text.startswith("#"):
+            continue
+        out.append(parse_constraint(text))
+    return tuple(out)
+
+
+def validate_constraints(constraints, schema):
+    """Check every dependency against the flat *schema*; returns the
+    tuple unchanged (raises :class:`SchemaError` otherwise)."""
+    constraints = tuple(constraints)
+    for dep in constraints:
+        for name, attrs in (
+            (dep.source, dep.source_attrs), (dep.target, dep.target_attrs)
+        ):
+            if name not in schema:
+                raise SchemaError(
+                    "inclusion dependency %r mentions unknown relation %s"
+                    % (dep, name)
+                )
+            known = set(schema[name].keys())
+            for attr in attrs:
+                if attr not in known:
+                    raise SchemaError(
+                        "inclusion dependency %r: relation %s has no "
+                        "attribute %s" % (dep, name, attr)
+                    )
+    return constraints

@@ -1,0 +1,208 @@
+"""The restricted chase with linear inclusion dependencies.
+
+Containment under a set Σ of linear inclusion dependencies reduces to
+unconstrained containment against the sub-side's canonical database
+**saturated** by the chase with Σ: each dependency ``R[a] ⊆ S[x]`` whose
+premise matches a ground atom and whose conclusion is not yet present
+adds the ``S`` atom, filling unmapped positions with **labelled nulls**.
+
+Two properties make this implementation deterministic and (usually)
+terminating:
+
+* **Restricted firing** — a dependency fires on an atom only when no
+  existing atom already witnesses its conclusion (matching on the
+  mapped positions).  Mutually-recursive but *fully-mapped* cycles
+  (``R[a] → S[a]``, ``S[a] → R[a]``) reach a fixpoint immediately.
+* **Content-addressed nulls** — a null is ``⟨chase:digest⟩`` where the
+  digest hashes ``(dependency, source atom, target position)``, so
+  re-deriving the same conclusion yields byte-identical atoms in every
+  process (the ``chase`` artifact is content-addressed and shared
+  across the sequential and parallel engines).
+
+Null-*generating* cycles (``R[a] ⊆ R[b]``) can still diverge, so the
+chase is bounded by ``max_rounds``/``max_atoms``; hitting a bound sets
+``truncated``.  Truncation is **sound** for the containment use: every
+chase atom is entailed by the constraints, so deciding against a prefix
+of the saturation can only under-approximate (miss a containment),
+never wrongly report one.
+"""
+
+import hashlib
+
+from repro.errors import SchemaError
+
+__all__ = ["ChaseResult", "chase_atoms", "resolve_dependencies",
+           "chase_null", "is_chase_null", "DEFAULT_MAX_ROUNDS",
+           "DEFAULT_MAX_ATOMS"]
+
+#: Fixpoint bounds; generous for canonical databases (tens of atoms).
+DEFAULT_MAX_ROUNDS = 16
+DEFAULT_MAX_ATOMS = 512
+
+_NULL_PREFIX = "⟨chase:"
+_NULL_SUFFIX = "⟩"
+
+
+def chase_null(dep, source_atom, position):
+    """The labelled null for *position* of the atom *dep* derives from
+    *source_atom* — a pure function of its arguments, so rederivation is
+    idempotent and cross-process stable."""
+    payload = "%r|%s|%r|%d" % (
+        dep, source_atom.pred, tuple(t.value for t in source_atom.args),
+        position,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+    return "%s%s%s" % (_NULL_PREFIX, digest, _NULL_SUFFIX)
+
+
+def is_chase_null(value):
+    """True when *value* is a chase-invented labelled null."""
+    return (
+        isinstance(value, str)
+        and value.startswith(_NULL_PREFIX)
+        and value.endswith(_NULL_SUFFIX)
+    )
+
+
+def resolve_dependencies(constraints, schema):
+    """Resolve attribute names to positions of the flat encoding.
+
+    Relation atoms carry one argument per attribute **in sorted
+    attribute order** (:mod:`repro.coql.encode`), so a dependency's
+    attribute lists become position lists against *schema*
+    (``{relation: RecordType}``).
+
+    :returns: a tuple of ``(source pred, source positions, target pred,
+        target positions, target width)`` tuples, in input order.
+    """
+    resolved = []
+    for dep in constraints:
+        sides = []
+        for name, attrs in (
+            (dep.source, dep.source_attrs), (dep.target, dep.target_attrs)
+        ):
+            if name not in schema:
+                raise SchemaError(
+                    "inclusion dependency %r mentions unknown relation %s"
+                    % (dep, name)
+                )
+            keys = schema[name].keys()
+            positions = []
+            for attr in attrs:
+                if attr not in keys:
+                    raise SchemaError(
+                        "inclusion dependency %r: relation %s has no "
+                        "attribute %s" % (dep, name, attr)
+                    )
+                positions.append(keys.index(attr))
+            sides.append((name, tuple(positions), len(keys)))
+        (source, source_pos, __), (target, target_pos, width) = sides
+        resolved.append((dep, source, source_pos, target, target_pos, width))
+    return tuple(resolved)
+
+
+class ChaseResult:
+    """The saturation of a ground atom set under inclusion dependencies.
+
+    Attributes:
+        atoms: original + derived atoms, derivation order (the original
+            prefix is untouched, so downstream consumers may index it).
+        added: just the derived atoms, in derivation order.
+        rounds: fixpoint rounds performed.
+        truncated: True when a ``max_rounds``/``max_atoms`` bound cut
+            the saturation short (sound: see module docstring).
+    """
+
+    __slots__ = ("atoms", "added", "rounds", "truncated")
+
+    def __init__(self, atoms, added, rounds, truncated):
+        self.atoms = tuple(atoms)
+        self.added = tuple(added)
+        self.rounds = rounds
+        self.truncated = truncated
+
+    def __repr__(self):
+        return "ChaseResult(atoms=%d, added=%d, rounds=%d%s)" % (
+            len(self.atoms), len(self.added), self.rounds,
+            ", truncated" if self.truncated else "",
+        )
+
+
+def chase_atoms(atoms, resolved, max_rounds=DEFAULT_MAX_ROUNDS,
+                max_atoms=DEFAULT_MAX_ATOMS):
+    """Saturate ground *atoms* under *resolved* dependencies
+    (:func:`resolve_dependencies` output).
+
+    Deterministic: rounds sweep atoms in order and dependencies in
+    declaration order, and nulls are content-addressed, so two runs (in
+    any process) produce identical :class:`ChaseResult` atoms.
+    """
+    from repro.cq.terms import Const, Atom
+
+    work = list(atoms)
+    # Satisfaction index: (target pred, target positions) -> projections
+    # already present.  Shared across dependencies with the same target
+    # projection, maintained incrementally as atoms are added.
+    witnessed = {}
+
+    def project(atom, positions):
+        return tuple(atom.args[p].value for p in positions)
+
+    def witnesses_for(pred, positions):
+        key = (pred, positions)
+        if key not in witnessed:
+            witnessed[key] = {
+                project(atom, positions)
+                for atom in work
+                if atom.pred == pred and atom.arity > max(positions)
+            }
+        return witnessed[key]
+
+    def note(atom):
+        for (pred, positions), seen in witnessed.items():
+            if atom.pred == pred and atom.arity > max(positions):
+                seen.add(project(atom, positions))
+
+    added = []
+    rounds = 0
+    truncated = False
+    frontier = list(work)
+    while frontier and not truncated:
+        if rounds >= max_rounds:
+            truncated = True
+            break
+        rounds += 1
+        new = []
+        for atom in frontier:
+            for dep, source, source_pos, target, target_pos, width in resolved:
+                if atom.pred != source:
+                    continue
+                if atom.arity <= max(source_pos):
+                    raise SchemaError(
+                        "inclusion dependency %r read past the arity of "
+                        "%s/%d" % (dep, atom.pred, atom.arity)
+                    )
+                values = project(atom, source_pos)
+                seen = witnesses_for(target, target_pos)
+                if values in seen:
+                    continue
+                args = [None] * width
+                for value, position in zip(values, target_pos):
+                    args[position] = Const(value)
+                for position in range(width):
+                    if args[position] is None:
+                        args[position] = Const(
+                            chase_null(dep, atom, position)
+                        )
+                derived = Atom(target, tuple(args))
+                work.append(derived)
+                new.append(derived)
+                added.append(derived)
+                note(derived)
+                if len(work) >= max_atoms:
+                    truncated = True
+                    break
+            if truncated:
+                break
+        frontier = new
+    return ChaseResult(work, added, rounds, truncated)

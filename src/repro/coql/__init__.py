@@ -38,7 +38,9 @@ from repro.coql.ast import (
     EmptySet,
     Flatten,
     Select,
+    UnionBody,
 )
+from repro.coql.family import QueryFamily, family_of, union_branches
 from repro.coql.parser import parse_coql
 from repro.coql.typecheck import typecheck
 from repro.coql.eval import evaluate_coql
@@ -65,6 +67,10 @@ __all__ = [
     "EmptySet",
     "Flatten",
     "Select",
+    "UnionBody",
+    "QueryFamily",
+    "family_of",
+    "union_branches",
     "parse_coql",
     "typecheck",
     "evaluate_coql",

@@ -14,6 +14,13 @@ Expressions (paper, Appendix A — the conjunctive idealized OQL):
   e1, … where a1 = b1 and …``; conditions compare *atomic* expressions
   only (allowing set equality would express set difference [7], leaving
   the conjunctive fragment).
+* ``UnionBody([e1, …, ek])`` — ``e1 union … union ek``, the UCQ
+  extension: a set-valued query body that is the union of its branches.
+  The paper's COQL deliberately omits union from the *conjunctive*
+  fragment; we admit it only at *linear* positions (top level,
+  ``flatten`` arguments, generator sources), where
+  :mod:`repro.coql.family` distributes it to the top and the decision
+  procedure reduces to Sagiv–Yannakakis over the branch family.
 
 All nodes are immutable and hashable.
 """
@@ -33,6 +40,7 @@ __all__ = [
     "EmptySet",
     "Flatten",
     "Select",
+    "UnionBody",
 ]
 
 
@@ -322,3 +330,45 @@ class Select(Expr):
         if conds:
             text += " where " + conds
         return "(%s)" % text
+
+
+class UnionBody(Expr):
+    """``e1 union … union ek`` — a union of set-valued branches.
+
+    Union is associative, so nested :class:`UnionBody` branches are
+    spliced flat at construction: ``UnionBody([UnionBody([a, b]), c])``
+    equals ``UnionBody([a, b, c])``, which is what makes the
+    pretty-printer round-trip (``a union b union c`` parses flat) hold
+    for programmatically nested unions too.  Branch order is preserved —
+    it is the deterministic decision order of the Sagiv–Yannakakis
+    reduction — and duplicates are kept (COQL012 flags redundancy; the
+    constructor must not silently change what the user wrote).
+    """
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches):
+        spliced = []
+        for branch in branches:
+            if isinstance(branch, UnionBody):
+                spliced.extend(branch.branches)
+            else:
+                spliced.append(branch)
+        if len(spliced) < 2:
+            raise ReproError(
+                "a union body needs at least two branches, got %d"
+                % len(spliced)
+            )
+        object.__setattr__(self, "branches", tuple(spliced))
+
+    def children(self):
+        return self.branches
+
+    def __eq__(self, other):
+        return isinstance(other, UnionBody) and other.branches == self.branches
+
+    def __hash__(self):
+        return hash(("coql.UnionBody", self.branches))
+
+    def __repr__(self):
+        return "(%s)" % " union ".join(repr(b) for b in self.branches)

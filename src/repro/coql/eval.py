@@ -18,6 +18,7 @@ from repro.coql.ast import (
     EmptySet,
     Flatten,
     Select,
+    UnionBody,
 )
 
 __all__ = ["evaluate_coql"]
@@ -71,6 +72,16 @@ def _eval(expr, database, env):
         return CSet(members)
     if isinstance(expr, Select):
         return CSet(_select(expr, database, env))
+    if isinstance(expr, UnionBody):
+        members = []
+        for branch in expr.branches:
+            value = _eval(branch, database, env)
+            if not isinstance(value, CSet):
+                raise EvaluationError(
+                    "union branch evaluated to non-set %r" % (value,)
+                )
+            members.extend(value)
+        return CSet(members)
     raise EvaluationError("unknown COQL expression %r" % (expr,))
 
 

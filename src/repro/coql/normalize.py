@@ -41,6 +41,7 @@ from repro.coql.ast import (
     EmptySet,
     Flatten,
     Select,
+    UnionBody,
 )
 
 __all__ = ["normalize", "NFConst", "NFPath", "NFRecord", "NFEmpty", "NFSet"]
@@ -226,6 +227,16 @@ def _norm(expr, env, fresh):
         return _flatten(_norm(expr.expr, env, fresh), fresh)
     if isinstance(expr, Select):
         return _select(expr, env, fresh)
+    if isinstance(expr, UnionBody):
+        # The normal form is *union-free*: union bodies are distributed
+        # to the top by repro.coql.family.union_branches and each branch
+        # normalizes separately (one NFSet per branch of the family).
+        raise UnsupportedQueryError(
+            "union bodies normalize per branch; expand with "
+            "repro.coql.family.union_branches (or decide through the "
+            "engine, which does) before normalizing",
+            span=expr.span,
+        )
     raise TypeCheckError("unknown COQL expression %r" % (expr,))
 
 

@@ -2,18 +2,23 @@
 
 Grammar (OQL-flavoured)::
 
-    expr     := select | flatten | primary
-    select   := "select" expr "from" gen ("," gen)* ["where" cond ("and" cond)*]
-    gen      := IDENT "in" expr
+    expr     := operand ("union" operand)*
+    operand  := select | flatten | primary
+    select   := "select" operand "from" gen ("," gen)*
+                ["where" cond ("and" cond)*]
+    gen      := IDENT "in" operand
     flatten  := "flatten" "(" expr ")"
     primary  := record | setlit | path | const | "(" expr ")"
-    record   := "[" IDENT ":" expr ("," IDENT ":" expr)* "]"
-    setlit   := "{" [expr] "}"
+    record   := "[" IDENT ":" operand ("," IDENT ":" operand)* "]"
+    setlit   := "{" [operand] "}"
     path     := IDENT ("." IDENT)*
-    cond     := expr "=" expr
+    cond     := operand "=" operand
 
-A leading identifier is a variable when bound by an enclosing generator
-and an input-relation name otherwise.
+``union`` binds loosest: ``select h from x in r union select h from y
+in s`` is a union of two selects; parenthesize (``x in (a union b)``)
+to range a generator over a union.  A leading identifier is a variable
+when bound by an enclosing generator and an input-relation name
+otherwise.
 
 >>> q = parse_coql("select [a: x.a] from x in r where x.b = 3")
 """
@@ -31,11 +36,12 @@ from repro.coql.ast import (
     EmptySet,
     Flatten,
     Select,
+    UnionBody,
 )
 
 __all__ = ["parse_coql"]
 
-_KEYWORDS = {"select", "from", "where", "in", "and", "flatten"}
+_KEYWORDS = {"select", "from", "where", "in", "and", "flatten", "union"}
 
 _TOKEN_RE = re.compile(
     r"""
@@ -124,6 +130,17 @@ class _Parser:
     # -- grammar -----------------------------------------------------------
 
     def expr(self, bound):
+        start = self.span_at()
+        branch = self.operand(bound)
+        if self.peek() != "union":
+            return branch
+        branches = [branch]
+        while self.peek() == "union":
+            self.next()
+            branches.append(self.operand(bound))
+        return UnionBody(branches).with_span(start)
+
+    def operand(self, bound):
         token = self.peek()
         if token == "select":
             return self.select(bound)
@@ -144,7 +161,7 @@ class _Parser:
         # affects the token structure, so parsing with the outer bound set
         # just locates the head's extent; the head is re-parsed below once
         # the generator variables are known.
-        self.expr(bound)
+        self.operand(bound)
         self.expect("from")
         generators = []
         inner_bound = set(bound)
@@ -157,7 +174,7 @@ class _Parser:
                     span=self.span_at(var_at),
                 )
             self.expect("in")
-            source = self.expr(frozenset(inner_bound))
+            source = self.operand(frozenset(inner_bound))
             generators.append((var, source))
             inner_bound.add(var)
             if self.peek() == ",":
@@ -168,9 +185,9 @@ class _Parser:
         if self.peek() == "where":
             self.next()
             while True:
-                left = self.expr(frozenset(inner_bound))
+                left = self.operand(frozenset(inner_bound))
                 self.expect("=")
-                right = self.expr(frozenset(inner_bound))
+                right = self.operand(frozenset(inner_bound))
                 conditions.append((left, right))
                 if self.peek() == "and":
                     self.next()
@@ -179,7 +196,7 @@ class _Parser:
         # Re-parse the head now that generator variables are known.
         end = self.index
         self.index = head_start
-        head = self.expr(frozenset(inner_bound))
+        head = self.operand(frozenset(inner_bound))
         if self.peek() != "from":
             raise ParseError(
                 "malformed select head in %r" % self.text, span=select_span
@@ -199,7 +216,7 @@ class _Parser:
             while True:
                 name = self.next()
                 self.expect(":")
-                fields[name] = self.expr(bound)
+                fields[name] = self.operand(bound)
                 nxt_at = self.index
                 nxt = self.next()
                 if nxt == "]":
@@ -213,7 +230,7 @@ class _Parser:
             if self.peek() == "}":
                 self.next()
                 return EmptySet().with_span(start)
-            inner = self.expr(bound)
+            inner = self.operand(bound)
             self.expect("}")
             return Singleton(inner).with_span(start)
         if token.startswith(("'", '"')):

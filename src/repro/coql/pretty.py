@@ -16,6 +16,7 @@ from repro.coql.ast import (
     EmptySet,
     Flatten,
     Select,
+    UnionBody,
 )
 
 __all__ = ["to_text"]
@@ -62,6 +63,13 @@ def _render(expr, top=False):
                 "%s = %s" % (_render(left), _render(right))
                 for left, right in expr.conditions
             )
+        return text if top else "(%s)" % text
+    if isinstance(expr, UnionBody):
+        # `union` binds loosest, so branches (selects included) need no
+        # parentheses of their own; a union in operand position does.
+        text = " union ".join(
+            _render(branch, top=True) for branch in expr.branches
+        )
         return text if top else "(%s)" % text
     raise ReproError("unknown COQL expression %r" % (expr,))
 

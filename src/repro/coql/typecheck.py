@@ -10,7 +10,7 @@ records with the named attribute; ``where`` compares atomic expressions
 only; ``flatten`` applies to sets of sets.
 """
 
-from repro.errors import TypeCheckError
+from repro.errors import TypeCheckError, union_arity_mismatch
 from repro.objects.types import (
     ATOM,
     AtomType,
@@ -18,6 +18,7 @@ from repro.objects.types import (
     SetType,
     EmptySetType,
     EMPTY_SET,
+    join_types,
 )
 from repro.coql.ast import (
     Const,
@@ -29,6 +30,7 @@ from repro.coql.ast import (
     EmptySet,
     Flatten,
     Select,
+    UnionBody,
 )
 
 __all__ = ["typecheck"]
@@ -138,4 +140,45 @@ def _infer(expr, schema, env):
                         span=side.span,
                     )
         return SetType(_infer(expr.head, schema, scope))
+    if isinstance(expr, UnionBody):
+        return _infer_union(expr, schema, env)
     raise TypeCheckError("unknown COQL expression %r" % (expr,))
+
+
+def _record_arity(branch_type):
+    """Head arity of a set-of-records branch type, else None."""
+    if isinstance(branch_type, SetType) and isinstance(
+        branch_type.element, RecordType
+    ):
+        return len(branch_type.element.keys())
+    return None
+
+
+def _infer_union(expr, schema, env):
+    """Branch types joined via :func:`join_types`; every mismatch is a
+    spanned diagnostic pointing at the offending branch (COQL013 lints
+    on exactly this failure)."""
+    joined = None
+    for branch in expr.branches:
+        branch_type = _infer(branch, schema, env)
+        if not isinstance(branch_type, (SetType, EmptySetType)):
+            raise TypeCheckError(
+                "union branch has non-set type %r%s"
+                % (branch_type, _at(branch)),
+                span=branch.span or expr.span,
+            )
+        if joined is None:
+            joined = branch_type
+            continue
+        try:
+            joined = join_types(joined, branch_type)
+        except TypeCheckError as exc:
+            arities = [_record_arity(joined), _record_arity(branch_type)]
+            if None not in arities and arities[0] != arities[1]:
+                message = union_arity_mismatch(arities)
+            else:
+                message = "union branch shapes do not join: %s" % (exc,)
+            raise TypeCheckError(
+                message + _at(branch), span=branch.span or expr.span
+            )
+    return joined

@@ -61,14 +61,26 @@ class ViewCatalog:
     else uses that store (other catalogs, the linter, ad-hoc engines).
     *store* is ignored when *engine* is given (the engine brings its
     own).
+
+    Pass *constraints* (a tuple of
+    :class:`repro.constraints.InclusionDependency`) to analyze every
+    query under the declared dependencies: usability and classification
+    then hold on databases satisfying them (None inherits the engine's
+    own default constraints).
     """
 
-    def __init__(self, schema, views=None, engine=None, store=None):
+    def __init__(self, schema, views=None, engine=None, store=None,
+                 constraints=None):
         if engine is None:
             from repro.engine import ContainmentEngine
 
-            engine = ContainmentEngine(store=store)
+            engine = ContainmentEngine(
+                store=store, constraints=tuple(constraints or ())
+            )
         self._engine = engine
+        if constraints is None:
+            constraints = getattr(engine, "_constraints", ())
+        self._constraints = tuple(constraints)
         self._schema = as_schema(schema)
         self._views = {}
         for name, text in (views or {}).items():
@@ -140,6 +152,7 @@ class ViewCatalog:
             self._schema,
             witnesses=witnesses,
             on_error="capture",
+            constraints=self._constraints,
         )
         reports = {}
         for name, usable in zip(names, usable_verdicts):
@@ -149,7 +162,8 @@ class ViewCatalog:
             exact = False
             if usable:
                 exact = self._engine.contains(
-                    query, self._views[name], self._schema, witnesses
+                    query, self._views[name], self._schema, witnesses,
+                    constraints=self._constraints,
                 )
             counterexample = None
             if not usable and with_counterexamples:
@@ -178,14 +192,16 @@ class ViewCatalog:
             from repro.engine import ParallelContainmentEngine
 
             with ParallelContainmentEngine(
-                jobs=jobs, timeout_s=timeout_s, engine=self._engine
+                jobs=jobs, timeout_s=timeout_s, engine=self._engine,
+                constraints=self._constraints,
             ) as parallel:
                 matrix = parallel.pairwise_matrix(
                     queries, self._schema, witnesses=witnesses
                 )
         else:
             matrix = self._engine.pairwise_matrix(
-                queries, self._schema, witnesses=witnesses
+                queries, self._schema, witnesses=witnesses,
+                constraints=self._constraints,
             )
         return names, matrix
 
@@ -211,14 +227,16 @@ class ViewCatalog:
             from repro.engine import ParallelContainmentEngine
 
             with ParallelContainmentEngine(
-                jobs=jobs, timeout_s=timeout_s, engine=self._engine
+                jobs=jobs, timeout_s=timeout_s, engine=self._engine,
+                constraints=self._constraints,
             ) as parallel:
                 labels = parallel.classify_many(
                     query, queries, self._schema, witnesses=witnesses
                 )
         else:
             labels = self._engine.classify_many(
-                query, queries, self._schema, witnesses=witnesses
+                query, queries, self._schema, witnesses=witnesses,
+                constraints=self._constraints,
             )
         return dict(zip(names, labels))
 

@@ -5,17 +5,37 @@ union: ``⋃ᵢ Qᵢ ⊑ ⋃ⱼ Q'ⱼ`` iff every disjunct ``Qᵢ`` is contained
 *some* disjunct ``Q'ⱼ`` — so containment and equivalence of unions of
 conjunctive queries reduce to quadratically many classical tests.
 
-COQL deliberately drops union (else set difference becomes expressible
-[7]); this module exists as the flat-world reference point the paper
-positions itself against.
+COQL deliberately drops union from *element positions* (else set
+difference becomes expressible [7]); top-level ``union`` bodies are the
+COQL counterpart of this module, decided by the same reduction at the
+engine level (:meth:`repro.engine.ContainmentEngine.contains` over
+:mod:`repro.coql.family` families).
+
+The per-disjunct tests route through
+:meth:`repro.engine.ContainmentEngine.cq_contains`: same verdicts as
+the legacy :func:`repro.cq.containment.contains`, but decided on the
+bitset homomorphism kernel with :class:`SearchCounters`
+instrumentation, memoized under the ``branch_verdict`` artifact kind,
+and accepting an ``ordering=`` strategy override.
 """
 
-from repro.errors import ReproError, IncomparableQueriesError
+from repro.errors import (
+    ReproError,
+    IncomparableQueriesError,
+    union_arity_mismatch,
+)
 from repro.cq.query import ConjunctiveQuery
-from repro.cq.containment import contains as cq_contains
 from repro.cq.evaluate import evaluate
 
 __all__ = ["UnionQuery", "union_contains", "union_equivalent"]
+
+
+def _engine_or_default(engine):
+    if engine is not None:
+        return engine
+    from repro.engine import default_engine
+
+    return default_engine()
 
 
 class UnionQuery:
@@ -29,9 +49,7 @@ class UnionQuery:
             raise ReproError("a union query needs at least one disjunct")
         arities = {len(q.head) for q in disjuncts}
         if len(arities) != 1:
-            raise IncomparableQueriesError(
-                "disjuncts have different head arities: %r" % sorted(arities)
-            )
+            raise IncomparableQueriesError(union_arity_mismatch(arities))
         for q in disjuncts:
             if not isinstance(q, ConjunctiveQuery):
                 raise ReproError("disjuncts must be conjunctive queries")
@@ -52,15 +70,28 @@ class UnionQuery:
             answer |= evaluate(disjunct, database)
         return answer
 
-    def minimize(self):
-        """Drop disjuncts contained in other disjuncts."""
+    def minimize(self, engine=None, ordering=None):
+        """Drop disjuncts contained in other disjuncts.
+
+        :param engine: the :class:`repro.engine.ContainmentEngine` to
+            decide the pairwise tests on (default: the process-wide
+            default engine), so repeated minimization shares its
+            ``branch_verdict`` memo table.
+        :param ordering: homomorphism-search ordering for the tests
+            (:data:`repro.cq.propagation.ORDERINGS`); None keeps the
+            ambient default.
+        """
+        engine = _engine_or_default(engine)
         kept = list(self.disjuncts)
         changed = True
         while changed:
             changed = False
             for i, candidate in enumerate(kept):
                 rest = kept[:i] + kept[i + 1:]
-                if rest and any(cq_contains(other, candidate) for other in rest):
+                if rest and any(
+                    engine.cq_contains(other, candidate, ordering=ordering)
+                    for other in rest
+                ):
                     kept = rest
                     changed = True
                     break
@@ -70,27 +101,36 @@ class UnionQuery:
         return "UnionQuery(%s; %d disjuncts)" % (self.name, len(self.disjuncts))
 
 
-def union_contains(sup, sub):
+def union_contains(sup, sub, engine=None, ordering=None):
     """``sub ⊑ sup`` for union queries (Sagiv–Yannakakis).
 
     Each disjunct of *sub* must be contained in some disjunct of *sup*.
+    Disjunct pairs are visited in declaration order with the inner
+    ``any`` short-circuiting, and each pair is decided through
+    :meth:`~repro.engine.ContainmentEngine.cq_contains` (see module
+    docstring), so verdicts are deterministic and memoized.
     """
     sub = _as_union(sub)
     sup = _as_union(sup)
     if sub.arity != sup.arity:
         raise IncomparableQueriesError(
-            "unions have different head arities: %d vs %d"
-            % (sub.arity, sup.arity)
+            union_arity_mismatch((sub.arity, sup.arity))
         )
+    engine = _engine_or_default(engine)
     return all(
-        any(cq_contains(candidate, disjunct) for candidate in sup.disjuncts)
+        any(
+            engine.cq_contains(candidate, disjunct, ordering=ordering)
+            for candidate in sup.disjuncts
+        )
         for disjunct in sub.disjuncts
     )
 
 
-def union_equivalent(first, second):
+def union_equivalent(first, second, engine=None, ordering=None):
     """Equivalence of union queries (containment both ways)."""
-    return union_contains(first, second) and union_contains(second, first)
+    return union_contains(
+        first, second, engine=engine, ordering=ordering
+    ) and union_contains(second, first, engine=engine, ordering=ordering)
 
 
 def _as_union(query):
@@ -98,4 +138,12 @@ def _as_union(query):
         return query
     if isinstance(query, ConjunctiveQuery):
         return UnionQuery((query,))
+    from repro.grouping.query import GroupingQuery
+
+    if isinstance(query, GroupingQuery):
+        raise ReproError(
+            "grouping queries are not flat unions; decide COQL-level "
+            "unions with repro.engine.ContainmentEngine.contains (or "
+            "repro.coql.family for the branch expansion)"
+        )
     raise ReproError("not a (union of) conjunctive queries: %r" % (query,))

@@ -60,6 +60,7 @@ from repro.errors import (
 )
 from repro.coql.parser import parse_coql
 from repro.coql.encode import paired_encoding, shapes_compatible
+from repro.coql.family import contains_union, union_branches
 from repro.grouping.simulation import is_simulated
 from repro.cq import homomorphism
 from repro.engine.stats import EngineStats
@@ -120,7 +121,8 @@ def _verdict_is_stable(verdict):
 
 
 def resolve_classifications(pipeline, query, candidates, schema,
-                            witnesses, method, decide_pairs):
+                            witnesses, method, decide_pairs,
+                            constraints=()):
     """Label every candidate view against *query*, cache-first.
 
     The shared machinery behind :meth:`ContainmentEngine.classify_many`
@@ -147,12 +149,19 @@ classify_many`: labels are cached in the pipeline's store under the
     labels = [None] * len(candidates)
     keys = [None] * len(candidates)
     missing = []
+    constraints = tuple(constraints)
     for index, candidate in enumerate(candidates):
         if store is not None:
-            keys[index] = artifact_key(
-                "classification", query, candidate, schema_items,
-                witnesses, method,
-            )
+            if constraints:
+                keys[index] = artifact_key(
+                    "classification", query, candidate, schema_items,
+                    witnesses, method, constraints,
+                )
+            else:
+                keys[index] = artifact_key(
+                    "classification", query, candidate, schema_items,
+                    witnesses, method,
+                )
             cached = store.lookup("classification", keys[index])
             if cached is not MISSING:
                 pipeline._tally("classification_hits")
@@ -186,6 +195,8 @@ _CACHE_KINDS = (
     ("nonempty", "nonempty"),
     ("targets", "targets"),
     ("cost_certificate", "cost_certificate"),
+    ("branch_verdict", "branch_verdict"),
+    ("chase", "chase"),
 )
 
 
@@ -233,14 +244,23 @@ class ContainmentEngine:
     :param analysis_config: the :class:`repro.analysis.AnalysisConfig`
         the pre-check uses (default: stock knobs with expensive rules
         off).
+    :param constraints: default tuple of
+        :class:`repro.constraints.InclusionDependency` declarations —
+        every ``certificate``-method decision then holds on databases
+        *satisfying the dependencies* (the sub-side canonical witnesses
+        are saturated by the memoized ``chase`` stage before the
+        simulation search).  Per-call ``constraints=`` overrides the
+        default; the ``canonical`` method rejects constraints.
     """
 
     def __init__(self, witnesses=None, method="certificate",
                  prepare_cache_size=512, verdict_cache_size=8192,
                  target_cache_size=1024, store=None, store_path=None,
-                 retain_trace=True, analyze=False, analysis_config=None):
+                 retain_trace=True, analyze=False, analysis_config=None,
+                 constraints=()):
         self._default_witnesses = witnesses
         self._default_method = method
+        self._constraints = tuple(constraints)
         if store is not None and store_path is not None:
             raise UnsupportedQueryError(
                 "pass store= or store_path=, not both"
@@ -253,6 +273,8 @@ class ContainmentEngine:
                 "targets": target_cache_size,
                 "classification": verdict_cache_size,
                 "cost_certificate": target_cache_size,
+                "branch_verdict": verdict_cache_size,
+                "chase": target_cache_size,
             }
             if store_path is not None:
                 from repro.pipeline.persist import TieredStore
@@ -339,13 +361,37 @@ class ContainmentEngine:
     def _provably_nonempty(self, query, path):
         return self._pipeline.provably_nonempty(query, path)
 
-    def _decider(self, method, witnesses):
+    def _resolve_constraints(self, constraints):
+        """The effective dependency tuple for one decision."""
+        if constraints is None:
+            return self._constraints
+        return tuple(constraints)
+
+    def _chase_hook(self, constraints, schema):
+        """The memoized saturation hook for *constraints*, or None."""
+        if not constraints:
+            return None
+        from repro.coql.containment import as_schema
+
+        schema = as_schema(schema)
+        pipeline = self._pipeline
+        return lambda atoms: pipeline.chase(atoms, constraints, schema)
+
+    def _decider(self, method, witnesses, constraints=(), schema=None):
         if method == "certificate":
             cache = self._pipeline.target_cache()
+            chase = self._chase_hook(constraints, schema)
+            chase_key = tuple(constraints) if constraints else None
             return lambda a, b: is_simulated(
                 a, b, witnesses=witnesses, stats=self._stats, cache=cache,
+                chase=chase, chase_key=chase_key,
             )
         if method == "canonical":
+            if constraints:
+                raise UnsupportedQueryError(
+                    "the canonical (brute-force) method does not support "
+                    "inclusion dependencies; use method='certificate'"
+                )
             from repro.grouping.bruteforce import check_simulation_on_canonical
 
             return lambda a, b: check_simulation_on_canonical(
@@ -353,7 +399,8 @@ class ContainmentEngine:
             )
         raise UnsupportedQueryError("unknown method %r" % (method,))
 
-    def _contains_encoded(self, sup_encoded, sub_encoded, witnesses, method):
+    def _contains_encoded(self, sup_encoded, sub_encoded, witnesses, method,
+                          constraints=(), schema=None):
         if not sub_encoded.is_empty and not sup_encoded.is_empty:
             if not shapes_compatible(sub_encoded.shape, sup_encoded.shape):
                 raise IncomparableQueriesError(
@@ -369,11 +416,14 @@ class ContainmentEngine:
             raise IncomparableQueriesError(
                 "queries have incompatible nested structure"
             )
-        decide = self._decider(method, witnesses)
+        decide = self._decider(
+            method, witnesses, constraints=constraints, schema=schema
+        )
         patterns = self._pipeline.enumerate_obligations(sub_query)
         for pattern in patterns:
             if not self._pipeline.decide_obligation(
-                sub_query, sup_query, pattern, witnesses, method, decide
+                sub_query, sup_query, pattern, witnesses, method, decide,
+                constraints=constraints,
             ):
                 return False
         return True
@@ -406,6 +456,10 @@ class ContainmentEngine:
         if isinstance(sub, str):
             with self._tracer.span("parse"):
                 sub = parse_coql(sub)
+        if contains_union(sup) or contains_union(sub):
+            # Per-branch analysis happens through the family reduction;
+            # whole-query rules assume union-free normal forms.
+            return None, sup, sub
         found = []
         with self._tracer.span("analysis"):
             for role, query in (("sub", sub), ("sup", sup)):
@@ -425,42 +479,162 @@ class ContainmentEngine:
             return True, sup, sub
         return None, sup, sub
 
-    def contains(self, sup, sub, schema, witnesses=None, method=None):
-        """True iff ``sub ⊑ sup`` on every database (Theorem 4.1)."""
+    def _family(self, query):
+        """Parse (via the memoized parse stage) and expand to union-free
+        branches; union-free queries come back as the one-element tuple
+        holding the *same* AST object, so the singleton path prepares
+        and caches exactly what it did before families existed."""
+        if isinstance(query, str):
+            query = self._pipeline.parse(query)
+        return union_branches(query)
+
+    def _branch_verdict(self, sup_branch, sub_branch, schema, schema_items,
+                        witnesses, method, constraints):
+        """One ``sub_branch ⊑ sup_branch`` verdict of the Sagiv–
+        Yannakakis reduction, memoized under kind ``branch_verdict``.
+
+        Captured :class:`IncomparableQueriesError` instances are
+        verdicts too (a sub branch may be incomparable with one sup
+        branch yet covered by another) and are cached like booleans —
+        both are deterministic.  UNDECIDED never reaches this layer
+        (the sequential engine has no timeouts).
+        """
+        store = self._pipeline.store
+        key = None
+        if store is not None:
+            key = artifact_key(
+                "branch_verdict", sub_branch, sup_branch, schema_items,
+                witnesses, method, constraints,
+            )
+            cached = store.lookup("branch_verdict", key)
+            if cached is not MISSING:
+                self._stats.tally("branch_verdict_hits")
+                return cached
+            self._stats.tally("branch_verdict_misses")
+        try:
+            verdict = self._contains_encoded(
+                self.prepare(sup_branch, schema),
+                self.prepare(sub_branch, schema),
+                witnesses, method,
+                constraints=constraints, schema=schema,
+            )
+        except IncomparableQueriesError as exc:
+            verdict = exc
+        self._stats.tally("union_branches_decided")
+        if store is not None and _verdict_is_stable(verdict):
+            store.store("branch_verdict", key, verdict)
+        return verdict
+
+    def _contains_family(self, sup_branches, sub_branches, schema,
+                         witnesses, method, constraints):
+        """The Sagiv–Yannakakis all/any reduction over two families.
+
+        ``⋃ᵢ subᵢ ⊑ ⋃ⱼ supⱼ`` holds when every sub branch is contained
+        in *some* sup branch — sound for the Hoare order, complete for
+        flat single-level unions [36].  Branches are visited in family
+        (source) order and the inner loop short-circuits on the first
+        covering sup branch, so sequential and parallel engines decide
+        the same branch pairs in the same order.  A sub branch that is
+        incomparable with *every* sup branch re-raises the first
+        incomparability; one that is merely not contained returns
+        False.
+        """
+        from repro.coql.containment import as_schema
+
+        schema_items = tuple(sorted(as_schema(schema).items()))
+        with self.tracer().span(
+            "reduce_union", sub_branches=len(sub_branches),
+            sup_branches=len(sup_branches),
+        ):
+            for sub_branch in sub_branches:
+                covered = False
+                errors = []
+                for sup_branch in sup_branches:
+                    verdict = self._branch_verdict(
+                        sup_branch, sub_branch, schema, schema_items,
+                        witnesses, method, constraints,
+                    )
+                    if isinstance(verdict, Exception):
+                        errors.append(verdict)
+                        continue
+                    if verdict is True:
+                        covered = True
+                        break
+                if not covered:
+                    if len(errors) == len(sup_branches):
+                        raise errors[0]
+                    return False
+            return True
+
+    def contains(self, sup, sub, schema, witnesses=None, method=None,
+                 constraints=None):
+        """True iff ``sub ⊑ sup`` on every database (Theorem 4.1).
+
+        Union bodies are expanded to query families and decided by the
+        Sagiv–Yannakakis all/any reduction; *constraints* (inclusion
+        dependencies, default the engine's) make the verdict relative
+        to databases satisfying them.
+        """
         if witnesses is None:
             witnesses = self._default_witnesses
         if method is None:
             method = self._default_method
+        constraints = self._resolve_constraints(constraints)
         with self._check("contains"):
             self._stats.tally("contains_calls")
             if self._analyze:
                 verdict, sup, sub = self._pre_analyze(sup, sub, schema)
                 if verdict is not None:
                     return verdict
-            sub_encoded = self.prepare(sub, schema)
-            sup_encoded = self.prepare(sup, schema)
-            return self._contains_encoded(
-                sup_encoded, sub_encoded, witnesses, method
+            sub_branches = self._family(sub)
+            sup_branches = self._family(sup)
+            if len(sub_branches) == 1 and len(sup_branches) == 1:
+                sub_encoded = self.prepare(sub_branches[0], schema)
+                sup_encoded = self.prepare(sup_branches[0], schema)
+                return self._contains_encoded(
+                    sup_encoded, sub_encoded, witnesses, method,
+                    constraints=constraints, schema=schema,
+                )
+            return self._contains_family(
+                sup_branches, sub_branches, schema, witnesses, method,
+                constraints,
             )
 
-    def weakly_equivalent(self, q1, q2, schema, witnesses=None, method=None):
+    def weakly_equivalent(self, q1, q2, schema, witnesses=None, method=None,
+                          constraints=None):
         """True iff ``Q1 ⊑ Q2`` and ``Q2 ⊑ Q1`` (decidable in general).
 
         Both directions use the same *method* and share the engine's
         obligation cache, so a self-equivalence check decides each
-        obligation once.
+        obligation once.  Union queries compare family-wise (both
+        directions of the Sagiv–Yannakakis reduction).
         """
         if witnesses is None:
             witnesses = self._default_witnesses
         if method is None:
             method = self._default_method
+        constraints = self._resolve_constraints(constraints)
         with self._check("weakly_equivalent"):
             self._stats.tally("equivalence_calls")
-            first = self.prepare(q1, schema)
-            second = self.prepare(q2, schema)
-            return self._contains_encoded(
-                second, first, witnesses, method
-            ) and self._contains_encoded(first, second, witnesses, method)
+            first_branches = self._family(q1)
+            second_branches = self._family(q2)
+            if len(first_branches) == 1 and len(second_branches) == 1:
+                first = self.prepare(first_branches[0], schema)
+                second = self.prepare(second_branches[0], schema)
+                return self._contains_encoded(
+                    second, first, witnesses, method,
+                    constraints=constraints, schema=schema,
+                ) and self._contains_encoded(
+                    first, second, witnesses, method,
+                    constraints=constraints, schema=schema,
+                )
+            return self._contains_family(
+                second_branches, first_branches, schema, witnesses, method,
+                constraints,
+            ) and self._contains_family(
+                first_branches, second_branches, schema, witnesses, method,
+                constraints,
+            )
 
     def empty_set_free(self, query, schema):
         """True when the query provably never produces an empty set."""
@@ -507,6 +681,47 @@ class ContainmentEngine:
                     sub, sup, witnesses=witnesses, stats=self._stats,
                     cache=self._pipeline.target_cache(),
                 )
+
+    def cq_contains(self, sup, sub, ordering=None):
+        """Chandra–Merlin containment for flat conjunctive queries.
+
+        ``cq_contains(Q2, Q1)`` is True iff ``Q1 ⊑ Q2`` for
+        :class:`repro.cq.query.ConjunctiveQuery` arguments — the same
+        verdict as :func:`repro.cq.containment.contains`, but
+        instrumented (search effort lands in :meth:`stats`) and
+        memoized under the ``branch_verdict`` artifact kind, which is
+        what :func:`repro.cq.unions.union_contains` and
+        :meth:`repro.cq.unions.UnionQuery.minimize` route through.
+
+        :param ordering: homomorphism search ordering
+            (:data:`repro.cq.propagation.ORDERINGS`, e.g. ``"bitset"``);
+            None keeps the ambient default.  The ordering changes the
+            search, never the verdict, so it is not part of the cache
+            key.
+        """
+        from repro.cq.containment import containment_mapping
+        from repro.cq.propagation import use_ordering
+
+        with self._check("cq_contains"):
+            self._stats.tally("cq_contains_calls")
+            store = self._pipeline.store
+            key = None
+            if store is not None:
+                key = artifact_key("branch_verdict", "cq", sub, sup)
+                cached = store.lookup("branch_verdict", key)
+                if cached is not MISSING:
+                    self._stats.tally("branch_verdict_hits")
+                    return cached
+                self._stats.tally("branch_verdict_misses")
+            with self._tracer.span("simulation"):
+                if ordering is None:
+                    verdict = containment_mapping(sub, sup) is not None
+                else:
+                    with use_ordering(ordering):
+                        verdict = containment_mapping(sub, sup) is not None
+            if store is not None:
+                store.store("branch_verdict", key, verdict)
+            return verdict
 
     def cost_certificate(self, query, schema, against=None, witnesses=None,
                          stats=None):
@@ -566,7 +781,7 @@ class ContainmentEngine:
     # -- batch entry points --------------------------------------------
 
     def contains_many(self, pairs, schema, witnesses=None, method=None,
-                      on_error="raise"):
+                      on_error="raise", constraints=None):
         """Decide ``sub ⊑ sup`` for every ``(sup, sub)`` pair.
 
         :param pairs: iterable of ``(sup, sub)`` queries.
@@ -588,7 +803,8 @@ class ContainmentEngine:
             try:
                 out.append(
                     self.contains(
-                        sup, sub, schema, witnesses=witnesses, method=method
+                        sup, sub, schema, witnesses=witnesses, method=method,
+                        constraints=constraints,
                     )
                 )
             except (IncomparableQueriesError, UnsupportedQueryError) as exc:
@@ -598,7 +814,7 @@ class ContainmentEngine:
         return out
 
     def classify_many(self, query, candidates, schema, witnesses=None,
-                      method=None):
+                      method=None, constraints=None):
         """Label every candidate view's usability for *query*.
 
         For each candidate V the pair of checks ``query ⊑ V`` and
@@ -615,17 +831,20 @@ class ContainmentEngine:
             witnesses = self._default_witnesses
         if method is None:
             method = self._default_method
+        constraints = self._resolve_constraints(constraints)
         self._stats.tally("classify_calls")
         return resolve_classifications(
             self._pipeline, query, list(candidates), schema,
             witnesses, method,
             lambda pairs: self.contains_many(
                 pairs, schema, witnesses=witnesses, method=method,
-                on_error="capture",
+                on_error="capture", constraints=constraints,
             ),
+            constraints=constraints,
         )
 
-    def pairwise_matrix(self, queries, schema, witnesses=None, method=None):
+    def pairwise_matrix(self, queries, schema, witnesses=None, method=None,
+                        constraints=None):
         """The N×N containment matrix of *queries*.
 
         ``matrix[i][j]`` is True iff ``queries[j] ⊑ queries[i]``, and
@@ -645,6 +864,7 @@ class ContainmentEngine:
                         self.contains(
                             sup, sub, schema,
                             witnesses=witnesses, method=method,
+                            constraints=constraints,
                         )
                     )
                 except (IncomparableQueriesError, UnsupportedQueryError):

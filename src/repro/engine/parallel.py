@@ -260,6 +260,13 @@ class ParallelContainmentEngine:
         encodings and verdicts flow between workers, across batches,
         and across process restarts.  Workers flush their write-back
         buffers at the end of every chunk.
+    :param constraints: default tuple of
+        :class:`repro.constraints.InclusionDependency` declarations,
+        applied by the in-process engine *and* shipped to every pool
+        worker (they are picklable value objects), so sequential and
+        parallel runs decide under identical dependencies — and, since
+        chase artifacts are content-addressed, share them through a
+        *store_path* tier.
     """
 
     def __init__(self, jobs=None, timeout_s=None, chunk_size=None,
@@ -267,7 +274,7 @@ class ParallelContainmentEngine:
                  on_timeout="undecided", engine=None, executor=None,
                  prepare_cache_size=512, verdict_cache_size=8192,
                  target_cache_size=1024, store=None, store_path=None,
-                 ordering=None):
+                 ordering=None, constraints=()):
         if on_timeout not in ("undecided", "raise"):
             raise UnsupportedQueryError(
                 "on_timeout must be 'undecided' or 'raise', got %r"
@@ -297,6 +304,7 @@ class ParallelContainmentEngine:
             "prepare_cache_size": prepare_cache_size,
             "verdict_cache_size": verdict_cache_size,
             "target_cache_size": target_cache_size,
+            "constraints": tuple(constraints),
         }
         if store_path is not None:
             self._worker_options["store_path"] = store_path
@@ -309,6 +317,7 @@ class ParallelContainmentEngine:
                 target_cache_size=target_cache_size,
                 store=store,
                 store_path=store_path,
+                constraints=constraints,
             )
         self._engine = engine
         self._executor = executor

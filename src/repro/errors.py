@@ -16,7 +16,20 @@ __all__ = [
     "UnsupportedQueryError",
     "IncomparableQueriesError",
     "ContainmentTimeout",
+    "union_arity_mismatch",
 ]
+
+
+def union_arity_mismatch(arities):
+    """The one wording for union branches whose head arities disagree.
+
+    Shared by :mod:`repro.cq.unions` (flat Sagiv–Yannakakis unions) and
+    the COQL union type checker, so both layers report the same message
+    carrying the offending arities.
+    """
+    return "union branches have different head arities: %s" % (
+        ", ".join(str(a) for a in sorted(set(arities)))
+    )
 
 
 class ReproError(Exception):

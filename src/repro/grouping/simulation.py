@@ -84,7 +84,7 @@ def _witness_value(var, path, copy):
     return frozen_constant(var, "@w:%s:%d" % ("/".join(path), copy))
 
 
-def build_simulation_target(sub, witnesses):
+def build_simulation_target(sub, witnesses, chase=None):
     """Build the augmented body of *sub* used as homomorphism target.
 
     Returns ``(atoms, available)`` where *atoms* are the ground target
@@ -92,6 +92,16 @@ def build_simulation_target(sub, witnesses):
     index variable of the matched superquery node may take at that path
     (generic chain-index values, witness values at the path and its
     ancestors, and all ordinary constants).
+
+    :param chase: optional saturation hook ``atoms -> ChaseResult``
+        (the engine passes :meth:`repro.pipeline.stages.Pipeline.chase`
+        partially applied to its inclusion dependencies).  Derived
+        atoms join the target — more facts to map into, so containment
+        *under* the dependencies can hold where plain containment
+        fails.  Chase-invented labelled nulls are **not** added to the
+        index-value pools: an index choice must stay justified by the
+        unconstrained canonical database, which keeps the extension
+        sound.
     """
     paths = sub.paths()
     generic = {v: Const(_generic_value(v)) for v in sub.variables()}
@@ -128,6 +138,9 @@ def build_simulation_target(sub, witnesses):
             witness_values[path].update(
                 mapping[v].value for v in body_vars if v not in shared
             )
+
+    if chase is not None:
+        atoms.extend(chase(tuple(atoms)).added)
 
     # Chain-index generic values available at each path.
     available = {}
@@ -171,7 +184,8 @@ class SimulationTarget:
         )
 
 
-def simulation_target(sub, witnesses, cache=None, stats=None):
+def simulation_target(sub, witnesses, cache=None, stats=None, chase=None,
+                      chase_key=None):
     """The :class:`SimulationTarget` for *sub* with *witnesses* copies.
 
     :param cache: optional mapping-like store (``get``/``__setitem__``)
@@ -183,15 +197,23 @@ def simulation_target(sub, witnesses, cache=None, stats=None):
     :param stats: optional sink with a ``tally(name)`` method; receives
         ``target_cache_hits`` / ``target_cache_misses`` when *cache* is
         given.
+    :param chase: optional saturation hook (see
+        :func:`build_simulation_target`).
+    :param chase_key: the hook's cache identity (the engine passes its
+        inclusion-dependency tuple).  Only when given does the cache key
+        grow a third component — unconstrained keys are unchanged, so
+        pre-existing persisted targets stay valid.
     """
     key = (sub, witnesses)
+    if chase_key is not None:
+        key = (sub, witnesses, chase_key)
     if cache is not None:
         hit = cache.get(key)
         if hit is not None:
             if stats is not None:
                 stats.tally("target_cache_hits")
             return hit
-    atoms, available = build_simulation_target(sub, witnesses)
+    atoms, available = build_simulation_target(sub, witnesses, chase=chase)
     target = SimulationTarget(atoms, available, compile_target(atoms))
     if cache is not None:
         if stats is not None:
@@ -204,7 +226,8 @@ def _value_of_sub_term(term):
     return _generic_value(term) if is_var(term) else term.value
 
 
-def simulation_certificate(sub, sup, witnesses=None, stats=None, cache=None):
+def simulation_certificate(sub, sup, witnesses=None, stats=None, cache=None,
+                           chase=None, chase_key=None):
     """Find a certificate that ``sub ⊴ sup``, or return None.
 
     :param sub: the simulated :class:`GroupingQuery` (the "smaller").
@@ -219,6 +242,9 @@ def simulation_certificate(sub, sup, witnesses=None, stats=None, cache=None):
     :param cache: optional simulation-target cache (see
         :func:`simulation_target`), shared across the escalation retry
         and across calls.
+    :param chase: optional chase hook, with *chase_key* its cache
+        identity (see :func:`simulation_target`) — containment under
+        inclusion dependencies.
     """
     sub.require_same_shape(sup)
     if witnesses is None:
@@ -227,21 +253,26 @@ def simulation_certificate(sub, sup, witnesses=None, stats=None, cache=None):
         # back to the completeness bound only when needed.
         bound = max(1, len(sup.variables()))
         certificate = simulation_certificate(
-            sub, sup, witnesses=1, stats=stats, cache=cache
+            sub, sup, witnesses=1, stats=stats, cache=cache,
+            chase=chase, chase_key=chase_key,
         )
         if certificate is not None or bound == 1:
             return certificate
         if stats is not None:
             stats.tally("witness_escalations")
         return simulation_certificate(
-            sub, sup, witnesses=bound, stats=stats, cache=cache
+            sub, sup, witnesses=bound, stats=stats, cache=cache,
+            chase=chase, chase_key=chase_key,
         )
     if witnesses < 0:
         raise ReproError("witnesses must be non-negative")
     if stats is not None:
         stats.tally("certificate_searches")
 
-    target = simulation_target(sub, witnesses, cache=cache, stats=stats)
+    target = simulation_target(
+        sub, witnesses, cache=cache, stats=stats, chase=chase,
+        chase_key=chase_key,
+    )
     available = target.available
 
     sub_paths = sub.paths()
@@ -292,12 +323,15 @@ def simulation_certificate(sub, sup, witnesses=None, stats=None, cache=None):
     return SimulationCertificate(mapping, witnesses, index_choice)
 
 
-def is_simulated(sub, sup, witnesses=None, stats=None, cache=None):
+def is_simulated(sub, sup, witnesses=None, stats=None, cache=None,
+                 chase=None, chase_key=None):
     """True iff ``sub ⊴ sup`` (every group of sub lies in a group of sup,
-    on every database)."""
+    on every database — every database *satisfying the dependencies*
+    when a chase hook is given)."""
     return (
         simulation_certificate(
-            sub, sup, witnesses=witnesses, stats=stats, cache=cache
+            sub, sup, witnesses=witnesses, stats=stats, cache=cache,
+            chase=chase, chase_key=chase_key,
         )
         is not None
     )

@@ -83,6 +83,14 @@ STAGES = (
           spans=("encode",), paper="Sec. 5.1 (grouping encoding)"),
     Stage("minimize", ("coql_ast", "schema"), "coql_ast",
           spans=("minimize",), paper="Sec. 1 (redundant subgoals)"),
+    Stage("expand_family", ("coql_ast",), "query_family",
+          spans=("family",),
+          paper="Sagiv–Yannakakis [36] (union distribution)"),
+    Stage("chase", ("simulation_target", "constraints"), "chased_atoms",
+          cache_kind="chase",
+          cache_key="sha256(atoms, constraints, schema)",
+          spans=("chase",),
+          paper="inclusion dependencies (chase saturation)"),
     Stage("enumerate_obligations", ("grouping_query",),
           "truncation_patterns", cache_kind="nonempty",
           cache_key="sha256(grouping_query, path) per non-empty test",
@@ -93,8 +101,14 @@ STAGES = (
           spans=("simulation",), paper="Thm. 4.1 (canonical database)"),
     Stage("decide", ("obligation", "witnesses", "method"), "verdict",
           cache_kind="obligation_verdicts",
-          cache_key="sha256(sub_t, sup_t, witnesses, method)",
+          cache_key="sha256(sub_t, sup_t, witnesses, method, constraints)",
           spans=("decide", "simulation"), paper="Thm. 4.1 (simulation)"),
+    Stage("reduce_union", ("query_family", "query_family"), "verdict",
+          cache_kind="branch_verdict",
+          cache_key="sha256(sub_branch, sup_branch, schema, witnesses, "
+                    "method, constraints)",
+          spans=("reduce_union",),
+          paper="Sagiv–Yannakakis [36] (all/any reduction)"),
     Stage("analyze_cost", ("grouping_query", "grouping_query", "witnesses"),
           "cost_certificate", cache_kind="cost_certificate",
           cache_key="sha256(sub_query, sup_query, witnesses)",
@@ -121,6 +135,8 @@ DEFAULT_LIMITS = {
     "targets": 1024,
     "classification": 8192,
     "cost_certificate": 1024,
+    "branch_verdict": 8192,
+    "chase": 1024,
 }
 
 
@@ -282,12 +298,15 @@ class Pipeline:
         return patterns
 
     def decide_obligation(self, sub_query, sup_query, pattern, witnesses,
-                          method, decide):
+                          method, decide, constraints=()):
         """Stage ``decide``: one truncation obligation's verdict.
 
         Cached under kind ``obligation_verdicts`` keyed on the truncated
         pair plus the decision knobs; *decide* runs the simulation
-        search on a miss.
+        search on a miss.  A non-empty *constraints* tuple (inclusion
+        dependencies the verdict was decided under) joins the key —
+        unconstrained keys are unchanged, so persisted verdicts from
+        constraint-free runs stay valid.
         """
         sub_t = sub_query.truncate(pattern)
         sup_t = sup_query.truncate(pattern)
@@ -296,9 +315,16 @@ class Pipeline:
         ) as span:
             key = None
             if self.store is not None:
-                key = artifact_key(
-                    "obligation_verdicts", sub_t, sup_t, witnesses, method
-                )
+                if constraints:
+                    key = artifact_key(
+                        "obligation_verdicts", sub_t, sup_t, witnesses,
+                        method, tuple(constraints),
+                    )
+                else:
+                    key = artifact_key(
+                        "obligation_verdicts", sub_t, sup_t, witnesses,
+                        method,
+                    )
                 cached = self._lookup("obligation_verdicts", key)
                 if cached is not MISSING:
                     self._tally("obligation_cache_hits")
@@ -349,6 +375,46 @@ class Pipeline:
             )
             self._store("cost_certificate", key, certificate)
             return certificate
+
+    # -- schema constraints: the chase ---------------------------------
+
+    def chase(self, atoms, constraints, schema):
+        """Stage ``chase``: saturate ground *atoms* under the linear
+        inclusion dependencies *constraints* declared on *schema*.
+
+        Returns a :class:`repro.constraints.chase.ChaseResult`, cached
+        under kind ``chase`` keyed on the atoms, the dependency tuple,
+        and the schema (which fixes the attribute→position layout of
+        the flat encoding).  The key is content-addressed, so the
+        Ontop-style memoization extends across engines, worker
+        processes, and the persistent store tier.
+        """
+        from repro.constraints.chase import chase_atoms, resolve_dependencies
+
+        atoms = tuple(atoms)
+        constraints = tuple(constraints)
+        schema_items = tuple(sorted(schema.items()))
+        with self.tracer.span("chase", deps=len(constraints)) as span:
+            key = None
+            if self.store is not None:
+                key = artifact_key("chase", atoms, constraints, schema_items)
+                cached = self._lookup("chase", key)
+                if cached is not MISSING:
+                    self._tally("chase_hits")
+                    span.annotate(cache="hit", added=len(cached.added))
+                    return cached
+                self._tally("chase_misses")
+                span.annotate(cache="miss")
+            resolved = resolve_dependencies(constraints, schema)
+            result = chase_atoms(atoms, resolved)
+            if result.truncated:
+                self._tally("chase_truncations")
+            span.annotate(
+                added=len(result.added), rounds=result.rounds,
+                truncated=result.truncated,
+            )
+            self._store("chase", key, result)
+            return result
 
     # -- back half: compiled simulation targets ------------------------
 

@@ -25,6 +25,14 @@ answer is served from the best usable view:
 Views classified ``contained`` are reported as *prefetch hints* (their
 materializations are partial answers), never used for serving.
 
+Union queries (top-level ``union`` bodies) are first-class but serve
+only through **provably exact** plans: the normal-form identity key is
+the *set* of branch normal forms (order- and duplicate-insensitive),
+and the weak-equivalence shortcut requires every branch head to be
+set-free.  Residual plans are per-conjunctive-branch machinery and are
+never attempted when either side is a union — a filter over one
+branch's rows would silently drop the other branches' answers.
+
 Classification verdicts flow through the engine's artifact store under
 the ``classification`` kind — attach the cache to a
 :class:`repro.pipeline.persist.TieredStore` (``store=``) and warm
@@ -163,6 +171,38 @@ class SemanticCache:
             return self._engine.pipeline().parse(query)
         return query
 
+    @staticmethod
+    def _query_nf(ast):
+        """The NF-identity key: a branch NF, or a frozenset for unions.
+
+        A union keys on the *set* of its branches' normal forms, so
+        branch order and duplicates never split identical queries;
+        always-empty branches contribute nothing and are dropped (a
+        union that collapses to one live branch keys exactly like that
+        branch written without ``union``).
+        """
+        from repro.coql.family import union_branches
+
+        branches = union_branches(ast)
+        if len(branches) == 1:
+            return normalize(ast)
+        live = frozenset(
+            nf for nf in (normalize(branch) for branch in branches)
+            if not isinstance(nf, NFEmpty)
+        )
+        if not live:
+            return normalize(branches[0])  # the constant empty set
+        if len(live) == 1:
+            return next(iter(live))
+        return live
+
+    @staticmethod
+    def _set_free(nf):
+        """Every head (all branches, for a union key) is set-free."""
+        if isinstance(nf, frozenset):
+            return all(head_is_set_free(branch.head) for branch in nf)
+        return head_is_set_free(nf.head)
+
     def add_view(self, name, query, pinned=False):
         """Register and materialize a view over the base database.
 
@@ -170,7 +210,7 @@ class SemanticCache:
         ones compete with admitted queries for the *max_views* budget.
         """
         ast = self._parse(query)
-        nf = normalize(ast)
+        nf = self._query_nf(ast)
         value = evaluate_coql(ast, self._database)
         self._register(MaterializedView(name, ast, nf, value, pinned))
         return name
@@ -232,7 +272,7 @@ class SemanticCache:
         """
         self.counters["lookups"] += 1
         ast = self._parse(query)
-        nf = normalize(ast)
+        nf = self._query_nf(ast)
         if isinstance(nf, NFEmpty):
             # The constant empty set: nothing to cache or admit.
             return CacheAnswer(CSet(), "exact", None, "equivalent")
@@ -249,17 +289,23 @@ class SemanticCache:
         ))
         self.counters["prefetch_hints"] += len(prefetch)
 
+        union_query = isinstance(nf, frozenset)
         for vname in self._serving_order(labels, self._views):
             view = self._views.get(vname)
             if view is None:
                 continue
             label = labels.get(vname)
-            if label == "equivalent" and head_is_set_free(nf.head):
-                # Weak equivalence + set-free output forces equality.
+            if label == "equivalent" and self._set_free(nf):
+                # Weak equivalence + set-free output forces equality
+                # (for a union: every branch head must be set-free).
                 self._touch(vname)
                 self.counters["exact_hits"] += 1
                 return CacheAnswer(view.value, "exact", vname, label,
                                    prefetch)
+            if union_query or isinstance(view.nf, frozenset):
+                # Union heads serve only through provably exact plans;
+                # a residual filter over one branch would drop the rest.
+                continue
             plan = residual_plan(nf, view.nf)
             if plan is not None:
                 # The plan's preconditions prove Q ⊑ V syntactically,

@@ -134,18 +134,23 @@ class ContainmentService:
         ``"undecided"``.
     :param default_schema: schema used by requests that omit one.
     :param preload: warm the memory tier from disk at startup.
+    :param constraints: tuple of
+        :class:`repro.constraints.InclusionDependency` declarations
+        every check served holds under (the engine default; the chase
+        saturates sub-side witnesses before each simulation search).
     """
 
     def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, store_path=None,
                  jobs=1, timeout_s=None, batch_window_s=0.002, max_batch=64,
                  deadline_grace_s=1.0, default_schema=None, preload=False,
-                 witnesses=None, method="certificate"):
+                 witnesses=None, method="certificate", constraints=()):
         self.host = host
         self.port = port
         self._store_path = store_path
         self._engine = ParallelContainmentEngine(
             jobs=jobs, timeout_s=timeout_s, witnesses=witnesses,
             method=method, store_path=store_path,
+            constraints=tuple(constraints),
         )
         self._default_timeout_s = timeout_s
         self._batch_window_s = batch_window_s

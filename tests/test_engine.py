@@ -124,6 +124,8 @@ class TestMemoization:
             "nonempty": 0,
             "targets": 0,
             "cost_certificate": 0,
+            "branch_verdict": 0,
+            "chase": 0,
         }
         engine.reset_stats()
         assert engine.stats().as_dict()["homomorphism_nodes"] == 0

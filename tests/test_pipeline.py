@@ -188,7 +188,7 @@ class TestEngineStoreSemantics:
         engine = ContainmentEngine()
         assert set(engine.cache_sizes()) == {
             "prepare", "obligation_verdicts", "nonempty", "targets",
-            "cost_certificate",
+            "cost_certificate", "branch_verdict", "chase",
         }
 
     def test_reset_stats_keeps_entries_and_zeroes_store_tallies(self):
@@ -435,8 +435,8 @@ class TestStageDeclarations:
         names = [stage.name for stage in STAGES]
         assert names == [
             "parse", "typecheck", "analyze", "encode", "build_grouping",
-            "minimize", "enumerate_obligations", "compile_target", "decide",
-            "analyze_cost",
+            "minimize", "expand_family", "chase", "enumerate_obligations",
+            "compile_target", "decide", "reduce_union", "analyze_cost",
         ]
         assert set(stage_table()) == set(names)
 
@@ -454,7 +454,7 @@ class TestStageDeclarations:
         # (internal to the pipeline; not surfaced by cache_sizes()).
         assert kinds == {
             "parse", "prepare", "obligation_verdicts", "nonempty", "targets",
-            "cost_certificate",
+            "cost_certificate", "branch_verdict", "chase",
         }
 
     def test_parse_stage_returns_shared_ast_on_hit(self):
@@ -544,7 +544,9 @@ class TestTracing:
         child_stages = [child.stage for child in root.children]
         assert child_stages.count("prepare") == 2
         assert "obligations" in child_stages
-        prepare_span = root.children[0]
+        prepare_span = next(
+            c for c in root.children if c.stage == "prepare"
+        )
         assert prepare_span.cache == "miss"
         assert {c.stage for c in prepare_span.children} >= {
             "typecheck", "normalize", "encode",

@@ -1,0 +1,110 @@
+"""Hypothesis differential oracle for union containment.
+
+One direction of Theorem 4.1 checked at workload scale: whenever the
+engine asserts ``sub ⊑ sup`` for randomly assembled unions, the answer
+sets on a randomly generated database must be in subset order; and
+whenever a database refutes the subset order, the engine must have said
+False.  (The converse — engine says False but every sampled database
+agrees — is not a test failure: small databases under-approximate the
+canonical counterexample.)
+
+Branches are drawn from a fixed pool of union-free selects so every
+generated union typechecks; the engine is shared module-wide so the
+``branch_verdict`` memo table turns the many overlapping checks into a
+handful of homomorphism searches.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.coql import evaluate_coql, parse_coql
+from repro.coql.containment import as_schema
+from repro.engine import ContainmentEngine
+from repro.objects.database import Database
+
+SCHEMA = {"r": ("a", "b"), "s": ("a", "b")}
+
+ROW_TYPES = as_schema({
+    "r": {"a": "atom", "b": "atom"},
+    "s": {"a": "atom", "b": "atom"},
+})
+
+BRANCHES = [
+    "select [a: x.a] from x in r",
+    "select [a: x.b] from x in r",
+    "select [a: y.a] from y in s",
+    "select [a: x.a] from x in r where x.a = x.b",
+    "select [a: x.a] from x in r, y in s where x.a = y.a",
+]
+
+ENGINE = ContainmentEngine()
+
+
+def union_of(indices):
+    return " union ".join("(%s)" % BRANCHES[i] for i in indices)
+
+
+def build_db(tables):
+    return Database.from_dict(tables, schema=ROW_TYPES)
+
+
+def answer(text, db):
+    return set(evaluate_coql(parse_coql(text), db))
+
+
+def row():
+    return st.fixed_dictionaries({
+        "a": st.integers(0, 2),
+        "b": st.integers(0, 2),
+    })
+
+
+def database():
+    return st.fixed_dictionaries({
+        "r": st.lists(row(), max_size=4),
+        "s": st.lists(row(), max_size=4),
+    })
+
+
+indices = st.lists(
+    st.integers(0, len(BRANCHES) - 1), min_size=1, max_size=3, unique=True
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sup=indices, sub=indices, tables=database())
+def test_positive_verdicts_hold_on_random_databases(sup, sub, tables):
+    sup_text, sub_text = union_of(sup), union_of(sub)
+    verdict = ENGINE.contains(sup_text, sub_text, SCHEMA)
+    db = build_db(tables)
+    sup_answer = answer(sup_text, db)
+    sub_answer = answer(sub_text, db)
+    if verdict is True:
+        assert sub_answer <= sup_answer, (
+            "engine said %r ⊑ %r but %r refutes it"
+            % (sub_text, sup_text, tables)
+        )
+    if not sub_answer <= sup_answer:
+        assert verdict is False
+
+
+@settings(max_examples=40, deadline=None)
+@given(sub=indices, tables=database())
+def test_union_always_contains_each_branch(sub, tables):
+    sup_text = union_of(sub)
+    for index in sub:
+        assert ENGINE.contains(sup_text, BRANCHES[index], SCHEMA) is True
+    db = build_db(tables)
+    sup_answer = answer(sup_text, db)
+    for index in sub:
+        assert answer(BRANCHES[index], db) <= sup_answer
+
+
+def test_completeness_witness():
+    # r ∪ s projects a-values from both relations; r alone cannot
+    # contain it, and this database is the concrete refutation the
+    # engine's False verdict promises to exist.
+    sup = BRANCHES[0]
+    sub = union_of([0, 2])
+    assert ENGINE.contains(sup, sub, SCHEMA) is False
+    db = build_db({"r": [], "s": [{"a": 7, "b": 7}]})
+    assert not answer(sub, db) <= answer(sup, db)
